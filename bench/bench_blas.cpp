@@ -1,0 +1,89 @@
+// Microbenchmarks of the field BLAS layer, including the block-restricted
+// reductions that make the Schwarz preconditioner communication-free.
+
+#include <benchmark/benchmark.h>
+
+#include "fields/blas.h"
+#include "gauge/configure.h"
+
+namespace {
+
+using namespace lqcd;
+
+struct Fixture {
+  LatticeGeometry g{{8, 8, 8, 16}};
+  WilsonField<double> x = gaussian_wilson_source(g, 1);
+  WilsonField<double> y = gaussian_wilson_source(g, 2);
+  BlockMask mask{g, {1, 1, 2, 4}};
+};
+
+void BM_Axpy(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    axpy(1e-9, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.sites().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.g.volume()) * 24 * 8 * 3);
+}
+BENCHMARK(BM_Axpy)->Unit(benchmark::kMillisecond);
+
+void BM_Caxpy(benchmark::State& state) {
+  Fixture f;
+  const std::complex<double> a(1e-9, -1e-9);
+  for (auto _ : state) {
+    caxpy(a, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.sites().data());
+  }
+}
+BENCHMARK(BM_Caxpy)->Unit(benchmark::kMillisecond);
+
+void BM_Dot(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot(f.x, f.y));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.g.volume()) * 24 * 8 * 2);
+}
+BENCHMARK(BM_Dot)->Unit(benchmark::kMillisecond);
+
+void BM_Norm2(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(norm2(f.x));
+  }
+}
+BENCHMARK(BM_Norm2)->Unit(benchmark::kMillisecond);
+
+void BM_BlockDot(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block_dot(f.x, f.y, f.mask));
+  }
+}
+BENCHMARK(BM_BlockDot)->Unit(benchmark::kMillisecond);
+
+void BM_BlockCaxpy(benchmark::State& state) {
+  Fixture f;
+  std::vector<std::complex<double>> coeffs(
+      static_cast<std::size_t>(f.mask.num_blocks()), {1e-9, 0.0});
+  for (auto _ : state) {
+    block_caxpy(coeffs, f.x, f.y, f.mask);
+    benchmark::DoNotOptimize(f.y.sites().data());
+  }
+}
+BENCHMARK(BM_BlockCaxpy)->Unit(benchmark::kMillisecond);
+
+void BM_StaggeredAxpy(benchmark::State& state) {
+  LatticeGeometry g({8, 8, 8, 16});
+  StaggeredField<double> x = gaussian_staggered_source(g, 3);
+  StaggeredField<double> y = gaussian_staggered_source(g, 4);
+  for (auto _ : state) {
+    axpy(1e-9, x, y);
+    benchmark::DoNotOptimize(y.sites().data());
+  }
+}
+BENCHMARK(BM_StaggeredAxpy)->Unit(benchmark::kMillisecond);
+
+}  // namespace

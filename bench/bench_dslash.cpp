@@ -1,0 +1,144 @@
+// Microbenchmarks of the real CPU Dirac-operator kernels in this library:
+// Wilson hop (projection trick vs full-spinor reference), Wilson-clover,
+// the improved staggered hop, and the even-odd Schur operators.  Counters
+// report sustained Mflops using the standard per-site conventions.
+
+#include <benchmark/benchmark.h>
+
+#include "dirac/even_odd.h"
+#include "dirac/staggered.h"
+#include "dirac/wilson_kernel.h"
+#include "dirac/wilson_ops.h"
+#include "gauge/clover_leaf.h"
+#include "gauge/configure.h"
+#include "gauge/staggered_links.h"
+#include "perfmodel/stencil.h"
+
+namespace {
+
+using namespace lqcd;
+
+struct WilsonFixture {
+  LatticeGeometry g{{8, 8, 8, 8}};
+  GaugeField<double> u = hot_gauge(g, 1);
+  CloverField<double> clover = build_clover_field(u, 1.0);
+  WilsonField<double> in = gaussian_wilson_source(g, 2);
+  WilsonField<double> out{g};
+};
+
+void BM_WilsonHop(benchmark::State& state) {
+  WilsonFixture f;
+  for (auto _ : state) {
+    wilson_hop(f.out, f.u, f.in);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWilsonDslashFlopsPerSite *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WilsonHop)->Unit(benchmark::kMillisecond);
+
+void BM_WilsonHopReference(benchmark::State& state) {
+  WilsonFixture f;
+  for (auto _ : state) {
+    wilson_hop_reference(f.out, f.u, f.in);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWilsonDslashFlopsPerSite *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WilsonHopReference)->Unit(benchmark::kMillisecond);
+
+void BM_WilsonCloverApply(benchmark::State& state) {
+  WilsonFixture f;
+  WilsonCloverOperator<double> m(f.u, &f.clover, -0.1);
+  for (auto _ : state) {
+    m.apply(f.out, f.in);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          dslash_flops_per_site(StencilKind::WilsonClover) *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WilsonCloverApply)->Unit(benchmark::kMillisecond);
+
+void BM_WilsonSchurApply(benchmark::State& state) {
+  WilsonFixture f;
+  WilsonCloverSchurOperator<double> schur(f.u, &f.clover, -0.1);
+  for (std::int64_t s = f.g.half_volume(); s < f.g.volume(); ++s) {
+    f.in.at(s) = WilsonSpinor<double>{};
+  }
+  for (auto _ : state) {
+    schur.apply(f.out, f.in);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+}
+BENCHMARK(BM_WilsonSchurApply)->Unit(benchmark::kMillisecond);
+
+void BM_WilsonHopSinglePrecision(benchmark::State& state) {
+  WilsonFixture f;
+  const GaugeField<float> uf = convert_gauge<float>(f.u);
+  const WilsonField<float> inf = convert_field<float>(f.in);
+  WilsonField<float> outf(f.g);
+  for (auto _ : state) {
+    wilson_hop(outf, uf, inf);
+    benchmark::DoNotOptimize(outf.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWilsonDslashFlopsPerSite *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WilsonHopSinglePrecision)->Unit(benchmark::kMillisecond);
+
+void BM_StaggeredHop(benchmark::State& state) {
+  const LatticeGeometry g({8, 8, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 3);
+  const AsqtadLinks links = build_asqtad_links(u);
+  const StaggeredField<double> in = gaussian_staggered_source(g, 4);
+  StaggeredField<double> out(g);
+  for (auto _ : state) {
+    staggered_hop(out, links.fat, links.lng, in);
+    benchmark::DoNotOptimize(out.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kStaggeredDslashFlopsPerSite *
+          static_cast<double>(g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StaggeredHop)->Unit(benchmark::kMillisecond);
+
+void BM_StaggeredSchurApply(benchmark::State& state) {
+  const LatticeGeometry g({8, 8, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 5);
+  const AsqtadLinks links = build_asqtad_links(u);
+  StaggeredSchurOperator<double> schur(links.fat, links.lng, 0.05, 0.0);
+  StaggeredField<double> in = gaussian_staggered_source(g, 6);
+  for (std::int64_t s = g.half_volume(); s < g.volume(); ++s) {
+    in.at(s) = ColorVector<double>{};
+  }
+  StaggeredField<double> out(g);
+  for (auto _ : state) {
+    schur.apply(out, in);
+    benchmark::DoNotOptimize(out.sites().data());
+  }
+}
+BENCHMARK(BM_StaggeredSchurApply)->Unit(benchmark::kMillisecond);
+
+void BM_DirichletWilsonHop(benchmark::State& state) {
+  // The Schwarz preconditioner's kernel: hopping with the block cut.
+  WilsonFixture f;
+  BlockMask mask(f.g, {1, 1, 2, 2});
+  for (auto _ : state) {
+    wilson_hop(f.out, f.u, f.in, std::nullopt, &mask);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+}
+BENCHMARK(BM_DirichletWilsonHop)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Figure 4 realization: the 9-stream schedule of one partitioned dslash.
+// Prints the discrete-event timeline — gather kernels, the five-stage
+// message pipelines per dimension and direction, the interior kernel
+// overlapping communication, and the sequential exterior kernels — plus the
+// GPU-idle interval that appears when communication outruns the interior
+// kernel (the degradation mechanism of the strong-scaling figures).
+
+#include <cstdio>
+
+#include "perfmodel/dslash_model.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace lqcd;
+  const CliArgs args(argc, argv);
+  const int gpus = static_cast<int>(args.get_int("gpus", 256));
+
+  DslashModelConfig cfg;
+  cfg.cluster = edge_cluster();
+  cfg.kind = StencilKind::WilsonClover;
+  cfg.precision = Precision::Single;
+  cfg.recon = Reconstruct::Twelve;
+  const LatticeGeometry g({32, 32, 32, 256});
+  std::array<int, 4> grid{2, 2, 2, gpus / 8};
+  if (gpus < 8) grid = {1, 1, 1, gpus};
+  cfg.part = Partitioning(g, grid);
+
+  const DslashModelResult r = model_dslash(cfg);
+
+  std::printf("== Fig. 4: CUDA-stream schedule of one Wilson-clover dslash "
+              "==\n");
+  std::printf("V = 32^3x256 over %d GPUs (grid %d %d %d %d), single "
+              "precision, reconstruct-12\n\n",
+              gpus, grid[0], grid[1], grid[2], grid[3]);
+  std::printf("%-14s  %10s  %10s  %10s\n", "stage", "start us", "end us",
+              "len us");
+  for (const StreamEvent& e : r.schedule.timeline) {
+    std::printf("%-14s  %10.1f  %10.1f  %10.1f\n", e.label.c_str(), e.start_us,
+                e.end_us, e.end_us - e.start_us);
+  }
+  std::printf("\ntotal %.1f us | interior kernel %.1f us | last ghost "
+              "arrival %.1f us | GPU idle %.1f us\n",
+              r.time_us, r.interior_us, r.comm_us, r.idle_us);
+  std::printf("per-GPU sustained: %.1f Gflops (aggregate %.2f Tflops)\n",
+              r.gflops_per_gpu, r.total_tflops);
+  if (r.idle_us > 0) {
+    std::printf("\nCommunication exceeds the interior kernel at this "
+                "subvolume: the GPU idles %.0f%% of the application — the "
+                "regime that motivates the GCR-DD solver.\n",
+                100.0 * r.idle_us / r.time_us);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmarks of the gauge-side kernels: asqtad fat/long-link
+// construction (the smearing routines of §5), clover-term assembly,
+// plaquette measurement and one heatbath sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "gauge/clover_leaf.h"
+#include "gauge/configure.h"
+#include "gauge/heatbath.h"
+#include "gauge/observables.h"
+#include "gauge/staggered_links.h"
+
+namespace {
+
+using namespace lqcd;
+
+void BM_AsqtadLinks(benchmark::State& state) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_asqtad_links(u));
+  }
+  state.SetItemsProcessed(state.iterations() * g.volume());
+}
+BENCHMARK(BM_AsqtadLinks)->Unit(benchmark::kMillisecond);
+
+void BM_CloverField(benchmark::State& state) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_clover_field(u, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.volume());
+}
+BENCHMARK(BM_CloverField)->Unit(benchmark::kMillisecond);
+
+void BM_Plaquette(benchmark::State& state) {
+  const LatticeGeometry g({8, 8, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(average_plaquette(u));
+  }
+  state.SetItemsProcessed(state.iterations() * g.volume());
+}
+BENCHMARK(BM_Plaquette)->Unit(benchmark::kMillisecond);
+
+void BM_HeatbathSweep(benchmark::State& state) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  GaugeField<double> u = hot_gauge(g, 4);
+  HeatbathParams hb;
+  hb.beta = 5.9;
+  hb.overrelax_per_sweep = 0;
+  int sweep = 0;
+  for (auto _ : state) {
+    heatbath_sweep(u, hb, sweep++);
+    benchmark::DoNotOptimize(u.all_links().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.volume() * 4);
+}
+BENCHMARK(BM_HeatbathSweep)->Unit(benchmark::kMillisecond);
+
+void BM_OverrelaxSweep(benchmark::State& state) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  GaugeField<double> u = hot_gauge(g, 5);
+  for (auto _ : state) {
+    overrelax_sweep(u, 0, 0);
+    benchmark::DoNotOptimize(u.all_links().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.volume() * 4);
+}
+BENCHMARK(BM_OverrelaxSweep)->Unit(benchmark::kMillisecond);
+
+void BM_CloverInvertSite(benchmark::State& state) {
+  const LatticeGeometry g({2, 2, 2, 2});
+  const GaugeField<double> u = hot_gauge(g, 6);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+  const CloverSite<double> site = clover_add_diagonal(a.at(0), 3.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clover_invert(site));
+  }
+}
+BENCHMARK(BM_CloverInvertSite);
+
+}  // namespace

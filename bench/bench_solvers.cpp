@@ -1,0 +1,93 @@
+// End-to-end microbenchmarks of the solver stacks on a small thermalized
+// lattice — the real CPU cost of a solve with each algorithm, useful for
+// tracking kernel-level regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/staggered_multishift.h"
+#include "gauge/staggered_links.h"
+#include "solvers/cg.h"
+
+namespace {
+
+using namespace lqcd;
+using namespace lqcd::bench;
+
+struct WilsonSetup {
+  LatticeGeometry g{{4, 4, 4, 16}};
+  GaugeField<double> u = make_config(g, 5.9, 2, 71);
+  CloverField<double> clover = build_clover_field(u, 1.0);
+  WilsonField<double> b = gaussian_wilson_source(g, 72);
+};
+
+void BM_SolveMixedBiCgStab(benchmark::State& state) {
+  WilsonSetup s;
+  for (auto _ : state) {
+    MixedBiCgStabParams p;
+    p.mass = 0.05;
+    p.tol = 1e-6;
+    MixedBiCgStabWilsonSolver solver(s.u, &s.clover, p);
+    WilsonField<double> x(s.g);
+    const SolverStats stats = solver.solve(x, s.b);
+    benchmark::DoNotOptimize(stats.final_residual);
+  }
+}
+BENCHMARK(BM_SolveMixedBiCgStab)->Unit(benchmark::kMillisecond);
+
+void BM_SolveGcrDd(benchmark::State& state) {
+  WilsonSetup s;
+  for (auto _ : state) {
+    GcrDdParams p;
+    p.mass = 0.05;
+    p.tol = 1e-5;
+    p.block_grid = {1, 1, 1, 4};
+    GcrDdWilsonSolver solver(s.u, &s.clover, p);
+    WilsonField<double> x(s.g);
+    const SolverStats stats = solver.solve(x, s.b);
+    benchmark::DoNotOptimize(stats.final_residual);
+  }
+}
+BENCHMARK(BM_SolveGcrDd)->Unit(benchmark::kMillisecond);
+
+void BM_SolveStaggeredCg(benchmark::State& state) {
+  const LatticeGeometry g({4, 4, 4, 16});
+  const GaugeField<double> u = make_config(g, 5.9, 2, 73);
+  const AsqtadLinks links = build_asqtad_links(u);
+  StaggeredSchurOperator<double> op(links.fat, links.lng, 0.08, 0.0);
+  StaggeredField<double> b = gaussian_staggered_source(g, 74);
+  for (std::int64_t s = g.half_volume(); s < g.volume(); ++s) {
+    b.at(s) = ColorVector<double>{};
+  }
+  for (auto _ : state) {
+    StaggeredField<double> x(g);
+    set_zero(x);
+    CgParams p;
+    p.tol = 1e-8;
+    const SolverStats stats = cg_solve(op, x, b, p);
+    benchmark::DoNotOptimize(stats.final_residual);
+  }
+}
+BENCHMARK(BM_SolveStaggeredCg)->Unit(benchmark::kMillisecond);
+
+void BM_SolveStaggeredMultishift(benchmark::State& state) {
+  const LatticeGeometry g({4, 4, 4, 16});
+  const GaugeField<double> u = make_config(g, 5.9, 2, 75);
+  const AsqtadLinks links = build_asqtad_links(u);
+  StaggeredMultishiftParams p;
+  p.mass = 0.08;
+  p.shifts = {0.0, 0.02, 0.1};
+  p.tol_final = 1e-9;
+  StaggeredField<double> b = gaussian_staggered_source(g, 76);
+  for (std::int64_t s = g.half_volume(); s < g.volume(); ++s) {
+    b.at(s) = ColorVector<double>{};
+  }
+  for (auto _ : state) {
+    StaggeredMultishiftSolver solver(links.fat, links.lng, p);
+    const StaggeredMultishiftResult r = solver.solve(b);
+    benchmark::DoNotOptimize(r.solutions.size());
+  }
+}
+BENCHMARK(BM_SolveStaggeredMultishift)->Unit(benchmark::kMillisecond);
+
+}  // namespace

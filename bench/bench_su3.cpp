@@ -1,0 +1,113 @@
+// Microbenchmarks of the site-local linear algebra: SU(3) multiply,
+// adjoint multiply, reunitarization, and the gauge-compression codecs whose
+// bandwidth-for-flops trade QUDA's performance rests on.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "linalg/reconstruct.h"
+#include "linalg/su3.h"
+
+namespace {
+
+using namespace lqcd;
+
+std::vector<Matrix3<double>> make_links(std::size_t n) {
+  Rng rng(1);
+  std::vector<Matrix3<double>> v(n);
+  for (auto& u : v) u = random_su3(rng);
+  return v;
+}
+
+void BM_Su3Multiply(benchmark::State& state) {
+  const auto links = make_links(512);
+  Matrix3<double> acc = Matrix3<double>::identity();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    acc = acc * links[i % links.size()];
+    ++i;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Su3Multiply);
+
+void BM_Su3MatVec(benchmark::State& state) {
+  const auto links = make_links(512);
+  ColorVector<double> v;
+  v[0] = 1.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    v = links[i % links.size()] * v;
+    ++i;
+    benchmark::DoNotOptimize(v);
+  }
+  // 66 flops per mat-vec.
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Su3MatVec);
+
+void BM_Su3AdjMatVec(benchmark::State& state) {
+  const auto links = make_links(512);
+  ColorVector<double> v;
+  v[0] = 1.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    v = adj_mul(links[i % links.size()], v);
+    ++i;
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Su3AdjMatVec);
+
+void BM_Reunitarize(benchmark::State& state) {
+  const auto links = make_links(512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reunitarize(links[i % links.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Reunitarize);
+
+void BM_Reconstruct12(benchmark::State& state) {
+  const auto links = make_links(512);
+  std::vector<Packed12<double>> packed;
+  packed.reserve(links.size());
+  for (const auto& u : links) packed.push_back(compress12(u));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompress12(packed[i % packed.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Reconstruct12);
+
+void BM_Reconstruct8(benchmark::State& state) {
+  const auto links = make_links(512);
+  std::vector<Packed8<double>> packed;
+  packed.reserve(links.size());
+  for (const auto& u : links) packed.push_back(compress8(u));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompress8(packed[i % packed.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Reconstruct8);
+
+void BM_Expm(benchmark::State& state) {
+  Rng rng(2);
+  const Matrix3<double> a = random_antihermitian(rng, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expm(a));
+  }
+}
+BENCHMARK(BM_Expm);
+
+}  // namespace

@@ -1,0 +1,149 @@
+#pragma once
+/// \file common.h
+/// \brief Shared helpers for the figure-reproduction benches: scaled-down
+/// lattice construction, iteration-count measurement, and table printing.
+///
+/// Methodology (see EXPERIMENTS.md): iteration counts are *measured* by
+/// running the real solvers of this library on a scaled-down lattice with
+/// the same number of Schwarz domains as the paper's GPU count — iteration
+/// behaviour depends on the preconditioner's block structure, not on the
+/// hardware — while the per-iteration cost at the paper's full volume comes
+/// from the calibrated Edge performance model.
+
+#include <cstdio>
+
+#include "core/gcr_dd.h"
+#include "core/mixed_bicgstab.h"
+#include "gauge/clover_leaf.h"
+#include "gauge/configure.h"
+#include "gauge/heatbath.h"
+#include "gauge/observables.h"
+#include "perfmodel/solver_model.h"
+
+namespace lqcd::bench {
+
+/// A thermalized quenched configuration (deterministic in the seed).
+inline GaugeField<double> make_config(const LatticeGeometry& g, double beta,
+                                      int sweeps, std::uint64_t seed) {
+  GaugeField<double> u = hot_gauge(g, seed);
+  HeatbathParams hb;
+  hb.beta = beta;
+  hb.seed = seed;
+  thermalize(u, hb, sweeps);
+  return u;
+}
+
+/// Measured iteration counts of the two Wilson-clover solver stacks on the
+/// scaled lattice.
+struct WilsonIterationCounts {
+  int bicgstab = 0;  ///< inner BiCGstab iterations (mixed solver)
+  int gcr = 0;       ///< outer GCR Krylov steps
+  int gcr_mr_steps = 0;
+};
+
+inline int measure_bicgstab_iterations(const GaugeField<double>& u,
+                                       const CloverField<double>& clover,
+                                       const WilsonField<double>& b,
+                                       double mass, double tol) {
+  MixedBiCgStabParams p;
+  p.mass = mass;
+  p.tol = tol;
+  MixedBiCgStabWilsonSolver solver(u, &clover, p);
+  WilsonField<double> x(u.geometry());
+  const SolverStats stats = solver.solve(x, b);
+  return stats.inner_iterations + stats.iterations;
+}
+
+inline WilsonIterationCounts measure_gcr_iterations(
+    const GaugeField<double>& u, const CloverField<double>& clover,
+    const WilsonField<double>& b, double mass, double tol,
+    std::array<int, kNDim> block_grid, int mr_steps) {
+  GcrDdParams p;
+  p.mass = mass;
+  p.tol = tol;
+  p.block_grid = block_grid;
+  p.mr.steps = mr_steps;
+  GcrDdWilsonSolver solver(u, &clover, p);
+  WilsonField<double> x(u.geometry());
+  const SolverStats stats = solver.solve(x, b);
+  WilsonIterationCounts out;
+  out.gcr = stats.iterations;
+  out.gcr_mr_steps = stats.inner_iterations;
+  return out;
+}
+
+/// The scaled lattice on which Wilson solver iteration counts are
+/// measured, and the matching problem parameters.  The quark mass is tuned
+/// (DESIGN.md) so the BiCGstab iteration count and the
+/// preconditioner-to-solver ratio resemble the paper's production regime.
+inline LatticeGeometry wilson_measurement_lattice() {
+  return LatticeGeometry({8, 8, 8, 32});
+}
+inline constexpr double kWilsonMeasurementMass = -0.45;
+inline constexpr double kWilsonMeasurementTol = 1e-5;
+/// MR steps used in the *measurement*: the paper's 10 MR steps on
+/// 32k-1M-site blocks are an inexact block solve; on the scaled lattice's
+/// smaller blocks the equivalent inexactness needs fewer steps (block
+/// linear size is ~3x smaller).  The performance model still prices the
+/// paper's 10 steps.
+inline constexpr int kScaledMrSteps = 6;
+
+/// Schwarz-block grid on the scaled lattice representing a paper GPU
+/// count.  Chosen so the *block surface-to-volume ratio* (= the fraction
+/// of hopping terms the Dirichlet cut removes, which is what governs
+/// preconditioner quality) matches the paper's per-GPU domains:
+/// paper s/v = 0.125 (16 GPUs) / 0.25 (32) / 0.375-0.5 (64-128) /
+/// 0.625 (256) maps onto the scaled grids below (0.125 / 0.25 / 0.5 /
+/// 0.625 exactly).
+inline std::array<int, kNDim> scaled_block_grid_for(int gpus) {
+  if (gpus <= 16) return {1, 1, 1, 2};   // s/v 0.125
+  if (gpus <= 32) return {1, 1, 1, 4};   // s/v 0.25
+  if (gpus <= 128) return {1, 1, 1, 8};  // s/v 0.5
+  return {1, 1, 2, 2};                   // s/v 0.625
+}
+
+/// GPU grids used for the Wilson strong-scaling sweeps (paper volume
+/// 32^3 x 256 and the scaled measurement lattice both divide these).
+inline std::array<int, kNDim> wilson_grid_for(int gpus) {
+  switch (gpus) {
+    case 4: return {1, 1, 1, 4};
+    case 8: return {1, 1, 1, 8};
+    case 16: return {1, 1, 1, 16};
+    case 32: return {1, 1, 2, 16};
+    case 64: return {1, 1, 2, 32};
+    case 128: return {1, 2, 2, 32};
+    case 256: return {2, 2, 2, 32};
+    default: return {1, 1, 1, 1};
+  }
+}
+
+/// Grid families for the asqtad sweeps (paper volume 64^3 x 192).
+inline std::array<int, kNDim> asqtad_grid_for(const char* family, int gpus) {
+  const bool zt = family[0] == 'Z';
+  const bool yzt = family[0] == 'Y';
+  if (zt) {
+    switch (gpus) {
+      case 32: return {1, 1, 2, 16};
+      case 64: return {1, 1, 4, 16};
+      case 128: return {1, 1, 4, 32};
+      case 256: return {1, 1, 8, 32};
+    }
+  } else if (yzt) {
+    switch (gpus) {
+      case 32: return {1, 2, 2, 8};
+      case 64: return {1, 2, 4, 8};
+      case 128: return {1, 4, 4, 8};
+      case 256: return {1, 4, 4, 16};
+    }
+  } else {  // XYZT
+    switch (gpus) {
+      case 32: return {2, 2, 2, 4};
+      case 64: return {2, 2, 2, 8};
+      case 128: return {2, 2, 4, 8};
+      case 256: return {2, 2, 4, 16};
+    }
+  }
+  return {1, 1, 1, 1};
+}
+
+}  // namespace lqcd::bench

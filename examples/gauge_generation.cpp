@@ -1,0 +1,57 @@
+// Gauge-field generation — the capability-class workload motivating the
+// paper (§2): evolve a quenched SU(3) ensemble with heatbath +
+// overrelaxation and track observables.  Demonstrates the Markov chain's
+// inherent sequentiality: each configuration depends on the previous one,
+// which is why this phase needs strong scaling rather than task
+// parallelism.
+//
+// Usage: gauge_generation [--lattice 6] [--nt 6] [--beta 5.7]
+//                         [--sweeps 20] [--or 1] [--seed 99]
+
+#include <cstdio>
+
+#include "gauge/configure.h"
+#include "gauge/heatbath.h"
+#include "gauge/observables.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace lqcd;
+  const CliArgs args(argc, argv);
+  const int ls = static_cast<int>(args.get_int("lattice", 6));
+  const int nt = static_cast<int>(args.get_int("nt", 6));
+  HeatbathParams hb;
+  hb.beta = args.get_double("beta", 5.7);
+  hb.overrelax_per_sweep = static_cast<int>(args.get_int("or", 1));
+  hb.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  const int sweeps = static_cast<int>(args.get_int("sweeps", 20));
+
+  std::printf("== quenched gauge generation ==\n");
+  std::printf("lattice %d^3 x %d, beta = %.2f, %d heatbath sweeps ", ls, ls,
+              nt, hb.beta, sweeps);
+  std::printf("(+%d OR each)\n\n", hb.overrelax_per_sweep);
+
+  const LatticeGeometry geom({ls, ls, ls, nt});
+  GaugeField<double> u = hot_gauge(geom, hb.seed);
+
+  std::printf("%6s  %10s  %10s  %8s\n", "sweep", "plaquette", "rectangle",
+              "sec");
+  std::printf("%6d  %10.5f  %10.5f  %8s\n", 0, average_plaquette(u),
+              average_rectangle(u), "-");
+
+  Stopwatch total;
+  for (int sweep = 1; sweep <= sweeps; ++sweep) {
+    Stopwatch sw;
+    heatbath_sweep(u, hb, sweep);
+    const double dt = sw.seconds();
+    if (sweep <= 5 || sweep % 5 == 0) {
+      std::printf("%6d  %10.5f  %10.5f  %8.2f\n", sweep, average_plaquette(u),
+                  average_rectangle(u), dt);
+    }
+  }
+  std::printf("\n%d sweeps in %.1f s; equilibrium plaquette at beta=%.1f is "
+              "~0.55 on large lattices.\n",
+              sweeps, total.seconds(), hb.beta);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// A practical tool built on the performance model: given a lattice and a
+// GPU budget on an Edge-like cluster, enumerate the feasible partitioning
+// grids and rank them by modelled dslash throughput — automating the
+// ZT-vs-YZT-vs-XYZT judgement the paper's Figs. 6 and 10 make by hand.
+//
+// Usage: scaling_planner [--nx 32 --ny 32 --nz 32 --nt 256] [--gpus 64]
+//                        [--op wilson|clover|asqtad]
+//                        [--prec half|single|double] [--top 8]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perfmodel/dslash_model.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace lqcd;
+  const CliArgs args(argc, argv);
+  const std::array<int, 4> dims = {
+      static_cast<int>(args.get_int("nx", 32)),
+      static_cast<int>(args.get_int("ny", 32)),
+      static_cast<int>(args.get_int("nz", 32)),
+      static_cast<int>(args.get_int("nt", 256))};
+  const int gpus = static_cast<int>(args.get_int("gpus", 64));
+  const std::string op = args.get("op", "clover");
+  const std::string prec = args.get("prec", "single");
+  const int top = static_cast<int>(args.get_int("top", 8));
+
+  DslashModelConfig cfg;
+  cfg.cluster = edge_cluster();
+  cfg.kind = op == "asqtad" ? StencilKind::ImprovedStaggered
+             : op == "wilson" ? StencilKind::Wilson
+                              : StencilKind::WilsonClover;
+  cfg.precision = prec == "half" ? Precision::Half
+                  : prec == "double" ? Precision::Double
+                                     : Precision::Single;
+  cfg.recon = cfg.kind == StencilKind::ImprovedStaggered ? Reconstruct::None
+                                                         : Reconstruct::Twelve;
+
+  const LatticeGeometry geom(dims);
+  const int min_local = cfg.kind == StencilKind::ImprovedStaggered ? 4 : 2;
+
+  struct Plan {
+    std::array<int, 4> grid;
+    DslashModelResult result;
+  };
+  std::vector<Plan> plans;
+  for (int gx = 1; gx <= gpus; ++gx) {
+    if (gpus % gx != 0 || dims[0] % gx != 0) continue;
+    for (int gy = 1; gy <= gpus / gx; ++gy) {
+      if ((gpus / gx) % gy != 0 || dims[1] % gy != 0) continue;
+      for (int gz = 1; gz <= gpus / (gx * gy); ++gz) {
+        if ((gpus / (gx * gy)) % gz != 0 || dims[2] % gz != 0) continue;
+        const int gt = gpus / (gx * gy * gz);
+        if (dims[3] % gt != 0) continue;
+        const std::array<int, 4> grid = {gx, gy, gz, gt};
+        // Local extents must stay even and no shallower than the stencil.
+        bool ok = true;
+        for (int mu = 0; mu < 4; ++mu) {
+          const auto m = static_cast<std::size_t>(mu);
+          const int local = dims[m] / grid[m];
+          if (local % 2 != 0 || (grid[m] > 1 && local < min_local)) ok = false;
+        }
+        if (!ok) continue;
+        cfg.part = Partitioning(geom, grid);
+        plans.push_back({grid, model_dslash(cfg)});
+      }
+    }
+  }
+
+  if (plans.empty()) {
+    std::printf("no feasible partitioning of %dx%dx%dx%d over %d GPUs\n",
+                dims[0], dims[1], dims[2], dims[3], gpus);
+    return 1;
+  }
+  std::sort(plans.begin(), plans.end(), [](const Plan& a, const Plan& b) {
+    return a.result.gflops_per_gpu > b.result.gflops_per_gpu;
+  });
+
+  std::printf("== partitioning plans: %s dslash, %s precision, %d GPUs on "
+              "%dx%dx%dx%d ==\n\n",
+              op.c_str(), prec.c_str(), gpus, dims[0], dims[1], dims[2],
+              dims[3]);
+  std::printf("%16s  %10s  %10s  %10s  %9s\n", "grid (x y z t)", "Gflops/GPU",
+              "total Tfl", "dslash us", "idle us");
+  const int n = std::min<int>(top, static_cast<int>(plans.size()));
+  for (int i = 0; i < n; ++i) {
+    const Plan& p = plans[static_cast<std::size_t>(i)];
+    std::printf("%4d %3d %3d %4d  %10.1f  %10.2f  %10.0f  %9.0f\n",
+                p.grid[0], p.grid[1], p.grid[2], p.grid[3],
+                p.result.gflops_per_gpu, p.result.total_tflops,
+                p.result.time_us, p.result.idle_us);
+  }
+  std::printf("\n%zu feasible grids evaluated; best sustains %.1f Gflops/GPU "
+              "(%.2f Tflops aggregate).\n",
+              plans.size(), plans.front().result.gflops_per_gpu,
+              plans.front().result.total_tflops);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// The communication layer is template-heavy and header-only; this
+// translation unit anchors the library and provides a compile check of the
+// headers against the common instantiations.
+#include "comm/domain_map.h"
+#include "comm/exchange.h"
+
+namespace lqcd {
+namespace {
+// Force instantiation of the common exchange paths so template errors
+// surface when this library builds rather than in downstream targets.
+[[maybe_unused]] void instantiate(
+    const Partitioning& part, const NeighborTable& nt,
+    const std::vector<WilsonField<float>>& wf,
+    std::vector<GhostZones<HalfSpinor<float>>>& wg,
+    const std::vector<StaggeredField<double>>& sf,
+    std::vector<GhostZones<ColorVector<double>>>& sg,
+    const std::vector<GaugeField<double>>& gf,
+    std::vector<GhostZones<Matrix3<double>>>& gg) {
+  exchange_ghosts<WilsonProjectPacker<float>>(part, nt, wf, wg, nullptr);
+  exchange_ghosts<IdentityPacker<ColorVector<double>>>(part, nt, sf, sg,
+                                                       nullptr);
+  exchange_gauge_ghosts(part, nt, gf, gg, nullptr);
+}
+}  // namespace
+}  // namespace lqcd

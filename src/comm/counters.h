@@ -1,0 +1,47 @@
+#pragma once
+/// \file counters.h
+/// \brief Byte and message accounting for ghost-zone exchanges.
+///
+/// Every exchange logs, per dimension, the bytes put "on the wire" by all
+/// ranks.  On the modelled machine those same bytes traverse five stages
+/// (gather kernel, device-to-host PCI-E copy, pinned-to-pageable host copy,
+/// MPI over InfiniBand, and the mirror copies on the receive side — §6.3);
+/// the performance model multiplies accordingly.  Tests assert that these
+/// metered counts equal the analytic formulas the model uses.
+
+#include <array>
+#include <cstdint>
+
+#include "lattice/geometry.h"
+
+namespace lqcd {
+
+struct ExchangeCounters {
+  /// Payload bytes sent per dimension, summed over ranks and both
+  /// directions.
+  std::array<std::uint64_t, kNDim> bytes_by_dim{};
+  /// Point-to-point messages (two per rank per partitioned dimension).
+  std::uint64_t messages = 0;
+  /// Number of exchange_* invocations.
+  std::uint64_t exchanges = 0;
+
+  void reset() { *this = ExchangeCounters{}; }
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t t = 0;
+    for (auto b : bytes_by_dim) t += b;
+    return t;
+  }
+
+  ExchangeCounters& operator+=(const ExchangeCounters& o) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      bytes_by_dim[static_cast<std::size_t>(mu)] +=
+          o.bytes_by_dim[static_cast<std::size_t>(mu)];
+    }
+    messages += o.messages;
+    exchanges += o.exchanges;
+    return *this;
+  }
+};
+
+}  // namespace lqcd

@@ -1,0 +1,155 @@
+#pragma once
+/// \file exchange.h
+/// \brief Ghost-zone exchange between the virtual ranks of a Partitioning.
+///
+/// Faithful in structure to §6.1/6.3 of the paper: for every partitioned
+/// dimension, each rank gathers its boundary slices into contiguous buffers
+/// (the "gather kernels"), the buffers move to the neighbouring rank (on
+/// the modelled machine: D2H PCI-E copy, two host memcpys, MPI, H2D), and
+/// land in the neighbour's ghost zones.  Here the transport is a memcpy
+/// between rank-local buffers; ExchangeCounters captures the per-dimension
+/// payload the performance model prices.
+///
+/// Wilson-type exchanges pack *spin-projected half spinors*: because
+/// (1 +- gamma_mu) commutes with the color multiply, the sender can project
+/// before the wire, halving spinor ghost traffic (12 instead of 24 reals
+/// per site) — QUDA's standard optimization, assumed by the byte model.
+
+#include <optional>
+#include <vector>
+
+#include "comm/counters.h"
+#include "comm/ghost.h"
+#include "fields/lattice_field.h"
+#include "lattice/neighbor_table.h"
+#include "lattice/partition.h"
+#include "linalg/gamma.h"
+
+namespace lqcd {
+
+/// Packer turning a body site into a ghost site at gather time.
+/// dir = 0: data destined for the receiver's forward (+mu) ghost, i.e. it
+/// will enter (1 - gamma_mu) U psi(x + mu) terms; dir = 1: receiver's
+/// backward ghost, entering (1 + gamma_mu) U^dag psi(x - mu) terms.
+template <typename Site>
+struct IdentityPacker {
+  using ghost_type = Site;
+  static ghost_type pack(const Site& s, int /*mu*/, int /*dir*/) { return s; }
+};
+
+template <typename Real>
+struct WilsonProjectPacker {
+  using ghost_type = HalfSpinor<Real>;
+  static ghost_type pack(const WilsonSpinor<Real>& s, int mu, int dir) {
+    return project(mu, dir == 0 ? -1 : +1, s);
+  }
+};
+
+/// Exchanges spinor-type ghosts for all partitioned dimensions.
+/// \p locals and \p ghosts are indexed by rank; \p nt describes the shared
+/// local geometry.  Periodic in the rank grid (a rank may be its own
+/// neighbour when the grid extent is 1 in some dimension — but such
+/// dimensions are simply not partitioned, so no buffer exists).
+///
+/// When \p source_parity is set, only sites of that checkerboard are
+/// packed and counted — the even-odd preconditioned dslash reads only
+/// opposite-parity neighbours, so half the face payload travels (local
+/// extents are even, so local and global parity coincide).  The untouched
+/// ghost entries are never read by a parity-restricted stencil.
+template <typename Packer, typename Site>
+void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
+                     const std::vector<LatticeField<Site>>& locals,
+                     std::vector<GhostZones<typename Packer::ghost_type>>& ghosts,
+                     ExchangeCounters* counters = nullptr,
+                     std::optional<Parity> source_parity = std::nullopt) {
+  const LatticeGeometry& local = part.local();
+  const int depth = nt.ghost_depth();
+  for (int n = 0; n < part.num_ranks(); ++n) {
+    const auto& body = locals[static_cast<std::size_t>(n)];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!nt.partitioned(mu)) continue;
+      const FaceIndexer& face = nt.face(mu);
+      const std::int64_t fv = face.face_volume();
+      // Bottom slices -> backward neighbour's forward ghost (dir 0).
+      auto fwd_dst =
+          ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, -1))]
+              .zone(mu, 0);
+      // Top slices -> forward neighbour's backward ghost (dir 1).
+      auto bwd_dst =
+          ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, +1))]
+              .zone(mu, 1);
+      std::uint64_t packed = 0;
+      auto wanted = [&](const Coord& x) {
+        return !source_parity.has_value() ||
+               LatticeGeometry::parity(x) ==
+                   (*source_parity == Parity::Even ? 0 : 1);
+      };
+      for (int l = 0; l < depth; ++l) {
+        for (std::int64_t f = 0; f < fv; ++f) {
+          const Coord bottom = face.face_coords(f, l);
+          if (wanted(bottom)) {
+            fwd_dst[static_cast<std::size_t>(l * fv + f)] =
+                Packer::pack(body.at(local.eo_index(bottom)), mu, 0);
+            ++packed;
+          }
+          const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
+          if (wanted(top)) {
+            bwd_dst[static_cast<std::size_t>(l * fv + f)] =
+                Packer::pack(body.at(local.eo_index(top)), mu, 1);
+            ++packed;
+          }
+        }
+      }
+      if (counters != nullptr) {
+        counters->bytes_by_dim[static_cast<std::size_t>(mu)] +=
+            packed * sizeof(typename Packer::ghost_type);
+        counters->messages += 2;
+      }
+    }
+  }
+  if (counters != nullptr) counters->exchanges += 1;
+}
+
+/// Exchanges gauge-link ghosts.  Only the backward zones are populated and
+/// only with links pointing along the face dimension: the stencil needs
+/// U_mu(x - h*mu) for backward hops, while forward hops use rank-local
+/// links.  Sent once per solve (§6.1), so counted separately by callers.
+/// \p depth may be smaller than the table's ghost depth when only the
+/// near layers are needed (fat links need one layer, long links three);
+/// unfilled layers are never addressed by the corresponding hop lookups.
+template <typename Real>
+void exchange_gauge_ghosts(const Partitioning& part, const NeighborTable& nt,
+                           const std::vector<GaugeField<Real>>& locals,
+                           std::vector<GhostZones<Matrix3<Real>>>& ghosts,
+                           ExchangeCounters* counters = nullptr,
+                           int depth = -1) {
+  const LatticeGeometry& local = part.local();
+  if (depth < 0) depth = nt.ghost_depth();
+  for (int n = 0; n < part.num_ranks(); ++n) {
+    const auto& body = locals[static_cast<std::size_t>(n)];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!nt.partitioned(mu)) continue;
+      const FaceIndexer& face = nt.face(mu);
+      const std::int64_t fv = face.face_volume();
+      auto bwd_dst =
+          ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, +1))]
+              .zone(mu, 1);
+      for (int l = 0; l < depth; ++l) {
+        for (std::int64_t f = 0; f < fv; ++f) {
+          const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
+          bwd_dst[static_cast<std::size_t>(l * fv + f)] =
+              body.link(mu, local.eo_index(top));
+        }
+      }
+      if (counters != nullptr) {
+        counters->bytes_by_dim[static_cast<std::size_t>(mu)] +=
+            static_cast<std::uint64_t>(depth) * static_cast<std::uint64_t>(fv) *
+            sizeof(Matrix3<Real>);
+        counters->messages += 1;
+      }
+    }
+  }
+  if (counters != nullptr) counters->exchanges += 1;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,64 @@
+#pragma once
+/// \file ghost.h
+/// \brief Ghost-zone buffers: per-dimension, per-direction halo storage
+/// adjoining a rank's local field (Fig. 2/3 of the paper).
+///
+/// Zones are allocated only for partitioned dimensions.  Addressing matches
+/// NeighborTable: zone id = 1 + 2*mu + dir (dir 0 = forward neighbour's
+/// data, 1 = backward), offset = layer * face_volume + face_index.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "lattice/neighbor_table.h"
+
+namespace lqcd {
+
+template <typename GhostSite>
+class GhostZones {
+ public:
+  GhostZones() = default;
+
+  /// Sizes each partitioned dimension's two zones to depth * face_volume.
+  explicit GhostZones(const NeighborTable& nt) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!nt.partitioned(mu)) continue;
+      const auto n = static_cast<std::size_t>(nt.ghost_volume(mu));
+      zone_storage(mu, 0).resize(n);
+      zone_storage(mu, 1).resize(n);
+    }
+  }
+
+  std::span<GhostSite> zone(int mu, int dir) {
+    return zone_storage(mu, dir);
+  }
+  std::span<const GhostSite> zone(int mu, int dir) const {
+    return zones_[static_cast<std::size_t>(mu)][static_cast<std::size_t>(dir)];
+  }
+
+  /// Lookup through a NeighborTable::Ref (must not be local).
+  const GhostSite& at(std::uint8_t zone_id, std::int32_t index) const {
+    const int z = zone_id - 1;
+    return zones_[static_cast<std::size_t>(z / 2)]
+                 [static_cast<std::size_t>(z % 2)]
+                 [static_cast<std::size_t>(index)];
+  }
+
+  void set_zero() {
+    for (auto& perdim : zones_) {
+      for (auto& v : perdim) {
+        for (auto& s : v) s = GhostSite{};
+      }
+    }
+  }
+
+ private:
+  std::vector<GhostSite>& zone_storage(int mu, int dir) {
+    return zones_[static_cast<std::size_t>(mu)][static_cast<std::size_t>(dir)];
+  }
+
+  std::array<std::array<std::vector<GhostSite>, 2>, kNDim> zones_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,175 @@
+#include "dirac/dense_reference.h"
+
+#include "linalg/gamma.h"
+
+namespace lqcd {
+
+namespace {
+
+/// Dense 4x4 gamma_mu.
+DenseMatrix<double> dense_gamma(int mu) {
+  DenseMatrix<double> g(kNSpin, kNSpin);
+  const GammaPattern& pat = kGamma[static_cast<std::size_t>(mu)];
+  for (int r = 0; r < kNSpin; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    g(r, pat.col[rr]) = mul_i_pow(pat.phase[rr], Cplx<double>(1.0));
+  }
+  return g;
+}
+
+}  // namespace
+
+DenseMatrix<double> dense_wilson_clover(const GaugeField<double>& u,
+                                        const CloverField<double>* a,
+                                        double mass) {
+  const LatticeGeometry& g = u.geometry();
+  const int n = static_cast<int>(12 * g.volume());
+  DenseMatrix<double> m(n, n);
+
+  // Spin structures (1 -+ gamma_mu) as dense 4x4.
+  std::vector<DenseMatrix<double>> one_minus, one_plus;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    DenseMatrix<double> gm = dense_gamma(mu);
+    DenseMatrix<double> pm(kNSpin, kNSpin), pp(kNSpin, kNSpin);
+    for (int r = 0; r < kNSpin; ++r) {
+      for (int c = 0; c < kNSpin; ++c) {
+        const Cplx<double> d = r == c ? Cplx<double>(1.0) : Cplx<double>(0.0);
+        pm(r, c) = d - gm(r, c);
+        pp(r, c) = d + gm(r, c);
+      }
+    }
+    one_minus.push_back(std::move(pm));
+    one_plus.push_back(std::move(pp));
+  }
+
+  auto idx = [&](std::int64_t site, int spin, int color) {
+    return static_cast<int>(12 * site + 3 * spin + color);
+  };
+
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    // Diagonal: (4 + m) + clover.
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        m(idx(s, sp, c), idx(s, sp, c)) += Cplx<double>(4.0 + mass);
+      }
+    }
+    if (a != nullptr) {
+      const CloverSite<double>& cs = a->at(s);
+      for (int b = 0; b < 2; ++b) {
+        for (int r = 0; r < 6; ++r) {
+          for (int c = 0; c < 6; ++c) {
+            m(idx(s, 2 * b + r / 3, r % 3), idx(s, 2 * b + c / 3, c % 3)) +=
+                cs.chi[static_cast<std::size_t>(b)](r, c);
+          }
+        }
+      }
+    }
+    // Hopping: -1/2 [(1 - gamma) U delta_+ + (1 + gamma) U^dag delta_-].
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const Coord xp = g.shifted(x, mu, +1);
+      const Coord xm = g.shifted(x, mu, -1);
+      const std::int64_t sp_idx = g.eo_index(xp);
+      const std::int64_t sm_idx = g.eo_index(xm);
+      const Matrix3<double>& uf = u.link(mu, s);
+      const Matrix3<double> ub = adj(u.link(mu, sm_idx));
+      for (int sr = 0; sr < kNSpin; ++sr) {
+        for (int sc = 0; sc < kNSpin; ++sc) {
+          const Cplx<double> pm =
+              one_minus[static_cast<std::size_t>(mu)](sr, sc);
+          const Cplx<double> pp =
+              one_plus[static_cast<std::size_t>(mu)](sr, sc);
+          for (int cr = 0; cr < kNColor; ++cr) {
+            for (int cc = 0; cc < kNColor; ++cc) {
+              if (pm != Cplx<double>{}) {
+                m(idx(s, sr, cr), idx(sp_idx, sc, cc)) +=
+                    -0.5 * pm * uf(cr, cc);
+              }
+              if (pp != Cplx<double>{}) {
+                m(idx(s, sr, cr), idx(sm_idx, sc, cc)) +=
+                    -0.5 * pp * ub(cr, cc);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+DenseMatrix<double> dense_staggered(const GaugeField<double>& fat,
+                                    const GaugeField<double>& lng,
+                                    double mass) {
+  const LatticeGeometry& g = fat.geometry();
+  const int n = static_cast<int>(3 * g.volume());
+  DenseMatrix<double> m(n, n);
+  auto idx = [&](std::int64_t site, int color) {
+    return static_cast<int>(3 * site + color);
+  };
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int c = 0; c < kNColor; ++c) m(idx(s, c), idx(s, c)) += mass;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      struct Hop {
+        int dist;
+        const GaugeField<double>* field;
+      };
+      for (const Hop& h : {Hop{1, &fat}, Hop{3, &lng}}) {
+        const Coord xp = g.shifted(x, mu, +h.dist);
+        const Coord xm = g.shifted(x, mu, -h.dist);
+        const std::int64_t spi = g.eo_index(xp);
+        const std::int64_t smi = g.eo_index(xm);
+        const Matrix3<double>& uf = h.field->link(mu, s);
+        const Matrix3<double> ub = adj(h.field->link(mu, smi));
+        for (int cr = 0; cr < kNColor; ++cr) {
+          for (int cc = 0; cc < kNColor; ++cc) {
+            m(idx(s, cr), idx(spi, cc)) += 0.5 * uf(cr, cc);
+            m(idx(s, cr), idx(smi, cc)) -= 0.5 * ub(cr, cc);
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<std::complex<double>> flatten(const WilsonField<double>& f) {
+  std::vector<std::complex<double>> v;
+  v.reserve(static_cast<std::size_t>(12 * f.volume()));
+  for (std::int64_t s = 0; s < f.volume(); ++s) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) v.push_back(f.at(s)[sp][c]);
+    }
+  }
+  return v;
+}
+
+void unflatten(const std::vector<std::complex<double>>& v,
+               WilsonField<double>& f) {
+  std::size_t k = 0;
+  for (std::int64_t s = 0; s < f.volume(); ++s) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) f.at(s)[sp][c] = v[k++];
+    }
+  }
+}
+
+std::vector<std::complex<double>> flatten(const StaggeredField<double>& f) {
+  std::vector<std::complex<double>> v;
+  v.reserve(static_cast<std::size_t>(3 * f.volume()));
+  for (std::int64_t s = 0; s < f.volume(); ++s) {
+    for (int c = 0; c < kNColor; ++c) v.push_back(f.at(s)[c]);
+  }
+  return v;
+}
+
+void unflatten(const std::vector<std::complex<double>>& v,
+               StaggeredField<double>& f) {
+  std::size_t k = 0;
+  for (std::int64_t s = 0; s < f.volume(); ++s) {
+    for (int c = 0; c < kNColor; ++c) f.at(s)[c] = v[k++];
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,38 @@
+#pragma once
+/// \file dense_reference.h
+/// \brief Explicit dense assembly of the lattice Dirac matrices on tiny
+/// lattices, built directly from the defining formulas (Eqs. (2) and (3))
+/// with none of the stencil machinery — the independent ground truth the
+/// optimized kernels are tested against, and a direct-solve oracle for the
+/// Krylov solvers.
+
+#include <vector>
+
+#include "fields/clover.h"
+#include "fields/lattice_field.h"
+#include "linalg/small_matrix.h"
+
+namespace lqcd {
+
+/// Dense Wilson-clover matrix, dimension 12 V; row/column index
+/// = 12 * eo_index + 3 * spin + color.
+DenseMatrix<double> dense_wilson_clover(const GaugeField<double>& u,
+                                        const CloverField<double>* a,
+                                        double mass);
+
+/// Dense improved staggered matrix M = m + D/2, dimension 3 V; index
+/// = 3 * eo_index + color.  \p fat and \p lng carry KS phases and the Naik
+/// coefficient, as produced by build_asqtad_links.
+DenseMatrix<double> dense_staggered(const GaugeField<double>& fat,
+                                    const GaugeField<double>& lng,
+                                    double mass);
+
+/// Field <-> flat vector converters matching the dense index conventions.
+std::vector<std::complex<double>> flatten(const WilsonField<double>& f);
+void unflatten(const std::vector<std::complex<double>>& v,
+               WilsonField<double>& f);
+std::vector<std::complex<double>> flatten(const StaggeredField<double>& f);
+void unflatten(const std::vector<std::complex<double>>& v,
+               StaggeredField<double>& f);
+
+}  // namespace lqcd

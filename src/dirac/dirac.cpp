@@ -1,0 +1,26 @@
+// Anchors the header-only operator templates: instantiating the main
+// operator classes here surfaces template errors at library build time.
+#include "dirac/even_odd.h"
+#include "dirac/partitioned.h"
+#include "dirac/partitioned_schur.h"
+#include "dirac/staggered.h"
+#include "dirac/wilson_ops.h"
+
+namespace lqcd {
+
+template class WilsonCloverOperator<float>;
+template class WilsonCloverOperator<double>;
+template class WilsonCloverSchurOperator<float>;
+template class WilsonCloverSchurOperator<double>;
+template class StaggeredOperator<float>;
+template class StaggeredOperator<double>;
+template class StaggeredSchurOperator<float>;
+template class StaggeredSchurOperator<double>;
+template class PartitionedWilsonClover<float>;
+template class PartitionedWilsonClover<double>;
+template class PartitionedWilsonCloverSchur<float>;
+template class PartitionedWilsonCloverSchur<double>;
+template class PartitionedStaggered<float>;
+template class PartitionedStaggered<double>;
+
+}  // namespace lqcd

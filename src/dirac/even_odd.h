@@ -1,0 +1,127 @@
+#pragma once
+/// \file even_odd.h
+/// \brief Even-odd (red-black) Schur-complement preconditioning of the
+/// Wilson-clover operator (§3.1).
+///
+/// With sites split by parity, M has the 2x2 block form
+///   M = [ A_ee        -1/2 D_eo ]
+///       [ -1/2 D_oe    A_oo     ]        A = 4 + m + A_clover,
+/// and the Schur complement on the even checkerboard is
+///   M_hat = A_ee - (1/4) D_eo A_oo^{-1} D_oe.
+/// Solving M_hat x_e = b_e + (1/2) D_eo A_oo^{-1} b_o and back-substituting
+/// x_o = A_oo^{-1} (b_o + (1/2) D_oe x_e) halves the system size and
+/// improves the condition number — "almost always used" per the paper.
+///
+/// Fields passed through this operator keep the odd checkerboard zero.
+
+#include <memory>
+
+#include "dirac/operator.h"
+#include "dirac/wilson_kernel.h"
+#include "fields/clover.h"
+
+namespace lqcd {
+
+/// The Schur operator M_hat (optionally Dirichlet-cut for Schwarz blocks).
+template <typename Real>
+class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
+ public:
+  /// \param a clover field (may be null for plain Wilson).
+  WilsonCloverSchurOperator(const GaugeField<Real>& u,
+                            const CloverField<Real>* a, double mass,
+                            const LinkCut* mask = nullptr)
+      : u_(&u), mass_(mass), mask_(mask), tmp_(u.geometry()),
+        diag_(std::make_shared<CloverField<Real>>(u.geometry())),
+        inv_diag_(std::make_shared<CloverField<Real>>(u.geometry())) {
+    const Real d = static_cast<Real>(4.0 + mass);
+    const LatticeGeometry& g = u.geometry();
+    for (std::int64_t s = 0; s < g.volume(); ++s) {
+      CloverSite<Real> cs = a != nullptr ? a->at(s) : CloverSite<Real>{};
+      cs = clover_add_diagonal(cs, d);
+      diag_->at(s) = cs;
+      inv_diag_->at(s) = clover_invert(cs);
+    }
+  }
+
+  void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
+    this->count_application();
+    const LatticeGeometry& g = geometry();
+    // tmp_o = D_oe in_e
+    tmp_.set_zero();
+    wilson_hop(tmp_, *u_, in, Parity::Odd, mask_);
+    // tmp_o <- A_oo^{-1} tmp_o
+    for_parity(tmp_, Parity::Odd, [&](std::int64_t s, WilsonSpinor<Real>& v) {
+      v = clover_apply(inv_diag_->at(s), v);
+    });
+    // out_e = D_eo tmp_o
+    out.set_zero();
+    wilson_hop(out, *u_, tmp_, Parity::Even, mask_);
+    // out_e = A_ee in_e - 1/4 out_e
+    for (std::int64_t s = 0; s < g.half_volume(); ++s) {
+      WilsonSpinor<Real> v = clover_apply(diag_->at(s), in.at(s));
+      WilsonSpinor<Real> h = out.at(s);
+      h *= Real(-0.25);
+      v += h;
+      out.at(s) = v;
+    }
+  }
+
+  const LatticeGeometry& geometry() const override { return u_->geometry(); }
+
+  /// b_hat_e = b_e + (1/2) D_eo A_oo^{-1} b_o (result's odd part zero).
+  void prepare_source(WilsonField<Real>& b_hat,
+                      const WilsonField<Real>& b) const {
+    tmp_.set_zero();
+    for_parity(tmp_, Parity::Odd, [&](std::int64_t s, WilsonSpinor<Real>& v) {
+      v = clover_apply(inv_diag_->at(s), b.at(s));
+    });
+    b_hat.set_zero();
+    wilson_hop(b_hat, *u_, tmp_, Parity::Even, mask_);
+    const LatticeGeometry& g = geometry();
+    for (std::int64_t s = 0; s < g.half_volume(); ++s) {
+      WilsonSpinor<Real> v = b_hat.at(s);
+      v *= Real(0.5);
+      v += b.at(s);
+      b_hat.at(s) = v;
+    }
+  }
+
+  /// x_o = A_oo^{-1} (b_o + (1/2) D_oe x_e); fills the odd part of x.
+  void reconstruct_solution(WilsonField<Real>& x,
+                            const WilsonField<Real>& b) const {
+    const LatticeGeometry& g = geometry();
+    tmp_.set_zero();
+    wilson_hop(tmp_, *u_, x, Parity::Odd, mask_);
+    for (std::int64_t s = g.half_volume(); s < g.volume(); ++s) {
+      WilsonSpinor<Real> v = tmp_.at(s);
+      v *= Real(0.5);
+      v += b.at(s);
+      x.at(s) = clover_apply(inv_diag_->at(s), v);
+    }
+  }
+
+  /// Shares the (expensive) diagonal inverses with a lower-precision copy.
+  std::shared_ptr<const CloverField<Real>> diagonal() const { return diag_; }
+  std::shared_ptr<const CloverField<Real>> inverse_diagonal() const {
+    return inv_diag_;
+  }
+
+ private:
+  template <typename Fn>
+  void for_parity(WilsonField<Real>& f, Parity p, Fn&& fn) const {
+    const LatticeGeometry& g = geometry();
+    const std::int64_t begin = p == Parity::Even ? 0 : g.half_volume();
+    const std::int64_t end =
+        p == Parity::Even ? g.half_volume() : g.volume();
+    for (std::int64_t s = begin; s < end; ++s) fn(s, f.at(s));
+  }
+
+  const GaugeField<Real>* u_;
+  double mass_;
+  const LinkCut* mask_;
+  mutable WilsonField<Real> tmp_;
+  std::shared_ptr<CloverField<Real>> diag_;      // A + 4 + m
+  std::shared_ptr<CloverField<Real>> inv_diag_;  // (A + 4 + m)^{-1}
+};
+
+}  // namespace lqcd

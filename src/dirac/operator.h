@@ -1,0 +1,35 @@
+#pragma once
+/// \file operator.h
+/// \brief Abstract linear-operator interface shared by every Dirac operator
+/// variant and consumed by the Krylov solvers.
+
+#include "lattice/geometry.h"
+
+namespace lqcd {
+
+/// A linear map on lattice fields: out = A in.
+///
+/// Operators that realize a parity-restricted (Schur) system maintain the
+/// convention that the inactive checkerboard of both input and output is
+/// zero; the BLAS layer runs over the full field, which is harmless under
+/// that invariant.
+template <typename Field>
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual void apply(Field& out, const Field& in) const = 0;
+
+  virtual const LatticeGeometry& geometry() const = 0;
+
+  /// Matrix-vector products performed so far (for solver accounting).
+  virtual std::int64_t application_count() const { return applications_; }
+
+ protected:
+  void count_application() const { ++applications_; }
+
+ private:
+  mutable std::int64_t applications_ = 0;
+};
+
+}  // namespace lqcd

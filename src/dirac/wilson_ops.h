@@ -1,0 +1,84 @@
+#pragma once
+/// \file wilson_ops.h
+/// \brief Wilson and Wilson-clover operator classes on the full lattice.
+
+#include "dirac/operator.h"
+#include "dirac/wilson_kernel.h"
+#include "fields/clover.h"
+#include "fields/precision.h"
+
+namespace lqcd {
+
+/// M = (4 + m + A) - (1/2) D, optionally Dirichlet-cut by a block mask.
+/// The clover field may be null (plain Wilson, A = 0).
+template <typename Real>
+class WilsonCloverOperator : public LinearOperator<WilsonField<Real>> {
+ public:
+  WilsonCloverOperator(const GaugeField<Real>& u, const CloverField<Real>* a,
+                       double mass, const LinkCut* mask = nullptr)
+      : u_(&u), a_(a), mass_(mass), mask_(mask), tmp_(u.geometry()) {}
+
+  void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
+    this->count_application();
+    wilson_hop(tmp_, *u_, in, std::nullopt, mask_);
+    const Real diag = static_cast<Real>(4.0 + mass_);
+    auto is = in.sites();
+    auto os = out.sites();
+    auto ts = tmp_.sites();
+    for (std::size_t i = 0; i < os.size(); ++i) {
+      WilsonSpinor<Real> v = is[i];
+      v *= diag;
+      if (a_ != nullptr) {
+        v += clover_apply(a_->at(static_cast<std::int64_t>(i)), is[i]);
+      }
+      WilsonSpinor<Real> hop = ts[i];
+      hop *= Real(-0.5);
+      v += hop;
+      os[i] = v;
+    }
+  }
+
+  const LatticeGeometry& geometry() const override { return u_->geometry(); }
+
+  double mass() const { return mass_; }
+  const GaugeField<Real>& gauge() const { return *u_; }
+  const CloverField<Real>* clover() const { return a_; }
+
+ private:
+  const GaugeField<Real>* u_;
+  const CloverField<Real>* a_;
+  double mass_;
+  const LinkCut* mask_;
+  mutable WilsonField<Real> tmp_;
+};
+
+/// gamma5 M — Hermitian when M is gamma5-Hermitian; used in tests and for
+/// CGNE/CGNR normal-equation solves.
+template <typename Real>
+void apply_gamma5_field(WilsonField<Real>& f) {
+  for (auto& s : f.sites()) s = apply_gamma5(s);
+}
+
+/// Wraps an operator with the normal equations A^dag A using the
+/// gamma5-Hermiticity A^dag = g5 A g5 of Wilson-type operators.
+template <typename Real>
+class WilsonNormalOperator : public LinearOperator<WilsonField<Real>> {
+ public:
+  explicit WilsonNormalOperator(const WilsonCloverOperator<Real>& m)
+      : m_(&m), tmp_(m.geometry()) {}
+
+  void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
+    m_->apply(tmp_, in);
+    apply_gamma5_field(tmp_);
+    m_->apply(out, tmp_);
+    apply_gamma5_field(out);
+  }
+
+  const LatticeGeometry& geometry() const override { return m_->geometry(); }
+
+ private:
+  const WilsonCloverOperator<Real>* m_;
+  mutable WilsonField<Real> tmp_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,39 @@
+#include "fields/packed_half.h"
+
+#include "linalg/half.h"
+
+namespace lqcd {
+
+template <typename Site>
+PackedHalfField<Site>::PackedHalfField(const LatticeGeometry& geom)
+    : geom_(geom),
+      data_(static_cast<std::size_t>(geom.volume()) * kRealsPerSite),
+      norms_(static_cast<std::size_t>(geom.volume())) {}
+
+template <typename Site>
+void PackedHalfField<Site>::pack(const LatticeField<Site>& src) {
+  auto sites = src.sites();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto* reals = reinterpret_cast<const float*>(&sites[i]);
+    norms_[i] = encode_site_half(
+        std::span<const float>(reals, kRealsPerSite),
+        std::span<std::int16_t>(&data_[i * kRealsPerSite], kRealsPerSite));
+  }
+}
+
+template <typename Site>
+void PackedHalfField<Site>::unpack(LatticeField<Site>& dst) const {
+  auto sites = dst.sites();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    auto* reals = reinterpret_cast<float*>(&sites[i]);
+    decode_site_half(
+        std::span<const std::int16_t>(&data_[i * kRealsPerSite],
+                                      kRealsPerSite),
+        norms_[i], std::span<float>(reals, kRealsPerSite));
+  }
+}
+
+template class PackedHalfField<WilsonSpinor<float>>;
+template class PackedHalfField<ColorVector<float>>;
+
+}  // namespace lqcd

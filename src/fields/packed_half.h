@@ -1,0 +1,55 @@
+#pragma once
+/// \file packed_half.h
+/// \brief Genuine int16 + per-site-norm storage of a spinor field — the
+/// half-precision layout of Fig. 2 realized in memory (body in even-odd
+/// order, norms in a parallel array).
+///
+/// The solver stack uses the cheaper round-trip emulation in precision.h;
+/// this container exists to (a) measure the true memory footprint in the
+/// benchmarks and (b) test that emulation and real packing agree bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "fields/lattice_field.h"
+
+namespace lqcd {
+
+/// Packed half-precision storage for any spinor-like Site type.
+template <typename Site>
+class PackedHalfField {
+ public:
+  static constexpr std::size_t kRealsPerSite = sizeof(Site) / sizeof(float);
+
+  explicit PackedHalfField(const LatticeGeometry& geom);
+
+  const LatticeGeometry& geometry() const { return geom_; }
+
+  /// Quantizes a single-precision field into this container.
+  void pack(const LatticeField<Site>& src);
+
+  /// Dequantizes into a single-precision field.
+  void unpack(LatticeField<Site>& dst) const;
+
+  /// Storage bytes (data + norms), for footprint reporting.
+  std::size_t storage_bytes() const {
+    return data_.size() * sizeof(std::int16_t) + norms_.size() * sizeof(float);
+  }
+
+  float site_norm(std::int64_t eo_index) const {
+    return norms_[static_cast<std::size_t>(eo_index)];
+  }
+
+ private:
+  LatticeGeometry geom_;
+  std::vector<std::int16_t> data_;
+  std::vector<float> norms_;
+};
+
+extern template class PackedHalfField<WilsonSpinor<float>>;
+extern template class PackedHalfField<ColorVector<float>>;
+
+using PackedHalfWilson = PackedHalfField<WilsonSpinor<float>>;
+using PackedHalfStaggered = PackedHalfField<ColorVector<float>>;
+
+}  // namespace lqcd

@@ -1,0 +1,31 @@
+#include "fields/precision.h"
+
+namespace lqcd {
+
+namespace {
+template <typename Site>
+void roundtrip_sites(std::span<Site> sites) {
+  for (Site& s : sites) {
+    // Site value types are standard-layout aggregates of std::complex, so
+    // their storage is exactly an array of floats.
+    auto* reals = reinterpret_cast<float*>(&s);
+    roundtrip_site_half(
+        std::span<float>(reals, sizeof(Site) / sizeof(float)));
+  }
+}
+}  // namespace
+
+void half_roundtrip(WilsonField<float>& f) { roundtrip_sites(f.sites()); }
+
+void half_roundtrip(StaggeredField<float>& f) { roundtrip_sites(f.sites()); }
+
+void half_roundtrip(GaugeField<float>& g) {
+  for (auto& u : g.all_links()) {
+    for (auto& z : u.m) {
+      z = Cplx<float>(dequantize_fixed(quantize_fixed(z.real(), 1.0f), 1.0f),
+                      dequantize_fixed(quantize_fixed(z.imag(), 1.0f), 1.0f));
+    }
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,88 @@
+#pragma once
+/// \file precision.h
+/// \brief Precision conversion between field representations, and the
+/// half-precision storage emulation used by the mixed-precision solvers.
+///
+/// The Precision enum names the three storage precisions of the paper's
+/// solver stack (double / single / half).  Half is emulated by
+/// round-tripping single-precision fields through the int16 fixed-point
+/// codec after every kernel — numerically identical to a GPU kernel that
+/// loads half data into fp32 registers and stores half results.
+
+#include <span>
+
+#include "fields/clover.h"
+#include "fields/lattice_field.h"
+#include "linalg/half.h"
+
+namespace lqcd {
+
+enum class Precision { Double, Single, Half };
+
+inline const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::Double: return "double";
+    case Precision::Single: return "single";
+    case Precision::Half: return "half";
+  }
+  return "?";
+}
+
+/// Bytes per real component in storage.
+inline int bytes_per_real(Precision p) {
+  switch (p) {
+    case Precision::Double: return 8;
+    case Precision::Single: return 4;
+    case Precision::Half: return 2;
+  }
+  return 0;
+}
+
+/// Generic element-wise precision change between spinor-like fields.
+template <typename To, typename From>
+WilsonField<To> convert_field(const WilsonField<From>& src) {
+  WilsonField<To> dst(src.geometry());
+  auto s = src.sites();
+  auto d = dst.sites();
+  for (std::size_t i = 0; i < s.size(); ++i) d[i] = convert<To>(s[i]);
+  return dst;
+}
+
+template <typename To, typename From>
+StaggeredField<To> convert_field(const StaggeredField<From>& src) {
+  StaggeredField<To> dst(src.geometry());
+  auto s = src.sites();
+  auto d = dst.sites();
+  for (std::size_t i = 0; i < s.size(); ++i) d[i] = convert<To>(s[i]);
+  return dst;
+}
+
+template <typename To, typename From>
+GaugeField<To> convert_gauge(const GaugeField<From>& src) {
+  GaugeField<To> dst(src.geometry());
+  auto s = src.all_links();
+  auto d = dst.all_links();
+  for (std::size_t i = 0; i < s.size(); ++i) d[i] = convert<To>(s[i]);
+  return dst;
+}
+
+template <typename To, typename From>
+CloverField<To> convert_clover(const CloverField<From>& src) {
+  CloverField<To> dst(src.geometry());
+  auto s = src.sites();
+  auto d = dst.sites();
+  for (std::size_t i = 0; i < s.size(); ++i) d[i] = convert<To>(s[i]);
+  return dst;
+}
+
+/// In-place half-storage round trip of a spinor field (per-site norms).
+void half_roundtrip(WilsonField<float>& f);
+void half_roundtrip(StaggeredField<float>& f);
+
+/// In-place half-storage round trip of a gauge field.  Link entries are
+/// bounded by one, so a fixed unit scale is used (QUDA's convention);
+/// reunitarization is NOT applied — solvers tolerate the quantization just
+/// as the GPU code does.
+void half_roundtrip(GaugeField<float>& g);
+
+}  // namespace lqcd

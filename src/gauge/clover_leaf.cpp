@@ -1,0 +1,103 @@
+#include "gauge/clover_leaf.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "gauge/paths.h"
+#include "linalg/gamma.h"
+
+namespace lqcd {
+
+Matrix3<double> field_strength(const GaugeField<double>& u, const Coord& x,
+                               int mu, int nu) {
+  const PathStep p = mu + 1;
+  const PathStep q = nu + 1;
+  // The four oriented leaves of the clover in the (mu, nu) plane.
+  const std::array<std::array<PathStep, 4>, 4> leaves = {{
+      {p, q, -p, -q},
+      {q, -p, -q, p},
+      {-p, -q, p, q},
+      {-q, p, q, -p},
+  }};
+  Matrix3<double> sum = Matrix3<double>::zero();
+  for (const auto& leaf : leaves) sum += path_product(u, x, leaf);
+  return 0.125 * (sum - adj(sum));
+}
+
+DenseMatrix<double> sigma_munu(int mu, int nu) {
+  // Dense gamma matrices from the one-nonzero-per-row patterns.
+  auto dense_gamma = [](int d) {
+    DenseMatrix<double> g(kNSpin, kNSpin);
+    const GammaPattern& pat = kGamma[static_cast<std::size_t>(d)];
+    for (int r = 0; r < kNSpin; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      g(r, pat.col[rr]) = mul_i_pow(pat.phase[rr], Cplx<double>(1.0));
+    }
+    return g;
+  };
+  const DenseMatrix<double> gm = dense_gamma(mu);
+  const DenseMatrix<double> gn = dense_gamma(nu);
+  DenseMatrix<double> s(kNSpin, kNSpin);
+  const DenseMatrix<double> mn = gm * gn;
+  const DenseMatrix<double> nm = gn * gm;
+  for (int r = 0; r < kNSpin; ++r) {
+    for (int c = 0; c < kNSpin; ++c) {
+      s(r, c) = Cplx<double>(0.0, 0.5) * (mn(r, c) - nm(r, c));
+    }
+  }
+  return s;
+}
+
+CloverField<double> build_clover_field(const GaugeField<double>& u,
+                                       double c_sw) {
+  const LatticeGeometry& g = u.geometry();
+  CloverField<double> clover(g);
+
+  // Precompute the six sigma matrices and check chirality blocking.
+  struct Plane {
+    int mu, nu;
+    DenseMatrix<double> sigma;
+  };
+  std::vector<Plane> planes;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int nu = mu + 1; nu < kNDim; ++nu) {
+      Plane pl{mu, nu, sigma_munu(mu, nu)};
+      for (int r = 0; r < kNSpin; ++r) {
+        for (int c = 0; c < kNSpin; ++c) {
+          if ((r / 2) != (c / 2) && std::abs(pl.sigma(r, c)) > 1e-12) {
+            throw std::logic_error(
+                "sigma_munu is not chirality-blocked in this basis");
+          }
+        }
+      }
+      planes.push_back(std::move(pl));
+    }
+  }
+
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    CloverSite<double>& cs = clover.at(s);
+    for (const Plane& pl : planes) {
+      const Matrix3<double> f = field_strength(u, x, pl.mu, pl.nu);
+      // i F is Hermitian in color.
+      for (int b = 0; b < 2; ++b) {
+        CloverBlock<double>& blk = cs.chi[static_cast<std::size_t>(b)];
+        for (int sr = 0; sr < 2; ++sr) {
+          for (int sc = 0; sc < 2; ++sc) {
+            const Cplx<double> sig = pl.sigma(2 * b + sr, 2 * b + sc);
+            if (sig == Cplx<double>{}) continue;
+            for (int a = 0; a < kNColor; ++a) {
+              for (int bb = 0; bb < kNColor; ++bb) {
+                blk(sr * 3 + a, sc * 3 + bb) +=
+                    c_sw * sig * (Cplx<double>(0.0, 1.0) * f(a, bb));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return clover;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,32 @@
+#pragma once
+/// \file clover_leaf.h
+/// \brief Field-strength (clover leaf) measurement and construction of the
+/// packed clover term A_x of Eq. (2).
+///
+/// F_mu_nu(x) = (1/8) (Q - Q^dag) with Q the sum of the four plaquette
+/// leaves in the (mu, nu) plane through x; F is anti-Hermitian and
+/// traceless up to discretization effects.  The clover term is
+///   A_x = c_sw * sum_{mu<nu} sigma_mu_nu (x) i F_mu_nu(x),
+///   sigma_mu_nu = (i/2) [gamma_mu, gamma_nu],
+/// which in the DeGrand-Rossi basis is block diagonal over chirality — two
+/// 6x6 Hermitian blocks per site, 72 real parameters, as the paper notes.
+
+#include "fields/clover.h"
+#include "fields/lattice_field.h"
+#include "linalg/small_matrix.h"
+
+namespace lqcd {
+
+/// Anti-Hermitian clover-leaf field strength at one site.
+Matrix3<double> field_strength(const GaugeField<double>& u, const Coord& x,
+                               int mu, int nu);
+
+/// sigma_mu_nu = (i/2)[gamma_mu, gamma_nu] as a dense 4x4 spin matrix.
+DenseMatrix<double> sigma_munu(int mu, int nu);
+
+/// Builds the full clover field A (WITHOUT the 4 + m diagonal, which the
+/// Dirac operator adds).
+CloverField<double> build_clover_field(const GaugeField<double>& u,
+                                       double c_sw);
+
+}  // namespace lqcd

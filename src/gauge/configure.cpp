@@ -1,0 +1,121 @@
+#include "gauge/configure.h"
+
+#include "linalg/su3.h"
+
+namespace lqcd {
+
+GaugeField<double> unit_gauge(const LatticeGeometry& geom) {
+  GaugeField<double> u(geom);
+  u.set_identity();
+  return u;
+}
+
+GaugeField<double> hot_gauge(const LatticeGeometry& geom, std::uint64_t seed) {
+  GaugeField<double> u(geom);
+  for (std::int64_t s = 0; s < geom.volume(); ++s) {
+    const Coord x = geom.eo_coords(s);
+    const auto site = static_cast<std::uint64_t>(geom.index(x));
+    for (int mu = 0; mu < kNDim; ++mu) {
+      Rng rng = Rng::for_site(seed, site, static_cast<std::uint64_t>(mu));
+      u.link(mu, s) = random_su3(rng);
+    }
+  }
+  return u;
+}
+
+GaugeField<double> weak_gauge(const LatticeGeometry& geom, std::uint64_t seed,
+                              double eps) {
+  GaugeField<double> u(geom);
+  for (std::int64_t s = 0; s < geom.volume(); ++s) {
+    const Coord x = geom.eo_coords(s);
+    const auto site = static_cast<std::uint64_t>(geom.index(x));
+    for (int mu = 0; mu < kNDim; ++mu) {
+      Rng rng = Rng::for_site(seed, site, static_cast<std::uint64_t>(mu));
+      u.link(mu, s) = reunitarize(expm(random_antihermitian(rng, eps)));
+    }
+  }
+  return u;
+}
+
+LatticeField<Matrix3<double>> random_gauge_rotation(
+    const LatticeGeometry& geom, std::uint64_t seed) {
+  LatticeField<Matrix3<double>> omega(geom);
+  for (std::int64_t s = 0; s < geom.volume(); ++s) {
+    const Coord x = geom.eo_coords(s);
+    Rng rng = Rng::for_site(seed, static_cast<std::uint64_t>(geom.index(x)),
+                            /*slot=*/17);
+    omega.at(s) = random_su3(rng);
+  }
+  return omega;
+}
+
+GaugeField<double> gauge_transform(const GaugeField<double>& u,
+                                   const LatticeField<Matrix3<double>>& omega) {
+  const LatticeGeometry& g = u.geometry();
+  GaugeField<double> v(g);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const Coord xp = g.shifted(x, mu, +1);
+      v.link(mu, s) = omega.at(s) * u.link(mu, s) * adj(omega.at(xp));
+    }
+  }
+  return v;
+}
+
+StaggeredField<double> gauge_transform(
+    const StaggeredField<double>& psi,
+    const LatticeField<Matrix3<double>>& omega) {
+  StaggeredField<double> out(psi.geometry());
+  auto src = psi.sites();
+  auto dst = out.sites();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = omega.at(static_cast<std::int64_t>(i)) * src[i];
+  }
+  return out;
+}
+
+WilsonField<double> gauge_transform(const WilsonField<double>& psi,
+                                    const LatticeField<Matrix3<double>>& omega) {
+  WilsonField<double> out(psi.geometry());
+  auto src = psi.sites();
+  auto dst = out.sites();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      dst[i][sp] = omega.at(static_cast<std::int64_t>(i)) * src[i][sp];
+    }
+  }
+  return out;
+}
+
+WilsonField<double> gaussian_wilson_source(const LatticeGeometry& geom,
+                                           std::uint64_t seed) {
+  WilsonField<double> f(geom);
+  for (std::int64_t s = 0; s < geom.volume(); ++s) {
+    const Coord x = geom.eo_coords(s);
+    Rng rng = Rng::for_site(seed, static_cast<std::uint64_t>(geom.index(x)),
+                            /*slot=*/29);
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        f.at(s)[sp][c] = Cplx<double>(rng.gaussian(), rng.gaussian());
+      }
+    }
+  }
+  return f;
+}
+
+StaggeredField<double> gaussian_staggered_source(const LatticeGeometry& geom,
+                                                 std::uint64_t seed) {
+  StaggeredField<double> f(geom);
+  for (std::int64_t s = 0; s < geom.volume(); ++s) {
+    const Coord x = geom.eo_coords(s);
+    Rng rng = Rng::for_site(seed, static_cast<std::uint64_t>(geom.index(x)),
+                            /*slot=*/31);
+    for (int c = 0; c < kNColor; ++c) {
+      f.at(s)[c] = Cplx<double>(rng.gaussian(), rng.gaussian());
+    }
+  }
+  return f;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,52 @@
+#pragma once
+/// \file configure.h
+/// \brief Gauge-configuration starts and gauge transformations.
+///
+/// The paper's experiments run on production configurations from large
+/// Monte Carlo campaigns; this repo substitutes (a) disordered "hot" starts,
+/// (b) weak-field starts near the identity, and (c) quenched heatbath
+/// evolutions (heatbath.h) at moderate coupling, which reproduce the
+/// qualitative roughness that drives solver iteration counts.
+
+#include "fields/lattice_field.h"
+#include "util/rng.h"
+
+namespace lqcd {
+
+/// All links = identity (free field).
+GaugeField<double> unit_gauge(const LatticeGeometry& geom);
+
+/// Haar-like random links (infinite-temperature start).  Deterministic in
+/// \p seed and independent of traversal order.
+GaugeField<double> hot_gauge(const LatticeGeometry& geom, std::uint64_t seed);
+
+/// exp(i eps H) links with Gaussian su(3) generators — smooth fields with
+/// controllable roughness, handy for solver conditioning studies.
+GaugeField<double> weak_gauge(const LatticeGeometry& geom, std::uint64_t seed,
+                              double eps);
+
+/// A site field of random SU(3) matrices, for gauge-covariance tests.
+LatticeField<Matrix3<double>> random_gauge_rotation(
+    const LatticeGeometry& geom, std::uint64_t seed);
+
+/// U'_mu(x) = Omega(x) U_mu(x) Omega(x + mu)^dagger.
+GaugeField<double> gauge_transform(const GaugeField<double>& u,
+                                   const LatticeField<Matrix3<double>>& omega);
+
+/// psi'(x) = Omega(x) psi(x), color rotation of a staggered field.
+StaggeredField<double> gauge_transform(
+    const StaggeredField<double>& psi,
+    const LatticeField<Matrix3<double>>& omega);
+
+/// psi'(x) = Omega(x) psi(x) on every spin component.
+WilsonField<double> gauge_transform(const WilsonField<double>& psi,
+                                    const LatticeField<Matrix3<double>>& omega);
+
+/// Gaussian random spinor fields (unit variance per real component), the
+/// standard random sources of the solvers' test problems.
+WilsonField<double> gaussian_wilson_source(const LatticeGeometry& geom,
+                                           std::uint64_t seed);
+StaggeredField<double> gaussian_staggered_source(const LatticeGeometry& geom,
+                                                 std::uint64_t seed);
+
+}  // namespace lqcd

@@ -1,0 +1,98 @@
+#include "gauge/gauge_io.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace lqcd {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4c51434447415547ull;  // "LQCDGAUG"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t reserved = 0;
+  std::array<std::int32_t, kNDim> dims{};
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+  std::array<std::uint8_t, 16> pad{};
+};
+static_assert(sizeof(Header) == 64, "header layout must stay fixed");
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void save_gauge(const GaugeField<double>& u, const std::string& path) {
+  const LatticeGeometry& g = u.geometry();
+  Header h;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    h.dims[static_cast<std::size_t>(mu)] = g.dim(mu);
+  }
+  const auto links = u.all_links();
+  h.payload_bytes = links.size_bytes();
+  h.checksum = fnv1a(links.data(), links.size_bytes());
+
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("save_gauge: cannot open " + path);
+  if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1 ||
+      std::fwrite(links.data(), 1, links.size_bytes(), f.get()) !=
+          links.size_bytes()) {
+    throw std::runtime_error("save_gauge: short write to " + path);
+  }
+}
+
+GaugeField<double> load_gauge(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("load_gauge: cannot open " + path);
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f.get()) != 1) {
+    throw std::runtime_error("load_gauge: short header in " + path);
+  }
+  if (h.magic != kMagic) {
+    throw std::runtime_error("load_gauge: bad magic in " + path);
+  }
+  if (h.version != kVersion) {
+    throw std::runtime_error("load_gauge: unsupported version in " + path);
+  }
+  std::array<int, kNDim> dims{};
+  for (int mu = 0; mu < kNDim; ++mu) {
+    dims[static_cast<std::size_t>(mu)] =
+        h.dims[static_cast<std::size_t>(mu)];
+  }
+  GaugeField<double> u{LatticeGeometry(dims)};
+  auto links = u.all_links();
+  if (h.payload_bytes != links.size_bytes()) {
+    throw std::runtime_error("load_gauge: payload size mismatch in " + path);
+  }
+  if (std::fread(links.data(), 1, links.size_bytes(), f.get()) !=
+      links.size_bytes()) {
+    throw std::runtime_error("load_gauge: short payload in " + path);
+  }
+  if (fnv1a(links.data(), links.size_bytes()) != h.checksum) {
+    throw std::runtime_error("load_gauge: checksum mismatch in " + path);
+  }
+  return u;
+}
+
+}  // namespace lqcd

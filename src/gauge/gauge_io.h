@@ -1,0 +1,30 @@
+#pragma once
+/// \file gauge_io.h
+/// \brief Binary gauge-configuration I/O — the ensemble storage layer any
+/// production campaign needs (configurations are generated once and
+/// analysed many times, §2).
+///
+/// Format: a fixed 64-byte header (magic, version, lattice extents, a
+/// payload checksum) followed by the links in even-odd site order,
+/// dimension-major, as little-endian IEEE doubles.  The checksum guards
+/// against truncation and bit rot; the loader verifies magic, version,
+/// extents and checksum before accepting a file.
+
+#include <string>
+
+#include "fields/lattice_field.h"
+
+namespace lqcd {
+
+/// Writes \p u to \p path.  \throws std::runtime_error on I/O failure.
+void save_gauge(const GaugeField<double>& u, const std::string& path);
+
+/// Reads a configuration written by save_gauge.
+/// \throws std::runtime_error on I/O failure, format mismatch, or
+/// checksum mismatch.
+GaugeField<double> load_gauge(const std::string& path);
+
+/// FNV-1a over a byte range (the header checksum).
+std::uint64_t fnv1a(const void* data, std::size_t bytes);
+
+}  // namespace lqcd

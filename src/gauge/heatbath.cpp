@@ -1,0 +1,192 @@
+#include "gauge/heatbath.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "gauge/paths.h"
+#include "linalg/su3.h"
+
+namespace lqcd {
+
+Matrix3<double> staple_sum(const GaugeField<double>& u, const Coord& x,
+                           int mu) {
+  // For S = -(beta/3) sum Re tr U_p, the staples are the six 3-link paths
+  // closing the plaquettes through U_mu(x): with the link at the start,
+  // tr(U_mu(x) * staple) recovers each plaquette trace.
+  Matrix3<double> a = Matrix3<double>::zero();
+  const LatticeGeometry& g = u.geometry();
+  const Coord xp = g.shifted(x, mu, +1);
+  for (int nu = 0; nu < kNDim; ++nu) {
+    if (nu == mu) continue;
+    // Forward staple: U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag.
+    const std::array<PathStep, 3> fwd = {nu + 1, -(mu + 1), -(nu + 1)};
+    a += path_product(u, xp, fwd);
+    // Backward staple: U_nu(x+mu-nu)^dag U_mu(x-nu)^dag U_nu(x-nu).
+    const std::array<PathStep, 3> bwd = {-(nu + 1), -(mu + 1), nu + 1};
+    a += path_product(u, xp, bwd);
+  }
+  return a;
+}
+
+namespace {
+
+/// The three SU(2) subgroups of SU(3) used by Cabibbo-Marinari.
+constexpr std::array<std::array<int, 2>, 3> kSubgroups = {{{0, 1}, {1, 2},
+                                                           {0, 2}}};
+
+struct Su2 {
+  // q = a0 + i (a1 s1 + a2 s2 + a3 s3); 2x2 form:
+  // [ a0 + i a3,   a2 + i a1 ]
+  // [-a2 + i a1,   a0 - i a3 ]
+  double a0 = 1, a1 = 0, a2 = 0, a3 = 0;
+};
+
+/// Projects the (i,j) 2x2 subblock of w onto R+ * SU(2): returns the SU(2)
+/// part v and the scale xi with subblock(w) ~ xi * v + (traceless
+/// anti-projection discarded).
+void su2_project(const Matrix3<double>& w, int i, int j, Su2& v, double& xi) {
+  const Cplx<double> w00 = w(i, i);
+  const Cplx<double> w01 = w(i, j);
+  const Cplx<double> w10 = w(j, i);
+  const Cplx<double> w11 = w(j, j);
+  // v = (w + adj(w~))/2 restricted to the quaternion components.
+  const double a0 = 0.5 * (w00.real() + w11.real());
+  const double a3 = 0.5 * (w00.imag() - w11.imag());
+  const double a1 = 0.5 * (w01.imag() + w10.imag());
+  const double a2 = 0.5 * (w01.real() - w10.real());
+  xi = std::sqrt(a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3);
+  if (xi > 0) {
+    v = {a0 / xi, a1 / xi, a2 / xi, a3 / xi};
+  } else {
+    v = {};
+  }
+}
+
+Su2 su2_mul(const Su2& p, const Su2& q) {
+  return Su2{p.a0 * q.a0 - p.a1 * q.a1 - p.a2 * q.a2 - p.a3 * q.a3,
+             p.a0 * q.a1 + p.a1 * q.a0 + p.a2 * q.a3 - p.a3 * q.a2,
+             p.a0 * q.a2 - p.a1 * q.a3 + p.a2 * q.a0 + p.a3 * q.a1,
+             p.a0 * q.a3 + p.a1 * q.a2 - p.a2 * q.a1 + p.a3 * q.a0};
+}
+
+Su2 su2_adj(const Su2& p) { return Su2{p.a0, -p.a1, -p.a2, -p.a3}; }
+
+/// Embeds an SU(2) element into SU(3) at subgroup (i, j).
+Matrix3<double> su2_embed(const Su2& q, int i, int j) {
+  Matrix3<double> m = Matrix3<double>::identity();
+  m(i, i) = Cplx<double>(q.a0, q.a3);
+  m(i, j) = Cplx<double>(q.a2, q.a1);
+  m(j, i) = Cplx<double>(-q.a2, q.a1);
+  m(j, j) = Cplx<double>(q.a0, -q.a3);
+  return m;
+}
+
+/// Kennedy-Pendleton sampling of a0 with density ~ sqrt(1-a0^2) e^{alpha a0}.
+double kp_sample_a0(Rng& rng, double alpha) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double r1 = 1.0 - rng.uniform();
+    const double r2 = 1.0 - rng.uniform();
+    const double r3 = 1.0 - rng.uniform();
+    const double c = std::cos(2.0 * std::numbers::pi * r2);
+    const double lambda2 =
+        -(std::log(r1) + c * c * std::log(r3)) / (2.0 * alpha);
+    const double r4 = rng.uniform();
+    if (r4 * r4 <= 1.0 - lambda2) return 1.0 - 2.0 * lambda2;
+  }
+  // Pathologically small alpha: fall back to the nearly-uniform limit.
+  return 2.0 * rng.uniform() - 1.0;
+}
+
+/// Samples g in SU(2) with density ~ exp((alpha/2) tr(g v^dag ... )) i.e.
+/// ~ exp(alpha * Re tr_2(g V) / 2 * 2): the standard heatbath kernel for
+/// effective coupling alpha, then rotates so that the new h = g V.
+Su2 su2_heatbath(Rng& rng, double alpha, const Su2& v) {
+  const double a0 = kp_sample_a0(rng, alpha);
+  const double r = std::sqrt(std::max(0.0, 1.0 - a0 * a0));
+  const double cos_theta = 2.0 * rng.uniform() - 1.0;
+  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double phi = 2.0 * std::numbers::pi * rng.uniform();
+  const Su2 h{a0, r * sin_theta * std::cos(phi), r * sin_theta * std::sin(phi),
+              r * cos_theta};
+  // We sampled h ~ exp(alpha/2 tr h); the update must satisfy g v = h,
+  // so g = h v^dag.
+  return su2_mul(h, su2_adj(v));
+}
+
+/// One Cabibbo-Marinari update of a single link.
+void update_link_heatbath(GaugeField<double>& u, const Coord& x, int mu,
+                          double beta, Rng& rng) {
+  const LatticeGeometry& g = u.geometry();
+  const Matrix3<double> a = staple_sum(u, x, mu);
+  Matrix3<double>& link = u.link(mu, g.eo_index(x));
+  for (const auto& sub : kSubgroups) {
+    const Matrix3<double> w = link * a;
+    Su2 v;
+    double xi = 0;
+    su2_project(w, sub[0], sub[1], v, xi);
+    if (xi <= 0) continue;
+    const double alpha = 2.0 * beta * xi / 3.0;
+    const Su2 gq = su2_heatbath(rng, alpha, v);
+    link = su2_embed(gq, sub[0], sub[1]) * link;
+  }
+  link = reunitarize(link);
+}
+
+/// One microcanonical (action-preserving) update of a single link.
+void update_link_overrelax(GaugeField<double>& u, const Coord& x, int mu) {
+  const LatticeGeometry& g = u.geometry();
+  const Matrix3<double> a = staple_sum(u, x, mu);
+  Matrix3<double>& link = u.link(mu, g.eo_index(x));
+  for (const auto& sub : kSubgroups) {
+    const Matrix3<double> w = link * a;
+    Su2 v;
+    double xi = 0;
+    su2_project(w, sub[0], sub[1], v, xi);
+    if (xi <= 0) continue;
+    // g = (V^dag)^2 reflects the subgroup component about the action
+    // minimum: tr(g w) = tr(w) restricted to the subgroup.
+    const Su2 vd = su2_adj(v);
+    link = su2_embed(su2_mul(vd, vd), sub[0], sub[1]) * link;
+  }
+  link = reunitarize(link);
+}
+
+template <typename UpdateFn>
+void sweep_links(GaugeField<double>& u, UpdateFn&& fn) {
+  const LatticeGeometry& g = u.geometry();
+  // Sequential Gibbs sweep in even-odd site order; any fixed order yields a
+  // valid Markov chain for the plaquette action.
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) fn(x, mu);
+  }
+}
+
+}  // namespace
+
+void heatbath_sweep(GaugeField<double>& u, const HeatbathParams& params,
+                    int sweep_index) {
+  const LatticeGeometry& g = u.geometry();
+  sweep_links(u, [&](const Coord& x, int mu) {
+    Rng rng = Rng::for_site(
+        params.seed + static_cast<std::uint64_t>(sweep_index) * 0x51ed2701ull,
+        static_cast<std::uint64_t>(g.index(x)), static_cast<std::uint64_t>(mu));
+    update_link_heatbath(u, x, mu, params.beta, rng);
+  });
+  for (int o = 0; o < params.overrelax_per_sweep; ++o) {
+    overrelax_sweep(u, params.seed, sweep_index * 131 + o);
+  }
+}
+
+void overrelax_sweep(GaugeField<double>& u, std::uint64_t /*seed*/,
+                     int /*sweep_index*/) {
+  sweep_links(u, [&](const Coord& x, int mu) { update_link_overrelax(u, x, mu); });
+}
+
+void thermalize(GaugeField<double>& u, const HeatbathParams& params,
+                int sweeps) {
+  for (int i = 0; i < sweeps; ++i) heatbath_sweep(u, params, i);
+}
+
+}  // namespace lqcd

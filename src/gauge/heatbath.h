@@ -1,0 +1,42 @@
+#pragma once
+/// \file heatbath.h
+/// \brief Quenched SU(3) gauge-field generation: Cabibbo-Marinari heatbath
+/// with Kennedy-Pendleton SU(2) sampling, plus microcanonical
+/// overrelaxation sweeps.
+///
+/// This is the "gauge field generation" substrate (§2): the paper's solver
+/// benchmarks run on importance-sampled configurations; we generate our own
+/// with the Wilson plaquette action S = -(beta/3) sum_p Re tr U_p.  A short
+/// thermalized evolution at moderate beta yields fields with the disorder
+/// that drives realistic solver iteration counts.
+
+#include "fields/lattice_field.h"
+#include "util/rng.h"
+
+namespace lqcd {
+
+struct HeatbathParams {
+  double beta = 5.7;           ///< Wilson gauge coupling
+  int overrelax_per_sweep = 1; ///< OR sweeps interleaved per heatbath sweep
+  std::uint64_t seed = 1234;
+};
+
+/// Sum of the six staples around link (x, mu): the derivative of the
+/// plaquette action with respect to that link.
+Matrix3<double> staple_sum(const GaugeField<double>& u, const Coord& x, int mu);
+
+/// One heatbath update of every link (in checkerboard order so the update
+/// is well-defined), optionally followed by overrelaxation sweeps.
+/// \p sweep_index decorrelates the RNG streams between sweeps.
+void heatbath_sweep(GaugeField<double>& u, const HeatbathParams& params,
+                    int sweep_index);
+
+/// One pure overrelaxation sweep (action-preserving, ergodicity helper).
+void overrelax_sweep(GaugeField<double>& u, std::uint64_t seed,
+                     int sweep_index);
+
+/// Runs \p thermalization sweeps from the given start.
+void thermalize(GaugeField<double>& u, const HeatbathParams& params,
+                int sweeps);
+
+}  // namespace lqcd

@@ -1,0 +1,170 @@
+#include "gauge/hmc.h"
+
+#include <array>
+#include <cmath>
+
+#include "gauge/heatbath.h"  // staple_sum
+#include "gauge/observables.h"
+#include "linalg/su3.h"
+
+namespace lqcd {
+
+namespace {
+
+/// The eight Gell-Mann matrices lambda_a; generators T_a = lambda_a / 2
+/// satisfy tr(T_a T_b) = delta_ab / 2.
+std::array<Matrix3<double>, 8> gell_mann() {
+  using C = Cplx<double>;
+  std::array<Matrix3<double>, 8> l{};
+  l[0](0, 1) = C(1);
+  l[0](1, 0) = C(1);
+  l[1](0, 1) = C(0, -1);
+  l[1](1, 0) = C(0, 1);
+  l[2](0, 0) = C(1);
+  l[2](1, 1) = C(-1);
+  l[3](0, 2) = C(1);
+  l[3](2, 0) = C(1);
+  l[4](0, 2) = C(0, -1);
+  l[4](2, 0) = C(0, 1);
+  l[5](1, 2) = C(1);
+  l[5](2, 1) = C(1);
+  l[6](1, 2) = C(0, -1);
+  l[6](2, 1) = C(0, 1);
+  const double r3 = 1.0 / std::sqrt(3.0);
+  l[7](0, 0) = C(r3);
+  l[7](1, 1) = C(r3);
+  l[7](2, 2) = C(-2.0 * r3);
+  return l;
+}
+
+const std::array<Matrix3<double>, 8>& generators_times_two() {
+  static const std::array<Matrix3<double>, 8> l = gell_mann();
+  return l;
+}
+
+}  // namespace
+
+Matrix3<double> traceless_antihermitian(const Matrix3<double>& m) {
+  Matrix3<double> a = m;
+  const Matrix3<double> ad = adj(m);
+  for (std::size_t k = 0; k < a.m.size(); ++k) {
+    a.m[k] = 0.5 * (a.m[k] - ad.m[k]);
+  }
+  const Cplx<double> t = trace(a) / 3.0;
+  for (int i = 0; i < kNColor; ++i) a(i, i) -= t;
+  return a;
+}
+
+void sample_momenta(MomentumField& p, std::uint64_t seed, int stream) {
+  const LatticeGeometry& g = p.geometry();
+  const auto& lambda = generators_times_two();
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      Rng rng = Rng::for_site(
+          seed + static_cast<std::uint64_t>(stream) * 0x9e3779b9ull,
+          static_cast<std::uint64_t>(g.index(x)),
+          static_cast<std::uint64_t>(40 + mu));
+      // P = i sum_a omega_a T_a with T_a = lambda_a / 2 and omega ~ N(0,1);
+      // then -tr(P^2) = sum omega^2 / 2, so exp(+tr P^2) is the standard
+      // Gaussian momentum measure.
+      Matrix3<double> h = Matrix3<double>::zero();
+      for (const auto& l : lambda) {
+        const double w = 0.5 * rng.gaussian();
+        for (std::size_t k = 0; k < h.m.size(); ++k) h.m[k] += w * l.m[k];
+      }
+      Matrix3<double>& out = p.link(mu, s);
+      for (std::size_t k = 0; k < h.m.size(); ++k) {
+        out.m[k] = Cplx<double>(0.0, 1.0) * h.m[k];
+      }
+    }
+  }
+}
+
+double kinetic_energy(const MomentumField& p) {
+  double ke = 0;
+  for (const auto& link : p.all_links()) {
+    ke -= trace(link * link).real();
+  }
+  return ke;
+}
+
+double gauge_action(const GaugeField<double>& u, double beta) {
+  // S = -(beta/3) sum_p Re tr U_p; average_plaquette = that sum normalized.
+  const double plaq_sum = average_plaquette(u) * 6.0 *
+                          static_cast<double>(u.geometry().volume()) * 3.0;
+  return -(beta / 3.0) * plaq_sum;
+}
+
+void gauge_force(const GaugeField<double>& u, double beta, MomentumField& f) {
+  const LatticeGeometry& g = u.geometry();
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const Matrix3<double> ua = u.link(mu, s) * staple_sum(u, x, mu);
+      Matrix3<double> force = traceless_antihermitian(ua);
+      force *= beta / 6.0;
+      f.link(mu, s) = force;
+    }
+  }
+}
+
+void leapfrog(GaugeField<double>& u, MomentumField& p, double beta,
+              double tau, int steps) {
+  const double eps = tau / steps;
+  const LatticeGeometry& g = u.geometry();
+  MomentumField f(g);
+
+  auto update_p = [&](double step) {
+    gauge_force(u, beta, f);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (std::int64_t s = 0; s < g.volume(); ++s) {
+        Matrix3<double> df = f.link(mu, s);
+        df *= step;
+        p.link(mu, s) -= df;
+      }
+    }
+  };
+  auto update_u = [&](double step) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (std::int64_t s = 0; s < g.volume(); ++s) {
+        Matrix3<double> ep = p.link(mu, s);
+        ep *= step;
+        u.link(mu, s) = expm(ep) * u.link(mu, s);
+      }
+    }
+  };
+
+  update_p(eps / 2.0);
+  for (int k = 0; k < steps; ++k) {
+    update_u(eps);
+    update_p(k + 1 < steps ? eps : eps / 2.0);
+  }
+}
+
+HmcStats hmc_trajectory(GaugeField<double>& u, const HmcParams& params,
+                        int trajectory_index) {
+  const LatticeGeometry& g = u.geometry();
+  MomentumField p(g);
+  sample_momenta(p, params.seed, 2 * trajectory_index);
+
+  const double h0 = kinetic_energy(p) + gauge_action(u, params.beta);
+  GaugeField<double> u_new = u;
+  leapfrog(u_new, p, params.beta, params.tau, params.steps);
+  const double h1 = kinetic_energy(p) + gauge_action(u_new, params.beta);
+
+  HmcStats stats;
+  stats.delta_h = h1 - h0;
+  stats.acceptance_probability = std::min(1.0, std::exp(-stats.delta_h));
+  Rng rng = Rng::for_site(params.seed, 0xacce97ull,
+                          static_cast<std::uint64_t>(trajectory_index));
+  stats.accepted = rng.uniform() < stats.acceptance_probability;
+  if (stats.accepted) {
+    // Reunitarize against integrator rounding drift before adopting.
+    for (auto& link : u_new.all_links()) link = reunitarize(link);
+    u = u_new;
+  }
+  return stats;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,66 @@
+#pragma once
+/// \file hmc.h
+/// \brief Hybrid Monte Carlo for the pure-gauge (Wilson plaquette) action —
+/// the "gauge field generation" algorithm whose force-term kernels the
+/// paper lists among QUDA's components (§5), here in its quenched form.
+///
+/// S_g(U) = -(beta/3) sum_p Re tr U_p.  Conjugate momenta P_mu(x) live in
+/// the algebra su(3) (traceless anti-Hermitian); the molecular-dynamics
+/// Hamiltonian is H = -(1/2) sum tr P^2 + S_g, integrated by leapfrog and
+/// corrected by a Metropolis accept/reject step, giving exact detailed
+/// balance for any step size.
+///
+/// The force is F_mu(x) = -(beta/3) TA(U_mu(x) A_mu(x)) with A the staple
+/// sum and TA the traceless anti-Hermitian projection; tests verify it
+/// against a numerical derivative of the action, and verify the
+/// integrator's O(eps^2) energy conservation and exact reversibility.
+
+#include "fields/lattice_field.h"
+#include "util/rng.h"
+
+namespace lqcd {
+
+/// One su(3)-valued momentum per link, stored like a gauge field.
+using MomentumField = GaugeField<double>;
+
+struct HmcParams {
+  double beta = 5.7;
+  double tau = 1.0;      ///< trajectory length
+  int steps = 20;        ///< leapfrog steps (eps = tau / steps)
+  std::uint64_t seed = 7;
+};
+
+struct HmcStats {
+  double delta_h = 0;    ///< H(end) - H(start) of the last trajectory
+  bool accepted = false;
+  double acceptance_probability = 0;  ///< min(1, exp(-dH))
+};
+
+/// Traceless anti-Hermitian projection TA(M) = (M - M^dag)/2 - tr/3.
+Matrix3<double> traceless_antihermitian(const Matrix3<double>& m);
+
+/// Fills \p p with Gaussian su(3) momenta (unit variance per generator
+/// d.o.f. in the normalization of kinetic_energy()).
+void sample_momenta(MomentumField& p, std::uint64_t seed, int stream);
+
+/// -(1/2) sum tr P^2 (positive for anti-Hermitian P).
+double kinetic_energy(const MomentumField& p);
+
+/// S_g(U) = -(beta/3) sum_p Re tr U_p.
+double gauge_action(const GaugeField<double>& u, double beta);
+
+/// The molecular-dynamics force F_mu(x) = -(beta/3) TA(U_mu(x) A_mu(x)).
+void gauge_force(const GaugeField<double>& u, double beta, MomentumField& f);
+
+/// Leapfrog integration of (U, P) over trajectory length tau in
+/// \p steps steps.  Exactly reversible up to rounding: integrating with
+/// negated momenta returns to the start.
+void leapfrog(GaugeField<double>& u, MomentumField& p, double beta,
+              double tau, int steps);
+
+/// One complete HMC trajectory (momentum refresh, leapfrog, Metropolis).
+/// \p trajectory_index decorrelates RNG streams.
+HmcStats hmc_trajectory(GaugeField<double>& u, const HmcParams& params,
+                        int trajectory_index);
+
+}  // namespace lqcd

@@ -1,0 +1,49 @@
+#include "gauge/observables.h"
+
+#include <array>
+
+#include "gauge/paths.h"
+
+namespace lqcd {
+
+double average_plaquette_plane(const GaugeField<double>& u, int mu, int nu) {
+  const LatticeGeometry& g = u.geometry();
+  const std::array<PathStep, 4> loop = {mu + 1, nu + 1, -(mu + 1), -(nu + 1)};
+  double sum = 0;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    sum += trace(path_product(u, g.eo_coords(s), loop)).real();
+  }
+  return sum / (3.0 * static_cast<double>(g.volume()));
+}
+
+double average_plaquette(const GaugeField<double>& u) {
+  double sum = 0;
+  int planes = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int nu = mu + 1; nu < kNDim; ++nu) {
+      sum += average_plaquette_plane(u, mu, nu);
+      ++planes;
+    }
+  }
+  return sum / planes;
+}
+
+double average_rectangle(const GaugeField<double>& u) {
+  const LatticeGeometry& g = u.geometry();
+  double sum = 0;
+  int planes = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int nu = 0; nu < kNDim; ++nu) {
+      if (nu == mu) continue;
+      const std::array<PathStep, 6> loop = {mu + 1,    mu + 1, nu + 1,
+                                            -(mu + 1), -(mu + 1), -(nu + 1)};
+      for (std::int64_t s = 0; s < g.volume(); ++s) {
+        sum += trace(path_product(u, g.eo_coords(s), loop)).real();
+      }
+      ++planes;
+    }
+  }
+  return sum / (3.0 * static_cast<double>(u.geometry().volume()) * planes);
+}
+
+}  // namespace lqcd

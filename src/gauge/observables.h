@@ -1,0 +1,21 @@
+#pragma once
+/// \file observables.h
+/// \brief Pure-gauge observables: plaquette and rectangle averages, the
+/// standard health checks on generated configurations.
+
+#include "fields/lattice_field.h"
+
+namespace lqcd {
+
+/// Average plaquette: (1/3) Re tr of the 1x1 Wilson loop, averaged over all
+/// sites and the six mu < nu planes.  1 for the free field, ~0 for an
+/// infinitely hot field.
+double average_plaquette(const GaugeField<double>& u);
+
+/// Average plaquette restricted to one (mu, nu) plane.
+double average_plaquette_plane(const GaugeField<double>& u, int mu, int nu);
+
+/// Average (1/3) Re tr of the 2x1 rectangle over sites and ordered planes.
+double average_rectangle(const GaugeField<double>& u);
+
+}  // namespace lqcd

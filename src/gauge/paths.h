@@ -1,0 +1,37 @@
+#pragma once
+/// \file paths.h
+/// \brief Ordered products of gauge links along lattice paths — the
+/// building block for staples, clover leaves, and the asqtad smearing
+/// paths.
+
+#include <span>
+
+#include "fields/lattice_field.h"
+
+namespace lqcd {
+
+/// A path step: +(mu+1) hops forward along mu picking up U_mu(x);
+/// -(mu+1) hops backward picking up U_mu(x - mu)^dagger.
+using PathStep = int;
+
+/// Ordered product of links along \p path starting at \p x.
+/// Periodic wrapping is handled by the geometry.
+template <typename Real>
+Matrix3<Real> path_product(const GaugeField<Real>& u, Coord x,
+                           std::span<const PathStep> path) {
+  const LatticeGeometry& g = u.geometry();
+  Matrix3<Real> prod = Matrix3<Real>::identity();
+  for (PathStep step : path) {
+    const int mu = (step > 0 ? step : -step) - 1;
+    if (step > 0) {
+      prod = prod * u.link(mu, g.eo_index(x));
+      x = g.shifted(x, mu, +1);
+    } else {
+      x = g.shifted(x, mu, -1);
+      prod = prod * adj(u.link(mu, g.eo_index(x)));
+    }
+  }
+  return prod;
+}
+
+}  // namespace lqcd

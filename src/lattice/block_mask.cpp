@@ -1,0 +1,46 @@
+#include "lattice/block_mask.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace lqcd {
+
+BlockMask::BlockMask(const LatticeGeometry& geom, std::array<int, kNDim> grid)
+    : geom_(geom), grid_(grid) {
+  num_blocks_ = 1;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    const auto m = static_cast<std::size_t>(mu);
+    if (grid_[m] < 1 || geom_.dim(mu) % grid_[m] != 0) {
+      throw std::invalid_argument(
+          "BlockMask: block grid " + std::to_string(grid_[m]) +
+          " does not divide extent " + std::to_string(geom_.dim(mu)) +
+          " in dimension " + std::to_string(mu));
+    }
+    num_blocks_ *= grid_[m];
+  }
+  block_ids_.resize(static_cast<std::size_t>(geom_.volume()));
+  for (std::int64_t s = 0; s < geom_.volume(); ++s) {
+    const Coord x = geom_.coords(s);
+    block_ids_[static_cast<std::size_t>(geom_.eo_index(x))] =
+        static_cast<std::int32_t>(block_of(x));
+  }
+}
+
+bool BlockMask::crosses(const Coord& x, int mu, int dist) const {
+  if (grid_[static_cast<std::size_t>(mu)] == 1) return false;
+  const int bd = block_dim(mu);
+  const int home = x[mu] / bd;
+  const int step = dist > 0 ? 1 : -1;
+  int pos = x[mu];
+  for (int k = 0; k != dist; k += step) {
+    pos += step;
+    // Periodic wrap of the coordinate; with more than one block along mu a
+    // wrap necessarily changes block.
+    if (pos < 0) pos += geom_.dim(mu);
+    if (pos >= geom_.dim(mu)) pos -= geom_.dim(mu);
+    if (pos / bd != home) return true;
+  }
+  return false;
+}
+
+}  // namespace lqcd

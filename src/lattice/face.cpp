@@ -1,0 +1,18 @@
+#include "lattice/face.h"
+
+namespace lqcd {
+
+FaceIndexer::FaceIndexer(const LatticeGeometry& geom, int mu) : mu_(mu) {
+  int k = 0;
+  face_volume_ = 1;
+  for (int nu = 0; nu < kNDim; ++nu) {
+    if (nu == mu) continue;
+    const auto kk = static_cast<std::size_t>(k);
+    other_[kk] = nu;
+    face_dims_[kk] = geom.dim(nu);
+    face_volume_ *= geom.dim(nu);
+    ++k;
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,57 @@
+#pragma once
+/// \file face.h
+/// \brief Indexing of the 3-D faces of a 4-D sublattice.
+///
+/// A face of dimension \p mu is the set of sites with a fixed coordinate
+/// along mu.  Ghost zones are arrays of `depth` such slices ("layers"); the
+/// face index orders the remaining three coordinates lexicographically with
+/// the lowest surviving dimension fastest, giving a deterministic packing
+/// shared by the gather and scatter sides of an exchange.
+
+#include <array>
+#include <cstdint>
+
+#include "lattice/geometry.h"
+
+namespace lqcd {
+
+/// Maps between 4-D coordinates and positions within a fixed-mu face.
+class FaceIndexer {
+ public:
+  FaceIndexer(const LatticeGeometry& geom, int mu);
+
+  int mu() const { return mu_; }
+
+  /// Number of sites in one slice (V / dims[mu]).
+  std::int64_t face_volume() const { return face_volume_; }
+
+  /// Index of \p x within its slice (the mu component is ignored).
+  std::int64_t face_index(const Coord& x) const {
+    std::int64_t idx = 0;
+    for (int k = 2; k >= 0; --k) {
+      const auto kk = static_cast<std::size_t>(k);
+      idx = idx * face_dims_[kk] + x[other_[kk]];
+    }
+    return idx;
+  }
+
+  /// Reconstructs the coordinate from a face index and the mu component.
+  Coord face_coords(std::int64_t fidx, int x_mu) const {
+    Coord x;
+    x[mu_] = x_mu;
+    for (int k = 0; k < 3; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      x[other_[kk]] = static_cast<int>(fidx % face_dims_[kk]);
+      fidx /= face_dims_[kk];
+    }
+    return x;
+  }
+
+ private:
+  int mu_;
+  std::array<int, 3> other_;      // the three surviving dimensions, ascending
+  std::array<int, 3> face_dims_;  // their extents
+  std::int64_t face_volume_;
+};
+
+}  // namespace lqcd

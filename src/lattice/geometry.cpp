@@ -1,0 +1,31 @@
+#include "lattice/geometry.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace lqcd {
+
+LatticeGeometry::LatticeGeometry(std::array<int, kNDim> dims) : dims_(dims) {
+  volume_ = 1;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    const int d = dims_[static_cast<std::size_t>(mu)];
+    if (d < 2 || d % 2 != 0) {
+      throw std::invalid_argument(
+          "LatticeGeometry: extent of dimension " + std::to_string(mu) +
+          " must be even and >= 2, got " + std::to_string(d));
+    }
+    volume_ *= d;
+  }
+}
+
+Coord LatticeGeometry::eo_coords(std::int64_t eo) const {
+  const int par = eo >= half_volume() ? 1 : 0;
+  const std::int64_t cb = eo - par * half_volume();
+  // Candidate full index: each checkerboard index corresponds to the site
+  // pair {2*cb, 2*cb+1}; pick the one with matching parity.
+  Coord x = coords(2 * cb);
+  if (parity(x) != par) x = coords(2 * cb + 1);
+  return x;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,106 @@
+#pragma once
+/// \file geometry.h
+/// \brief 4-D periodic lattice geometry: coordinates, lexicographic and
+/// even-odd (checkerboard) site indexing, shifts with wraparound.
+///
+/// Conventions (matching QUDA and the paper):
+///  * Dimensions are labelled X=0, Y=1, Z=2, T=3; X is the fastest-varying
+///    index in memory and T the slowest (§6.2 of the paper).
+///  * Site parity is (x+y+z+t) mod 2; "even" = 0.  All dimensions must be
+///    even so each checkerboard holds exactly half the sites and the
+///    full lexicographic index maps to a checkerboard index by idx/2.
+///  * Fields are stored in even-odd blocks: the even checkerboard occupies
+///    offsets [0, V/2) and the odd checkerboard [V/2, V).
+
+#include <array>
+#include <cstdint>
+
+namespace lqcd {
+
+inline constexpr int kNDim = 4;
+
+/// A lattice coordinate.  Components may be transiently out of range; the
+/// geometry's wrap() canonicalizes into [0, dims).
+struct Coord {
+  std::array<int, kNDim> c{0, 0, 0, 0};
+
+  int& operator[](int mu) { return c[static_cast<std::size_t>(mu)]; }
+  int operator[](int mu) const { return c[static_cast<std::size_t>(mu)]; }
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Immutable 4-D periodic lattice geometry.
+class LatticeGeometry {
+ public:
+  /// \throws std::invalid_argument unless every extent is even and >= 2.
+  explicit LatticeGeometry(std::array<int, kNDim> dims);
+
+  int dim(int mu) const { return dims_[static_cast<std::size_t>(mu)]; }
+  const std::array<int, kNDim>& dims() const { return dims_; }
+
+  std::int64_t volume() const { return volume_; }
+  std::int64_t half_volume() const { return volume_ / 2; }
+
+  /// Lexicographic index with X fastest, T slowest.
+  std::int64_t index(const Coord& x) const {
+    return x[0] +
+           dims_[0] * (x[1] + std::int64_t{dims_[1]} *
+                                  (x[2] + std::int64_t{dims_[2]} * x[3]));
+  }
+
+  /// Inverse of index().
+  Coord coords(std::int64_t idx) const {
+    Coord x;
+    x[0] = static_cast<int>(idx % dims_[0]);
+    idx /= dims_[0];
+    x[1] = static_cast<int>(idx % dims_[1]);
+    idx /= dims_[1];
+    x[2] = static_cast<int>(idx % dims_[2]);
+    x[3] = static_cast<int>(idx / dims_[2]);
+    return x;
+  }
+
+  /// Site parity: 0 (even) or 1 (odd).
+  static int parity(const Coord& x) {
+    return (x[0] + x[1] + x[2] + x[3]) & 1;
+  }
+
+  /// Checkerboard index within a parity block, in [0, V/2).  Because X is
+  /// even, consecutive lexicographic sites alternate parity, so idx/2 is a
+  /// bijection on each checkerboard.
+  std::int64_t cb_index(const Coord& x) const { return index(x) / 2; }
+
+  /// Even-odd storage offset: parity block then checkerboard index.
+  std::int64_t eo_index(const Coord& x) const {
+    return static_cast<std::int64_t>(parity(x)) * half_volume() + cb_index(x);
+  }
+
+  /// Inverse of eo_index().
+  Coord eo_coords(std::int64_t eo) const;
+
+  /// Canonicalizes each component into [0, dim) (periodic boundary).
+  Coord wrap(Coord x) const {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const int d = dims_[static_cast<std::size_t>(mu)];
+      int v = x[mu] % d;
+      if (v < 0) v += d;
+      x[mu] = v;
+    }
+    return x;
+  }
+
+  /// x shifted by \p dist (may be negative) along \p mu, wrapped.
+  Coord shifted(Coord x, int mu, int dist) const {
+    x[mu] += dist;
+    return wrap(x);
+  }
+
+  friend bool operator==(const LatticeGeometry&,
+                         const LatticeGeometry&) = default;
+
+ private:
+  std::array<int, kNDim> dims_;
+  std::int64_t volume_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,76 @@
+#pragma once
+/// \file link_cut.h
+/// \brief Abstract "which hopping terms are cut" predicate used by the
+/// Dirichlet-cut Dirac operators.
+///
+/// The non-overlapping Schwarz preconditioner cuts along a block grid
+/// (BlockMask); the overlapping variant cuts along the boundary of one
+/// *extended* block (RegionMask).  Operators only need the crossing
+/// question, so they take this interface.
+
+#include "lattice/geometry.h"
+
+namespace lqcd {
+
+class LinkCut {
+ public:
+  virtual ~LinkCut() = default;
+
+  /// True if hopping from \p x by \p dist (signed, |dist| <= 3) along
+  /// \p mu crosses a cut boundary at any unit step.
+  virtual bool crosses(const Coord& x, int mu, int dist) const = 0;
+};
+
+/// A rectangular region of the lattice (per-dimension index intervals with
+/// periodic wrap); hopping terms whose path leaves the region are cut.
+/// Used for the extended blocks of the overlapping Schwarz preconditioner.
+class RegionMask : public LinkCut {
+ public:
+  /// \param lo lower corner (wrapped into range), \param extent sizes;
+  /// an extent >= the lattice extent makes that dimension uncut.
+  RegionMask(const LatticeGeometry& geom, Coord lo,
+             std::array<int, kNDim> extent)
+      : geom_(geom), lo_(geom.wrap(lo)), extent_(extent) {}
+
+  const LatticeGeometry& geometry() const { return geom_; }
+
+  bool contains(const Coord& x) const {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!contains_axis(x[mu], mu)) return false;
+    }
+    return true;
+  }
+
+  /// A hopping term is cut unless its *entire* path — including the
+  /// starting site — lies inside the region: the region boundary is a
+  /// Dirichlet wall in both directions (no leakage into or out of the
+  /// region).
+  bool crosses(const Coord& x, int mu, int dist) const override {
+    if (!contains(x)) return true;
+    if (extent_[static_cast<std::size_t>(mu)] >= geom_.dim(mu)) return false;
+    const int step = dist > 0 ? 1 : -1;
+    int pos = x[mu];
+    for (int k = 0; k != dist; k += step) {
+      pos += step;
+      if (pos < 0) pos += geom_.dim(mu);
+      if (pos >= geom_.dim(mu)) pos -= geom_.dim(mu);
+      if (!contains_axis(pos, mu)) return true;
+    }
+    return false;
+  }
+
+ private:
+  bool contains_axis(int x, int mu) const {
+    const auto m = static_cast<std::size_t>(mu);
+    if (extent_[m] >= geom_.dim(mu)) return true;
+    int off = x - lo_[mu];
+    if (off < 0) off += geom_.dim(mu);
+    return off < extent_[m];
+  }
+
+  LatticeGeometry geom_;
+  Coord lo_;
+  std::array<int, kNDim> extent_;
+};
+
+}  // namespace lqcd

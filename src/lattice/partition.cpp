@@ -1,0 +1,73 @@
+#include "lattice/partition.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace lqcd {
+
+std::array<int, kNDim> Partitioning::local_dims(
+    const LatticeGeometry& global, const std::array<int, kNDim>& grid) {
+  std::array<int, kNDim> out{};
+  for (int mu = 0; mu < kNDim; ++mu) {
+    const auto m = static_cast<std::size_t>(mu);
+    if (grid[m] < 1) {
+      throw std::invalid_argument("Partitioning: grid extent must be >= 1");
+    }
+    if (global.dim(mu) % grid[m] != 0) {
+      throw std::invalid_argument(
+          "Partitioning: grid " + std::to_string(grid[m]) +
+          " does not divide lattice extent " + std::to_string(global.dim(mu)) +
+          " in dimension " + std::to_string(mu));
+    }
+    out[m] = global.dim(mu) / grid[m];
+    // LatticeGeometry's constructor re-checks evenness of the local extents.
+  }
+  return out;
+}
+
+Partitioning::Partitioning(LatticeGeometry global, std::array<int, kNDim> grid)
+    : global_(global), grid_(grid), local_(local_dims(global, grid)) {
+  num_ranks_ = 1;
+  for (int g : grid_) num_ranks_ *= g;
+}
+
+RankCoord Partitioning::rank_coords(int rank) const {
+  RankCoord r;
+  r[0] = rank % grid_[0];
+  rank /= grid_[0];
+  r[1] = rank % grid_[1];
+  rank /= grid_[1];
+  r[2] = rank % grid_[2];
+  r[3] = rank / grid_[2];
+  return r;
+}
+
+int Partitioning::rank_of_site(const Coord& g) const {
+  RankCoord r;
+  for (int mu = 0; mu < kNDim; ++mu) r[mu] = g[mu] / local_.dim(mu);
+  return rank_index(r);
+}
+
+Coord Partitioning::local_coord(const Coord& g) const {
+  Coord x;
+  for (int mu = 0; mu < kNDim; ++mu) x[mu] = g[mu] % local_.dim(mu);
+  return x;
+}
+
+Coord Partitioning::global_coord(int rank, const Coord& x) const {
+  const RankCoord r = rank_coords(rank);
+  Coord g;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    g[mu] = r[mu] * local_.dim(mu) + x[mu];
+  }
+  return g;
+}
+
+int Partitioning::neighbor_rank(int rank, int mu, int dir) const {
+  RankCoord r = rank_coords(rank);
+  const int g = grid_[static_cast<std::size_t>(mu)];
+  r[mu] = (r[mu] + dir % g + g) % g;
+  return rank_index(r);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,77 @@
+#pragma once
+/// \file partition.h
+/// \brief Multi-dimensional partitioning of the global lattice over a grid
+/// of virtual ranks ("GPUs" in the paper).
+///
+/// A Partitioning splits a global LatticeGeometry into identical local
+/// sublattices over a 4-D process grid.  This generalizes the old QUDA
+/// T-only decomposition to up to four partitioned dimensions (§6.1): each
+/// rank's subvolume is bounded by at most eight 3-D faces, and ghost-zone
+/// exchange happens only in dimensions whose grid extent exceeds one.
+
+#include <array>
+
+#include "lattice/geometry.h"
+
+namespace lqcd {
+
+/// Coordinates of a rank within the process grid.
+using RankCoord = Coord;
+
+/// Immutable description of how the global lattice is split across ranks.
+class Partitioning {
+ public:
+  /// \param global the full lattice.
+  /// \param grid ranks per dimension; every extent must divide the
+  ///   corresponding lattice extent, and the local extents must stay even
+  ///   (required by the checkerboard layout).
+  Partitioning(LatticeGeometry global, std::array<int, kNDim> grid);
+
+  const LatticeGeometry& global() const { return global_; }
+  const LatticeGeometry& local() const { return local_; }
+  const std::array<int, kNDim>& grid() const { return grid_; }
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// True if dimension \p mu is split across more than one rank.
+  bool partitioned(int mu) const {
+    return grid_[static_cast<std::size_t>(mu)] > 1;
+  }
+
+  /// Boolean mask of partitioned dimensions.
+  std::array<bool, kNDim> partitioned_dims() const {
+    return {partitioned(0), partitioned(1), partitioned(2), partitioned(3)};
+  }
+
+  /// Rank id from grid coordinates (X fastest, like site indexing).
+  int rank_index(const RankCoord& r) const {
+    return r[0] + grid_[0] * (r[1] + grid_[1] * (r[2] + grid_[2] * r[3]));
+  }
+
+  /// Inverse of rank_index().
+  RankCoord rank_coords(int rank) const;
+
+  /// The rank owning a global site.
+  int rank_of_site(const Coord& global_coord) const;
+
+  /// Global -> local coordinate on the owning rank.
+  Coord local_coord(const Coord& global_coord) const;
+
+  /// (rank, local coordinate) -> global coordinate.
+  Coord global_coord(int rank, const Coord& local_coord) const;
+
+  /// Rank neighbouring \p rank in direction \p dir (+1/-1) along \p mu,
+  /// with periodic wraparound of the process grid.
+  int neighbor_rank(int rank, int mu, int dir) const;
+
+ private:
+  LatticeGeometry global_;
+  std::array<int, kNDim> grid_;
+  LatticeGeometry local_;
+  int num_ranks_;
+
+  static std::array<int, kNDim> local_dims(const LatticeGeometry& global,
+                                           const std::array<int, kNDim>& grid);
+};
+
+}  // namespace lqcd

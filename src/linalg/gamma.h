@@ -1,0 +1,142 @@
+#pragma once
+/// \file gamma.h
+/// \brief Dirac gamma matrices in the DeGrand-Rossi basis and the spin
+/// projector machinery used by the Wilson hopping term.
+///
+/// Each Euclidean gamma_mu in this basis has exactly one non-zero entry per
+/// row, with value in {+1, -1, +i, -i}.  We encode gamma_mu(row, col[row]) =
+/// i^phase[row], which lets the Dslash apply projectors with permutations
+/// and sign flips only — no general 4x4 spin multiply.
+///
+/// The key optimization (used by QUDA and implemented in the Dslash here) is
+/// spin projection: (1 +- gamma_mu) has rank two, so a projected spinor is
+/// fully described by its first two spin components h_0, h_1
+/// ("half spinor").  After the color multiply t_a = U h_a, the full spinor
+/// is reconstructed as out[a] += t_a, out[col[a]] += s * conj(phase_a) t_a.
+/// Transferring half spinors also halves ghost-zone traffic for Wilson-type
+/// stencils; the byte accounting in perfmodel assumes it.
+
+#include <array>
+
+#include "lattice/geometry.h"  // kNDim
+#include "linalg/types.h"
+
+namespace lqcd {
+
+/// Multiplication by i^p without a complex multiply.
+template <typename Real>
+inline Cplx<Real> mul_i_pow(int p, const Cplx<Real>& z) {
+  switch (p & 3) {
+    case 0: return z;
+    case 1: return Cplx<Real>(-z.imag(), z.real());
+    case 2: return -z;
+    default: return Cplx<Real>(z.imag(), -z.real());
+  }
+}
+
+/// One-nonzero-per-row encoding of a 4x4 gamma matrix.
+struct GammaPattern {
+  std::array<int, kNSpin> col;    ///< column of the non-zero in each row
+  std::array<int, kNSpin> phase;  ///< power of i: entry = i^phase
+};
+
+/// DeGrand-Rossi gamma_mu for mu = 0..3 (X, Y, Z, T).
+inline constexpr std::array<GammaPattern, kNDim> kGamma = {{
+    {{3, 2, 1, 0}, {1, 1, 3, 3}},  // gamma_x
+    {{3, 2, 1, 0}, {2, 0, 0, 2}},  // gamma_y
+    {{2, 3, 0, 1}, {1, 3, 3, 1}},  // gamma_z
+    {{2, 3, 0, 1}, {0, 0, 0, 0}},  // gamma_t
+}};
+
+/// gamma5 = gamma_x gamma_y gamma_z gamma_t = diag(+1, +1, -1, -1) in this
+/// basis.
+inline constexpr std::array<int, kNSpin> kGamma5Sign = {+1, +1, -1, -1};
+
+/// psi -> gamma_mu psi (full spinor form; reference path).
+template <typename Real>
+WilsonSpinor<Real> apply_gamma(int mu, const WilsonSpinor<Real>& psi) {
+  const GammaPattern& g = kGamma[static_cast<std::size_t>(mu)];
+  WilsonSpinor<Real> r;
+  for (int s = 0; s < kNSpin; ++s) {
+    const auto ss = static_cast<std::size_t>(s);
+    for (int c = 0; c < kNColor; ++c) {
+      r[s][c] = mul_i_pow(g.phase[ss], psi[g.col[ss]][c]);
+    }
+  }
+  return r;
+}
+
+/// psi -> gamma5 psi.
+template <typename Real>
+WilsonSpinor<Real> apply_gamma5(const WilsonSpinor<Real>& psi) {
+  WilsonSpinor<Real> r = psi;
+  for (int s = 0; s < kNSpin; ++s) {
+    if (kGamma5Sign[static_cast<std::size_t>(s)] < 0) r[s] *= Real(-1);
+  }
+  return r;
+}
+
+/// psi -> (1 + sign*gamma_mu) psi (full spinor form; reference path).
+template <typename Real>
+WilsonSpinor<Real> apply_one_pm_gamma(int mu, int sign,
+                                      const WilsonSpinor<Real>& psi) {
+  const GammaPattern& g = kGamma[static_cast<std::size_t>(mu)];
+  WilsonSpinor<Real> r = psi;
+  for (int s = 0; s < kNSpin; ++s) {
+    const auto ss = static_cast<std::size_t>(s);
+    for (int c = 0; c < kNColor; ++c) {
+      const Cplx<Real> t = mul_i_pow(g.phase[ss], psi[g.col[ss]][c]);
+      r[s][c] += sign > 0 ? t : -t;
+    }
+  }
+  return r;
+}
+
+/// The rank-two content of (1 + sign*gamma_mu) psi: spin components 0 and 1.
+template <typename Real>
+struct HalfSpinor {
+  std::array<ColorVector<Real>, 2> h{};
+  ColorVector<Real>& operator[](int a) {
+    return h[static_cast<std::size_t>(a)];
+  }
+  const ColorVector<Real>& operator[](int a) const {
+    return h[static_cast<std::size_t>(a)];
+  }
+};
+
+/// Projects psi onto the upper two spin rows of (1 + sign*gamma_mu).
+template <typename Real>
+HalfSpinor<Real> project(int mu, int sign, const WilsonSpinor<Real>& psi) {
+  const GammaPattern& g = kGamma[static_cast<std::size_t>(mu)];
+  HalfSpinor<Real> out;
+  for (int a = 0; a < 2; ++a) {
+    const auto aa = static_cast<std::size_t>(a);
+    for (int c = 0; c < kNColor; ++c) {
+      const Cplx<Real> t = mul_i_pow(g.phase[aa], psi[g.col[aa]][c]);
+      out[a][c] = psi[a][c] + (sign > 0 ? t : -t);
+    }
+  }
+  return out;
+}
+
+/// Accumulates the reconstruction of a projected, color-multiplied half
+/// spinor into a full spinor: out += R(t) where R inverts project() given
+/// the projector's rank-two row structure.
+template <typename Real>
+void accumulate_reconstruct(int mu, int sign, const HalfSpinor<Real>& t,
+                            WilsonSpinor<Real>& out) {
+  const GammaPattern& g = kGamma[static_cast<std::size_t>(mu)];
+  for (int a = 0; a < 2; ++a) {
+    const auto aa = static_cast<std::size_t>(a);
+    const int c_row = g.col[aa];
+    // conj(i^p) = i^(-p) = i^((4-p) & 3)
+    const int conj_phase = (4 - g.phase[aa]) & 3;
+    for (int c = 0; c < kNColor; ++c) {
+      out[a][c] += t[a][c];
+      const Cplx<Real> v = mul_i_pow(conj_phase, t[a][c]);
+      out[c_row][c] += sign > 0 ? v : -v;
+    }
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,37 @@
+#include "linalg/half.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace lqcd {
+
+float encode_site_half(std::span<const float> components,
+                       std::span<std::int16_t> out) {
+  float norm = 0.0f;
+  for (float x : components) norm = std::max(norm, std::fabs(x));
+  if (norm == 0.0f) norm = 1.0f;
+  const float inv = 1.0f / norm;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    out[i] = quantize_fixed(components[i], inv);
+  }
+  return norm;
+}
+
+void decode_site_half(std::span<const std::int16_t> in, float norm,
+                      std::span<float> out) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = dequantize_fixed(in[i], norm);
+  }
+}
+
+void roundtrip_site_half(std::span<float> components) {
+  // 24 reals is the largest site (a Wilson spinor); avoid allocation.
+  std::int16_t buf[32];
+  const std::size_t n = components.size();
+  if (n > 32) std::abort();  // sites are at most 24 reals
+  float norm = encode_site_half(components.subspan(0, n),
+                                std::span<std::int16_t>(buf, n));
+  decode_site_half(std::span<const std::int16_t>(buf, n), norm, components);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,54 @@
+#pragma once
+/// \file half.h
+/// \brief The 16-bit fixed-point "half precision" storage format (§5 (c)).
+///
+/// QUDA's half format is not IEEE fp16: each site's components are stored as
+/// int16 fixed-point values scaled by a per-site float norm (the site's
+/// max-magnitude component), giving ~15 bits of relative precision per site
+/// regardless of the site's overall scale.  Gauge links, whose entries are
+/// bounded by one, use a fixed unit scale and need no norm array.
+///
+/// Arithmetic never happens in this format; kernels dequantize to fp32,
+/// compute, and requantize on store — exactly the GPU register flow.  The
+/// mixed-precision solvers emulate half-precision storage by round-tripping
+/// fp32 fields through this codec after each kernel.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/types.h"
+
+namespace lqcd {
+
+inline constexpr float kHalfScale = 32767.0f;
+
+/// Quantizes x in [-scale_bound, scale_bound] to int16 (round-to-nearest,
+/// saturating).
+inline std::int16_t quantize_fixed(float x, float inv_scale_bound) {
+  float v = x * inv_scale_bound * kHalfScale;
+  if (v > kHalfScale) v = kHalfScale;
+  if (v < -kHalfScale) v = -kHalfScale;
+  return static_cast<std::int16_t>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+}
+
+inline float dequantize_fixed(std::int16_t q, float scale_bound) {
+  return static_cast<float>(q) * (scale_bound / kHalfScale);
+}
+
+/// Encodes a site's real components with a per-site norm.  Returns the norm
+/// (max |component|, or 1 if the site is exactly zero so decode is exact).
+float encode_site_half(std::span<const float> components,
+                       std::span<std::int16_t> out);
+
+/// Decodes a site previously encoded with encode_site_half.
+void decode_site_half(std::span<const std::int16_t> in, float norm,
+                      std::span<float> out);
+
+/// In-place half-precision round trip of a site: the value a GPU kernel
+/// would see after storing to and reloading from half storage.
+void roundtrip_site_half(std::span<float> components);
+
+/// Worst-case absolute error of the per-site codec given the encoded norm.
+inline float half_error_bound(float norm) { return norm / kHalfScale; }
+
+}  // namespace lqcd

@@ -1,0 +1,62 @@
+#pragma once
+/// \file reconstruct.h
+/// \brief SU(3) gauge-link compression ("reconstruction") schemes.
+///
+/// QUDA's key memory-traffic reduction (§5): an SU(3) matrix has 18 reals
+/// but only 8 degrees of freedom, so links can be stored with 12 or 8 reals
+/// and recomputed on load, trading flops for bandwidth.
+///
+///  * reconstruct-12: store rows 0 and 1; row 2 = (r0 x r1)^* (exact for
+///    exactly-unitary input).
+///  * reconstruct-8: orthonormal-frame parametrization.  Store
+///    (u01, u02, arg u00, alpha, arg beta) where row 1 = alpha v1 + beta v2
+///    in a deterministic orthonormal basis {v1, v2} of the complement of
+///    row 0.  Exact up to floating-point rounding.
+///
+/// The enum also carries the per-link real count used by the performance
+/// model's byte accounting.
+
+#include <array>
+
+#include "linalg/types.h"
+
+namespace lqcd {
+
+enum class Reconstruct { None = 18, Twelve = 12, Eight = 8 };
+
+/// Reals stored per link for a scheme.
+inline constexpr int reals_per_link(Reconstruct r) {
+  return static_cast<int>(r);
+}
+
+template <typename Real>
+using Packed12 = std::array<Real, 12>;
+
+template <typename Real>
+using Packed8 = std::array<Real, 8>;
+
+/// Stores rows 0-1 of \p u.
+template <typename Real>
+Packed12<Real> compress12(const Matrix3<Real>& u);
+
+/// Rebuilds the full matrix; exact when the packed rows are orthonormal.
+template <typename Real>
+Matrix3<Real> decompress12(const Packed12<Real>& p);
+
+/// 8-real compression; requires \p u (approximately) in SU(3).
+template <typename Real>
+Packed8<Real> compress8(const Matrix3<Real>& u);
+
+template <typename Real>
+Matrix3<Real> decompress8(const Packed8<Real>& p);
+
+extern template Packed12<float> compress12(const Matrix3<float>&);
+extern template Packed12<double> compress12(const Matrix3<double>&);
+extern template Matrix3<float> decompress12(const Packed12<float>&);
+extern template Matrix3<double> decompress12(const Packed12<double>&);
+extern template Packed8<float> compress8(const Matrix3<float>&);
+extern template Packed8<double> compress8(const Matrix3<double>&);
+extern template Matrix3<float> decompress8(const Packed8<float>&);
+extern template Matrix3<double> decompress8(const Packed8<double>&);
+
+}  // namespace lqcd

@@ -1,0 +1,114 @@
+#include "linalg/small_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace lqcd {
+
+template <typename Real>
+std::vector<std::complex<Real>> DenseMatrix<Real>::multiply(
+    const std::vector<value_type>& x) const {
+  std::vector<value_type> y(static_cast<std::size_t>(rows_));
+  for (int i = 0; i < rows_; ++i) {
+    value_type s{};
+    for (int j = 0; j < cols_; ++j) {
+      s += (*this)(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+  return y;
+}
+
+template <typename Real>
+DenseMatrix<Real> DenseMatrix<Real>::adjoint() const {
+  DenseMatrix r(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) r(j, i) = std::conj((*this)(i, j));
+  }
+  return r;
+}
+
+template <typename Real>
+LuFactorization<Real>::LuFactorization(DenseMatrix<Real> a)
+    : lu_(std::move(a)), piv_(static_cast<std::size_t>(lu_.rows())) {
+  if (lu_.rows() != lu_.cols()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  const int n = lu_.rows();
+  for (int i = 0; i < n; ++i) piv_[static_cast<std::size_t>(i)] = i;
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivot on column k.
+    int p = k;
+    Real best = std::abs(lu_(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const Real v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == Real(0)) {
+      throw std::runtime_error("LuFactorization: singular matrix");
+    }
+    if (p != k) {
+      for (int j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(piv_[static_cast<std::size_t>(k)],
+                piv_[static_cast<std::size_t>(p)]);
+    }
+    const std::complex<Real> inv_diag = std::complex<Real>(1) / lu_(k, k);
+    for (int i = k + 1; i < n; ++i) {
+      const std::complex<Real> f = lu_(i, k) * inv_diag;
+      lu_(i, k) = f;
+      for (int j = k + 1; j < n; ++j) lu_(i, j) -= f * lu_(k, j);
+    }
+  }
+}
+
+template <typename Real>
+std::vector<std::complex<Real>> LuFactorization<Real>::solve(
+    std::vector<std::complex<Real>> b) const {
+  const int n = lu_.rows();
+  std::vector<std::complex<Real>> x(static_cast<std::size_t>(n));
+  // Apply the row permutation.
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(i)])];
+  }
+  // Forward substitution (unit lower triangle).
+  for (int i = 1; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      x[static_cast<std::size_t>(i)] -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    }
+  }
+  // Back substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    for (int j = i + 1; j < n; ++j) {
+      x[static_cast<std::size_t>(i)] -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] /= lu_(i, i);
+  }
+  return x;
+}
+
+template <typename Real>
+DenseMatrix<Real> LuFactorization<Real>::inverse() const {
+  const int n = lu_.rows();
+  DenseMatrix<Real> inv(n, n);
+  std::vector<std::complex<Real>> e(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    std::fill(e.begin(), e.end(), std::complex<Real>{});
+    e[static_cast<std::size_t>(c)] = std::complex<Real>(1);
+    const auto col = solve(e);
+    for (int r = 0; r < n; ++r) inv(r, c) = col[static_cast<std::size_t>(r)];
+  }
+  return inv;
+}
+
+template class DenseMatrix<float>;
+template class DenseMatrix<double>;
+template class LuFactorization<float>;
+template class LuFactorization<double>;
+
+}  // namespace lqcd

@@ -1,0 +1,92 @@
+#pragma once
+/// \file small_matrix.h
+/// \brief Dense complex matrices with LU factorization, for (a) inverting
+/// the 6x6 clover blocks needed by even-odd preconditioning and (b) building
+/// exact dense reference Dirac operators on tiny lattices for tests.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace lqcd {
+
+/// Row-major dense complex matrix of runtime size.
+template <typename Real>
+class DenseMatrix {
+ public:
+  using value_type = std::complex<Real>;
+
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {}
+
+  static DenseMatrix identity(int n) {
+    DenseMatrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = value_type(1);
+    return m;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  value_type& operator()(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+  const value_type& operator()(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+
+  /// y = A x.
+  std::vector<value_type> multiply(const std::vector<value_type>& x) const;
+
+  /// Hermitian conjugate.
+  DenseMatrix adjoint() const;
+
+  friend DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b) {
+    DenseMatrix r(a.rows_, b.cols_);
+    for (int i = 0; i < a.rows_; ++i) {
+      for (int k = 0; k < a.cols_; ++k) {
+        const value_type aik = a(i, k);
+        if (aik == value_type{}) continue;
+        for (int j = 0; j < b.cols_; ++j) r(i, j) += aik * b(k, j);
+      }
+    }
+    return r;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<value_type> a_;
+};
+
+/// LU factorization with partial pivoting of a square DenseMatrix.
+template <typename Real>
+class LuFactorization {
+ public:
+  /// \throws std::runtime_error on (numerically) singular input.
+  explicit LuFactorization(DenseMatrix<Real> a);
+
+  /// Solves A x = b.
+  std::vector<std::complex<Real>> solve(
+      std::vector<std::complex<Real>> b) const;
+
+  /// Explicit inverse (column-by-column solve).
+  DenseMatrix<Real> inverse() const;
+
+  int size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix<Real> lu_;
+  std::vector<int> piv_;
+};
+
+extern template class DenseMatrix<float>;
+extern template class DenseMatrix<double>;
+extern template class LuFactorization<float>;
+extern template class LuFactorization<double>;
+
+}  // namespace lqcd

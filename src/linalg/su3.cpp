@@ -1,0 +1,75 @@
+#include "linalg/su3.h"
+
+#include <cmath>
+
+namespace lqcd {
+
+template <typename Real>
+Matrix3<Real> reunitarize(const Matrix3<Real>& u) {
+  ColorVector<Real> r0 = row(u, 0);
+  r0 *= Real(1) / std::sqrt(norm2(r0));
+  ColorVector<Real> r1 = row(u, 1);
+  r1 -= inner(r0, r1) * r0;
+  r1 *= Real(1) / std::sqrt(norm2(r1));
+  Matrix3<Real> v;
+  set_row(v, 0, r0);
+  set_row(v, 1, r1);
+  set_row(v, 2, cross_conj(r0, r1));
+  return v;
+}
+
+Matrix3<double> random_su3(Rng& rng) {
+  Matrix3<double> u;
+  for (auto& x : u.m) x = Cplx<double>(rng.gaussian(), rng.gaussian());
+  return reunitarize(u);
+}
+
+Matrix3<double> random_antihermitian(Rng& rng, double eps) {
+  // Eight Gell-Mann-like generator coefficients; build i*H with H Hermitian
+  // traceless directly from Gaussian entries.
+  Matrix3<double> h;
+  const double d0 = rng.gaussian();
+  const double d1 = rng.gaussian();
+  // Traceless real diagonal.
+  h(0, 0) = Cplx<double>(d0);
+  h(1, 1) = Cplx<double>(d1);
+  h(2, 2) = Cplx<double>(-d0 - d1);
+  for (int i = 0; i < kNColor; ++i) {
+    for (int j = i + 1; j < kNColor; ++j) {
+      const Cplx<double> z(rng.gaussian(), rng.gaussian());
+      h(i, j) = z;
+      h(j, i) = std::conj(z);
+    }
+  }
+  Matrix3<double> a;  // a = i * eps * h  (anti-Hermitian)
+  for (std::size_t k = 0; k < a.m.size(); ++k) {
+    a.m[k] = Cplx<double>(0.0, eps) * h.m[k];
+  }
+  return a;
+}
+
+template <typename Real>
+Matrix3<Real> expm(const Matrix3<Real>& a, int terms) {
+  // exp(A) = sum A^k / k!; for link generation |A| is O(eps) so the series
+  // converges rapidly.  Horner-style accumulation backwards for stability.
+  Matrix3<Real> result = Matrix3<Real>::identity();
+  for (int k = terms; k >= 1; --k) {
+    result = Matrix3<Real>::identity() + (Real(1) / Real(k)) * (a * result);
+  }
+  return result;
+}
+
+template <typename Real>
+Real unitarity_error(const Matrix3<Real>& u) {
+  const Matrix3<Real> d = u * adj(u) - Matrix3<Real>::identity();
+  return std::sqrt(norm2(d));
+}
+
+template Matrix3<float> reunitarize(const Matrix3<float>&);
+template Matrix3<double> reunitarize(const Matrix3<double>&);
+template Matrix3<float> expm(const Matrix3<float>&, int);
+template Matrix3<double> expm(const Matrix3<double>&, int);
+template float unitarity_error(const Matrix3<float>&);
+template double unitarity_error(const Matrix3<double>&);
+
+}  // namespace lqcd

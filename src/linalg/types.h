@@ -1,0 +1,274 @@
+#pragma once
+/// \file types.h
+/// \brief Site-local linear-algebra value types: complex color vectors
+/// (staggered fermions), 3x3 color matrices (gauge links), and 4-spin
+/// Wilson spinors.
+///
+/// Everything is templated on the real type (float or double); the 16-bit
+/// fixed-point "half" format of the paper is a *storage* codec (half.h), not
+/// an arithmetic type, mirroring GPU behaviour where half data is expanded
+/// to fp32 in registers.
+
+#include <array>
+#include <complex>
+#include <cstddef>
+
+namespace lqcd {
+
+template <typename Real>
+using Cplx = std::complex<Real>;
+
+inline constexpr int kNColor = 3;
+inline constexpr int kNSpin = 4;
+
+/// A 3-component complex color vector: one staggered fermion site, or one
+/// spin component of a Wilson spinor.  6 reals.
+template <typename Real>
+struct ColorVector {
+  std::array<Cplx<Real>, kNColor> c{};
+
+  Cplx<Real>& operator[](int i) { return c[static_cast<std::size_t>(i)]; }
+  const Cplx<Real>& operator[](int i) const {
+    return c[static_cast<std::size_t>(i)];
+  }
+
+  ColorVector& operator+=(const ColorVector& o) {
+    for (int i = 0; i < kNColor; ++i) c[static_cast<std::size_t>(i)] += o[i];
+    return *this;
+  }
+  ColorVector& operator-=(const ColorVector& o) {
+    for (int i = 0; i < kNColor; ++i) c[static_cast<std::size_t>(i)] -= o[i];
+    return *this;
+  }
+  ColorVector& operator*=(const Cplx<Real>& a) {
+    for (auto& x : c) x *= a;
+    return *this;
+  }
+  ColorVector& operator*=(Real a) {
+    for (auto& x : c) x *= a;
+    return *this;
+  }
+
+  friend ColorVector operator+(ColorVector a, const ColorVector& b) {
+    return a += b;
+  }
+  friend ColorVector operator-(ColorVector a, const ColorVector& b) {
+    return a -= b;
+  }
+  friend ColorVector operator*(const Cplx<Real>& s, ColorVector a) {
+    return a *= s;
+  }
+  friend ColorVector operator*(Real s, ColorVector a) { return a *= s; }
+  friend ColorVector operator-(ColorVector a) {
+    return Real(-1) * a;
+  }
+};
+
+/// <a, b> = sum_i conj(a_i) b_i.
+template <typename Real>
+Cplx<Real> inner(const ColorVector<Real>& a, const ColorVector<Real>& b) {
+  Cplx<Real> s{};
+  for (int i = 0; i < kNColor; ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+/// Squared 2-norm.
+template <typename Real>
+Real norm2(const ColorVector<Real>& a) {
+  Real s{};
+  for (int i = 0; i < kNColor; ++i) s += std::norm(a[i]);
+  return s;
+}
+
+/// A complex 3x3 color matrix (gauge link).  18 reals.
+template <typename Real>
+struct Matrix3 {
+  // Row-major.
+  std::array<Cplx<Real>, kNColor * kNColor> m{};
+
+  Cplx<Real>& operator()(int r, int c) {
+    return m[static_cast<std::size_t>(r * kNColor + c)];
+  }
+  const Cplx<Real>& operator()(int r, int c) const {
+    return m[static_cast<std::size_t>(r * kNColor + c)];
+  }
+
+  static Matrix3 identity() {
+    Matrix3 u;
+    for (int i = 0; i < kNColor; ++i) u(i, i) = Cplx<Real>(1);
+    return u;
+  }
+  static Matrix3 zero() { return Matrix3{}; }
+
+  Matrix3& operator+=(const Matrix3& o) {
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] += o.m[i];
+    return *this;
+  }
+  Matrix3& operator-=(const Matrix3& o) {
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] -= o.m[i];
+    return *this;
+  }
+  Matrix3& operator*=(const Cplx<Real>& a) {
+    for (auto& x : m) x *= a;
+    return *this;
+  }
+  Matrix3& operator*=(Real a) {
+    for (auto& x : m) x *= a;
+    return *this;
+  }
+
+  friend Matrix3 operator+(Matrix3 a, const Matrix3& b) { return a += b; }
+  friend Matrix3 operator-(Matrix3 a, const Matrix3& b) { return a -= b; }
+  friend Matrix3 operator*(const Cplx<Real>& s, Matrix3 a) { return a *= s; }
+  friend Matrix3 operator*(Real s, Matrix3 a) { return a *= s; }
+
+  friend Matrix3 operator*(const Matrix3& a, const Matrix3& b) {
+    Matrix3 r;
+    for (int i = 0; i < kNColor; ++i) {
+      for (int k = 0; k < kNColor; ++k) {
+        const Cplx<Real> aik = a(i, k);
+        for (int j = 0; j < kNColor; ++j) r(i, j) += aik * b(k, j);
+      }
+    }
+    return r;
+  }
+};
+
+/// Hermitian conjugate.
+template <typename Real>
+Matrix3<Real> adj(const Matrix3<Real>& a) {
+  Matrix3<Real> r;
+  for (int i = 0; i < kNColor; ++i) {
+    for (int j = 0; j < kNColor; ++j) r(i, j) = std::conj(a(j, i));
+  }
+  return r;
+}
+
+/// Matrix-vector product U v.
+template <typename Real>
+ColorVector<Real> operator*(const Matrix3<Real>& u, const ColorVector<Real>& v) {
+  ColorVector<Real> r;
+  for (int i = 0; i < kNColor; ++i) {
+    Cplx<Real> s{};
+    for (int j = 0; j < kNColor; ++j) s += u(i, j) * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+/// Adjoint matrix-vector product U^dagger v without forming the adjoint.
+template <typename Real>
+ColorVector<Real> adj_mul(const Matrix3<Real>& u, const ColorVector<Real>& v) {
+  ColorVector<Real> r;
+  for (int i = 0; i < kNColor; ++i) {
+    Cplx<Real> s{};
+    for (int j = 0; j < kNColor; ++j) s += std::conj(u(j, i)) * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+template <typename Real>
+Cplx<Real> trace(const Matrix3<Real>& a) {
+  return a(0, 0) + a(1, 1) + a(2, 2);
+}
+
+template <typename Real>
+Cplx<Real> det(const Matrix3<Real>& a) {
+  return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+         a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+         a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+/// Frobenius norm squared.
+template <typename Real>
+Real norm2(const Matrix3<Real>& a) {
+  Real s{};
+  for (const auto& x : a.m) s += std::norm(x);
+  return s;
+}
+
+/// A Wilson color-spinor: 4 spin components of 3 colors each.  24 reals.
+template <typename Real>
+struct WilsonSpinor {
+  std::array<ColorVector<Real>, kNSpin> s{};
+
+  ColorVector<Real>& operator[](int sp) {
+    return s[static_cast<std::size_t>(sp)];
+  }
+  const ColorVector<Real>& operator[](int sp) const {
+    return s[static_cast<std::size_t>(sp)];
+  }
+
+  WilsonSpinor& operator+=(const WilsonSpinor& o) {
+    for (int i = 0; i < kNSpin; ++i) s[static_cast<std::size_t>(i)] += o[i];
+    return *this;
+  }
+  WilsonSpinor& operator-=(const WilsonSpinor& o) {
+    for (int i = 0; i < kNSpin; ++i) s[static_cast<std::size_t>(i)] -= o[i];
+    return *this;
+  }
+  WilsonSpinor& operator*=(const Cplx<Real>& a) {
+    for (auto& v : s) v *= a;
+    return *this;
+  }
+  WilsonSpinor& operator*=(Real a) {
+    for (auto& v : s) v *= a;
+    return *this;
+  }
+
+  friend WilsonSpinor operator+(WilsonSpinor a, const WilsonSpinor& b) {
+    return a += b;
+  }
+  friend WilsonSpinor operator-(WilsonSpinor a, const WilsonSpinor& b) {
+    return a -= b;
+  }
+  friend WilsonSpinor operator*(const Cplx<Real>& x, WilsonSpinor a) {
+    return a *= x;
+  }
+  friend WilsonSpinor operator*(Real x, WilsonSpinor a) { return a *= x; }
+};
+
+template <typename Real>
+Cplx<Real> inner(const WilsonSpinor<Real>& a, const WilsonSpinor<Real>& b) {
+  Cplx<Real> r{};
+  for (int i = 0; i < kNSpin; ++i) r += inner(a[i], b[i]);
+  return r;
+}
+
+template <typename Real>
+Real norm2(const WilsonSpinor<Real>& a) {
+  Real r{};
+  for (int i = 0; i < kNSpin; ++i) r += norm2(a[i]);
+  return r;
+}
+
+/// Precision-converting copies (double <-> float) for mixed-precision
+/// solvers.
+template <typename To, typename From>
+ColorVector<To> convert(const ColorVector<From>& v) {
+  ColorVector<To> r;
+  for (int i = 0; i < kNColor; ++i) {
+    r[i] = Cplx<To>(static_cast<To>(v[i].real()), static_cast<To>(v[i].imag()));
+  }
+  return r;
+}
+
+template <typename To, typename From>
+WilsonSpinor<To> convert(const WilsonSpinor<From>& v) {
+  WilsonSpinor<To> r;
+  for (int i = 0; i < kNSpin; ++i) r[i] = convert<To>(v[i]);
+  return r;
+}
+
+template <typename To, typename From>
+Matrix3<To> convert(const Matrix3<From>& u) {
+  Matrix3<To> r;
+  for (std::size_t i = 0; i < u.m.size(); ++i) {
+    r.m[i] = Cplx<To>(static_cast<To>(u.m[i].real()),
+                      static_cast<To>(u.m[i].imag()));
+  }
+  return r;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,120 @@
+#include "perfmodel/dslash_model.h"
+
+namespace lqcd {
+
+double sustained_kernel_gflops(const DslashModelConfig& cfg) {
+  const SustainedRates& r = cfg.kind == StencilKind::ImprovedStaggered
+                                ? cfg.cluster.gpu.staggered_dslash
+                                : cfg.cluster.gpu.wilson_dslash;
+  double base = 0;
+  switch (cfg.precision) {
+    case Precision::Half: base = r.half; break;
+    case Precision::Single: base = r.single; break;
+    case Precision::Double: base = r.dbl; break;
+  }
+  // The calibration baseline is reconstruct-12 for Wilson-type stencils and
+  // no reconstruction for staggered; a different choice rescales the
+  // (bandwidth-bound) rate by the byte ratio.
+  const Reconstruct baseline = cfg.kind == StencilKind::ImprovedStaggered
+                                   ? Reconstruct::None
+                                   : Reconstruct::Twelve;
+  if (cfg.recon != baseline) {
+    base *= dslash_bytes_per_site(cfg.kind, cfg.precision, baseline) /
+            dslash_bytes_per_site(cfg.kind, cfg.precision, cfg.recon);
+  }
+  return base;
+}
+
+DslashModelResult model_dslash(const DslashModelConfig& cfg,
+                               double site_fraction) {
+  DslashModelResult out;
+  const Partitioning& part = cfg.part;
+  const double v_local =
+      static_cast<double>(part.local().volume()) * site_fraction;
+  const double flops_site = dslash_flops_per_site(cfg.kind);
+  const GpuSpec& gpu = cfg.cluster.gpu;
+
+  int xyz_partitioned = 0;
+  for (int mu = 0; mu < kNDim - 1; ++mu) {
+    if (part.partitioned(mu)) ++xyz_partitioned;
+  }
+  const double rate = sustained_kernel_gflops(cfg) * gpu.saturation(v_local) *
+                      (1.0 - gpu.xyz_partition_penalty * xyz_partitioned);
+
+  // Split the stencil work into interior and per-dimension exterior shares.
+  // Wilson: each face slice owes 1 of its 8 direction terms to the ghost
+  // zone; staggered: layer 0 owes 2 of 16 (1- and 3-hop), layers 1-2 owe
+  // 1 of 16 each.
+  StreamScheduleInput sched;
+  sched.cluster = cfg.cluster;
+  // Consecutive ranks along the last (T-most) partitioned dimension are
+  // paired on a node (typical job mapping, two GPUs per node), so one of
+  // that dimension's two messages is intra-node.
+  int intra_node_dim = -1;
+  for (int mu = kNDim - 1; mu >= 0; --mu) {
+    if (part.partitioned(mu)) {
+      intra_node_dim = mu;
+      break;
+    }
+  }
+  double exterior_flops_total = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (!part.partitioned(mu)) continue;
+    const double face_sites = v_local / part.local().dim(mu);
+    double ext_site_fraction = 0;
+    if (cfg.kind == StencilKind::ImprovedStaggered) {
+      ext_site_fraction = 2.0 * (2.0 + 1.0 + 1.0) / 16.0;  // both faces
+    } else {
+      ext_site_fraction = 2.0 * 1.0 / 8.0;
+    }
+    const double ext_flops = face_sites * ext_site_fraction * flops_site;
+    exterior_flops_total += ext_flops;
+
+    StreamScheduleInput::Dim dim;
+    dim.mu = mu;
+    dim.message_bytes =
+        face_message_bytes(part, cfg.kind, cfg.precision, mu) * site_fraction;
+    // Gather kernel: read + write the face payload at memory bandwidth.
+    dim.gather_kernel_us = gpu.kernel_launch_us +
+                           2.0 * dim.message_bytes / (gpu.mem_bw_gbs * 1e3);
+    const double uncoalesced =
+        mu == kNDim - 1 ? 1.0 : gpu.uncoalesced_exterior_factor;
+    dim.exterior_kernel_us =
+        gpu.kernel_launch_us + uncoalesced * ext_flops / (rate * 1e3);
+    dim.one_direction_intra_node =
+        mu == intra_node_dim && cfg.cluster.node.gpus_per_node > 1;
+    sched.dims.push_back(dim);
+  }
+
+  const double total_flops = v_local * flops_site;
+  sched.interior_kernel_us =
+      gpu.kernel_launch_us + (total_flops - exterior_flops_total) / (rate * 1e3);
+
+  out.schedule = simulate_dslash_streams(sched);
+  out.time_us = out.schedule.total_us;
+  out.interior_us = sched.interior_kernel_us;
+  out.comm_us = out.schedule.comm_critical_us;
+  out.idle_us = out.schedule.gpu_idle_us;
+  out.gflops_per_gpu = total_flops / (out.time_us * 1e3);
+  out.total_tflops = out.gflops_per_gpu * part.num_ranks() / 1000.0;
+  return out;
+}
+
+double dirichlet_dslash_us(const DslashModelConfig& cfg,
+                           double site_fraction) {
+  const double v_local =
+      static_cast<double>(cfg.part.local().volume()) * site_fraction;
+  int xyz_partitioned = 0;
+  for (int mu = 0; mu < kNDim - 1; ++mu) {
+    if (cfg.part.partitioned(mu)) ++xyz_partitioned;
+  }
+  // The Dirichlet-cut kernels execute the same partition-aware code paths,
+  // so the per-dimension kernel penalty applies here as well.
+  const double rate =
+      sustained_kernel_gflops(cfg) * cfg.cluster.gpu.saturation(v_local) *
+      (1.0 - cfg.cluster.gpu.xyz_partition_penalty * xyz_partitioned);
+  return cfg.cluster.gpu.kernel_launch_us +
+         v_local * dslash_flops_per_site(cfg.kind) / (rate * 1e3);
+}
+
+}  // namespace lqcd

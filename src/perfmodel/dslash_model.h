@@ -1,0 +1,51 @@
+#pragma once
+/// \file dslash_model.h
+/// \brief End-to-end time model of one partitioned dslash application:
+/// kernel-time estimates (sustained rate x small-volume saturation) feed
+/// the Fig. 4 stream schedule, producing the per-GPU Gflops curves of
+/// Figs. 5 and 6.
+
+#include "lattice/partition.h"
+#include "perfmodel/stencil.h"
+#include "perfmodel/stream_schedule.h"
+
+namespace lqcd {
+
+struct DslashModelConfig {
+  /// Global volume + GPU grid; the default is a placeholder callers
+  /// overwrite.
+  Partitioning part{LatticeGeometry({2, 2, 2, 2}), {1, 1, 1, 1}};
+  StencilKind kind = StencilKind::Wilson;
+  Precision precision = Precision::Single;
+  Reconstruct recon = Reconstruct::Twelve;
+  ClusterSpec cluster;
+};
+
+struct DslashModelResult {
+  double time_us = 0;
+  double gflops_per_gpu = 0;
+  double total_tflops = 0;
+  double interior_us = 0;
+  double comm_us = 0;  ///< latest ghost arrival
+  double idle_us = 0;
+  StreamScheduleResult schedule;
+};
+
+/// Sustained kernel rate (Gflops) for the configured stencil/precision at
+/// full saturation, including the bandwidth effect of the reconstruction
+/// choice relative to the calibration baseline.
+double sustained_kernel_gflops(const DslashModelConfig& cfg);
+
+/// Models one application of the partitioned Dirac operator.
+/// \p site_fraction scales the active sites (and face payloads): 1.0 for a
+/// full-lattice operator, 0.5 for one parity of an even-odd preconditioned
+/// operator.
+DslashModelResult model_dslash(const DslashModelConfig& cfg,
+                               double site_fraction = 1.0);
+
+/// Kernel-only time of a Dirichlet-cut (communications-off) application —
+/// what the Schwarz preconditioner costs per inner dslash.
+double dirichlet_dslash_us(const DslashModelConfig& cfg,
+                           double site_fraction = 1.0);
+
+}  // namespace lqcd

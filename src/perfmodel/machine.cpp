@@ -1,0 +1,30 @@
+#include "perfmodel/machine.h"
+
+namespace lqcd {
+
+ClusterSpec edge_cluster() {
+  ClusterSpec c;
+  c.gpu.name = "Tesla M2050 (ECC)";
+  // Sustained dslash rates calibrated to the 8-GPU points of Fig. 5 and the
+  // 32-GPU points of Fig. 6 (see DESIGN.md §6).
+  c.gpu.wilson_dslash = {330.0, 235.0, 95.0};     // half / single / double
+  c.gpu.staggered_dslash = {210.0, 150.0, 90.0};  // no reconstruction
+  c.gpu.mem_bw_gbs = 120.0;
+  c.gpu.sat_volume_sites = 37000.0;
+  c.gpu.kernel_launch_us = 7.0;
+  return c;
+}
+
+CpuSystemSpec jaguar_xt4() { return {"Jaguar XT4 (mixed)", 0.60, 300.0}; }
+CpuSystemSpec jaguar_xt5() { return {"JaguarPF XT5 (mixed)", 1.10, 300.0}; }
+CpuSystemSpec intrepid_bgp() { return {"Intrepid BG/P (double)", 0.45, 150.0}; }
+CpuSystemSpec kraken_xt5() { return {"Kraken XT5 (double)", 0.23, 300.0}; }
+
+double cpu_sustained_tflops(const CpuSystemSpec& sys, double global_sites,
+                            int cores) {
+  const double sites_per_core = global_sites / cores;
+  const double eff = sites_per_core / (sites_per_core + sys.sat_sites_per_core);
+  return sys.per_core_gflops * cores * eff / 1000.0;
+}
+
+}  // namespace lqcd

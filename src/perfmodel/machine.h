@@ -1,0 +1,99 @@
+#pragma once
+/// \file machine.h
+/// \brief Hardware models: the Edge GPU cluster of §7.1 (dual Tesla M2050
+/// nodes, shared x16 PCI-E gen-2, QDR InfiniBand, no GPU-Direct) and the
+/// leadership-class CPU systems of Fig. 9.
+///
+/// Calibration sources, recorded in DESIGN.md §6:
+///  * M2050 (ECC on): ~120 GB/s effective memory bandwidth, 1030/515
+///    Gflops SP/DP peak; QUDA Wilson dslash reaches "up to 24% of peak".
+///  * The per-precision sustained dslash rates below are tuned so the
+///    8-GPU points of Figs. 5-6 land in the paper's plotted range.
+///  * sat_volume implements the paper's observation that a single GPU at
+///    the 256-GPU local volume runs ~2x slower than at the 16-GPU volume.
+
+#include <string>
+
+namespace lqcd {
+
+/// Per-precision sustained kernel rates (Gflops) at saturated volume.
+struct SustainedRates {
+  double half = 0;
+  double single = 0;
+  double dbl = 0;
+};
+
+struct GpuSpec {
+  std::string name;
+  SustainedRates wilson_dslash;     ///< sustained rate, reconstruct-12
+  SustainedRates staggered_dslash;  ///< sustained rate, no reconstruction
+  double mem_bw_gbs = 120.0;        ///< effective DRAM bandwidth (ECC on)
+  double sat_volume_sites = 37000;  ///< half-saturation local volume
+  double kernel_launch_us = 7.0;    ///< per-kernel launch overhead
+  /// Kernel-rate penalty per partitioned non-T dimension: X/Y/Z ghost
+  /// indexing costs coalescing and adds divergence (§6.2 — "XYZT ... has
+  /// the worst single-GPU performance"; Fig. 6's low-GPU ordering implies
+  /// the penalty is large).
+  double xyz_partition_penalty = 0.08;
+  /// Slowdown of X/Y/Z exterior kernels from the unavoidable uncoalesced
+  /// accesses on one side of the update (§6.2).
+  double uncoalesced_exterior_factor = 2.0;
+
+  /// Small-volume efficiency: V / (V + sat_volume).
+  double saturation(double local_sites) const {
+    return local_sites / (local_sites + sat_volume_sites);
+  }
+};
+
+struct NodeSpec {
+  int gpus_per_node = 2;
+  double pcie_gbs_per_gpu = 3.0;  ///< x16 gen2 shared by two GPUs via switch
+  double pcie_latency_us = 10.0;
+  double ib_gbs_per_node = 3.0;   ///< QDR InfiniBand, effective
+  double ib_latency_us = 5.0;
+  double host_memcpy_gbs = 4.0;   ///< pinned <-> pageable staging copies
+  int host_copies_per_message = 2;  ///< §6.3: no GPU-Direct on Edge
+  double allreduce_base_us = 15.0;  ///< per-doubling cost of a reduction
+  /// Fixed software cost per point-to-point message: stream
+  /// synchronization, MPI rendezvous and progress without asynchronous
+  /// engines (2011-era OpenMPI + staging copies).  Dominates at the small
+  /// message sizes of the 100+ GPU regime and is what the
+  /// communication-reducing GCR-DD solver amortizes away.
+  double message_overhead_us = 200.0;
+};
+
+struct ClusterSpec {
+  GpuSpec gpu;
+  NodeSpec node;
+
+  double ib_gbs_per_gpu() const {
+    return node.ib_gbs_per_node / node.gpus_per_node;
+  }
+  /// MPI_Allreduce latency across n ranks (log-tree model).
+  double allreduce_us(int n_ranks) const {
+    double t = 0;
+    for (int n = 1; n < n_ranks; n *= 2) t += node.allreduce_base_us;
+    return t;
+  }
+};
+
+/// The Edge cluster at LLNL as described in §7.1.
+ClusterSpec edge_cluster();
+
+/// CPU capability systems of Fig. 9, modelled at solver level.
+struct CpuSystemSpec {
+  std::string name;
+  double per_core_gflops = 0;     ///< sustained solver rate at large volume
+  double sat_sites_per_core = 0;  ///< strong-scaling half-saturation point
+};
+
+CpuSystemSpec jaguar_xt4();   ///< Cray XT4, mixed-precision BiCGstab
+CpuSystemSpec jaguar_xt5();   ///< Cray XT5 (JaguarPF), mixed precision
+CpuSystemSpec intrepid_bgp(); ///< BlueGene/P, pure double precision
+CpuSystemSpec kraken_xt5();   ///< Cray XT5 (Kraken), double multi-shift CG
+
+/// Sustained solver Tflops at a given core count and global volume.
+double cpu_sustained_tflops(const CpuSystemSpec& sys, double global_sites,
+                            int cores);
+
+}  // namespace lqcd

@@ -1,0 +1,106 @@
+#include "perfmodel/solver_model.h"
+
+namespace lqcd {
+
+namespace {
+
+int spinor_reals(StencilKind k) {
+  return k == StencilKind::ImprovedStaggered ? 6 : 24;
+}
+
+/// Global flops of one Schur apply (dslash on both parities + clover).
+double schur_flops(const DslashModelConfig& cfg) {
+  return static_cast<double>(cfg.part.global().volume()) *
+         dslash_flops_per_site(cfg.kind);
+}
+
+}  // namespace
+
+double blas_pass_us(const DslashModelConfig& cfg, double sites_per_gpu,
+                    int reals_per_site, int vectors) {
+  const GpuSpec& gpu = cfg.cluster.gpu;
+  const double bytes = sites_per_gpu * reals_per_site *
+                       bytes_per_real(cfg.precision) * vectors;
+  return gpu.kernel_launch_us + bytes / (gpu.mem_bw_gbs * 1e3);
+}
+
+double schur_apply_us(const DslashModelConfig& cfg) {
+  // Two parity dslashes, each over half the sites with half the face
+  // payload, plus the diagonal (clover) kernels folded into the stencil
+  // flop count.
+  return 2.0 * model_dslash(cfg, 0.5).time_us;
+}
+
+IterationCost bicgstab_iteration(const SolverModelConfig& cfg) {
+  const DslashModelConfig& d = cfg.dslash;
+  const double half_sites_per_gpu =
+      0.5 * static_cast<double>(d.part.local().volume());
+  const int reals = spinor_reals(d.kind);
+  IterationCost out;
+  // Two Schur applies (v = A p, t = A s).
+  out.time_us = 2.0 * schur_apply_us(d);
+  // ~10 vector streams of BLAS-1 (p/s/t/x/r updates) and 4 global
+  // reductions.
+  out.time_us += blas_pass_us(d, half_sites_per_gpu, reals, 10);
+  out.time_us += 4.0 * d.cluster.allreduce_us(d.part.num_ranks());
+  out.flops = 2.0 * schur_flops(d) +
+              10.0 * half_sites_per_gpu * reals * d.part.num_ranks();
+  return out;
+}
+
+IterationCost gcr_dd_iteration(const SolverModelConfig& cfg) {
+  const DslashModelConfig& d = cfg.dslash;
+  const double half_sites_per_gpu =
+      0.5 * static_cast<double>(d.part.local().volume());
+  const int reals = spinor_reals(d.kind);
+  IterationCost out;
+
+  // Preconditioner: n_mr MR steps on the Dirichlet-cut Schur operator in
+  // the preconditioner precision.  No ghost exchange, no global
+  // reductions: block-local BLAS only.
+  DslashModelConfig pre = d;
+  pre.precision = cfg.precond_precision;
+  const double pre_apply = 2.0 * dirichlet_dslash_us(pre, 0.5);
+  const double pre_blas = blas_pass_us(pre, half_sites_per_gpu, reals, 4);
+  out.time_us += cfg.n_mr * (pre_apply + pre_blas);
+  out.flops += cfg.n_mr *
+               (schur_flops(d) +
+                4.0 * half_sites_per_gpu * reals * d.part.num_ranks());
+
+  // One communicating Schur apply (z = A p).
+  out.time_us += schur_apply_us(d);
+  out.flops += schur_flops(d);
+
+  // Orthogonalization against on average kmax/2 basis vectors.  The dot
+  // products against the whole basis are batched into a single fused
+  // reduction (QUDA's multi-dot; part of the "implicit solution update
+  // scheme ... reduces the orthogonalization overhead" of §8.1), so the
+  // reduction count per iteration is O(1), not O(k).
+  const double k_avg = cfg.kmax / 2.0;
+  out.time_us += blas_pass_us(d, half_sites_per_gpu, reals,
+                              static_cast<int>(4 * k_avg) + 4);
+  out.time_us += 2.0 * d.cluster.allreduce_us(d.part.num_ranks());
+  out.flops += (4.0 * k_avg + 4.0) * half_sites_per_gpu * reals *
+               d.part.num_ranks();
+  return out;
+}
+
+IterationCost multishift_iteration(const SolverModelConfig& cfg) {
+  const DslashModelConfig& d = cfg.dslash;
+  const double half_sites_per_gpu =
+      0.5 * static_cast<double>(d.part.local().volume());
+  const int reals = spinor_reals(d.kind);
+  IterationCost out;
+  out.time_us = schur_apply_us(d);
+  out.flops = schur_flops(d);
+  // Base CG BLAS plus the per-shift x/p updates — "the extra BLAS1-type
+  // linear algebra incurred is extremely bandwidth intensive" (§8.2).
+  const int passes = 6 + 4 * cfg.num_shifts;
+  out.time_us += blas_pass_us(d, half_sites_per_gpu, reals, passes);
+  out.time_us += 2.0 * d.cluster.allreduce_us(d.part.num_ranks());
+  out.flops +=
+      passes * half_sites_per_gpu * reals * d.part.num_ranks();
+  return out;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,51 @@
+#pragma once
+/// \file solver_model.h
+/// \brief Per-iteration time and flop models of the three production
+/// solvers, combined with *measured* iteration counts by the Fig. 7/8/10
+/// benches.
+///
+/// The flop conventions follow the paper: sustained solver Gflops count
+/// every executed flop (including half-precision preconditioner work, which
+/// is why GCR-DD posts higher raw flops than its time advantage — "the raw
+/// flop count is not a good metric of actual speed", §9.1).
+
+#include "perfmodel/dslash_model.h"
+
+namespace lqcd {
+
+/// One outer iteration's cost.
+struct IterationCost {
+  double time_us = 0;
+  double flops = 0;  ///< executed flops per GPU x num_gpus (global)
+};
+
+struct SolverModelConfig {
+  DslashModelConfig dslash;            ///< operator + machine
+  Precision precond_precision = Precision::Half;
+  int n_mr = 10;     ///< MR steps in the Schwarz preconditioner
+  int kmax = 16;     ///< GCR basis (orthogonalization cost ~ kmax/2 dots)
+  int num_shifts = 1;
+};
+
+/// Time for one pass over \p vectors full spinor-like fields of
+/// \p reals_per_site reals (bandwidth bound) on one GPU.
+double blas_pass_us(const DslashModelConfig& cfg, double sites_per_gpu,
+                    int reals_per_site, int vectors);
+
+/// One application of the even-odd Schur operator (two parity dslashes,
+/// ghost exchange each).
+double schur_apply_us(const DslashModelConfig& cfg);
+
+/// Mixed-precision BiCGstab: per-iteration cost of the inner (dominant)
+/// solver.
+IterationCost bicgstab_iteration(const SolverModelConfig& cfg);
+
+/// GCR-DD: one Krylov step = preconditioner (n_mr Dirichlet dslashes in
+/// precond precision, block-local reductions only) + one communicating
+/// Schur apply + orthogonalization against ~kmax/2 basis vectors.
+IterationCost gcr_dd_iteration(const SolverModelConfig& cfg);
+
+/// Multi-shift CG: one Schur apply plus the heavy per-shift BLAS tail.
+IterationCost multishift_iteration(const SolverModelConfig& cfg);
+
+}  // namespace lqcd

@@ -1,0 +1,94 @@
+#pragma once
+/// \file stencil.h
+/// \brief Analytic flop and byte counts of the Dirac stencils, the inputs
+/// to the performance model.  The ghost-traffic formulas are asserted
+/// against the metered ExchangeCounters of the real implementation in
+/// tests/test_perfmodel.cpp, so the model prices exactly the bytes the code
+/// moves.
+
+#include <algorithm>
+
+#include "fields/precision.h"
+#include "lattice/partition.h"
+#include "linalg/reconstruct.h"
+
+namespace lqcd {
+
+/// Standard (QUDA/MILC) useful-flop conventions.
+inline constexpr double kWilsonDslashFlopsPerSite = 1320.0;
+inline constexpr double kCloverFlopsPerSite = 504.0;
+inline constexpr double kStaggeredDslashFlopsPerSite = 1146.0;
+
+enum class StencilKind { Wilson, WilsonClover, ImprovedStaggered };
+
+inline double dslash_flops_per_site(StencilKind k) {
+  switch (k) {
+    case StencilKind::Wilson: return kWilsonDslashFlopsPerSite;
+    case StencilKind::WilsonClover:
+      return kWilsonDslashFlopsPerSite + kCloverFlopsPerSite;
+    case StencilKind::ImprovedStaggered:
+      return kStaggeredDslashFlopsPerSite;
+  }
+  return 0;
+}
+
+/// Device-memory traffic of one dslash per site (loads + store), used for
+/// bandwidth-bound kernel estimates and reconstruction ablations.
+inline double dslash_bytes_per_site(StencilKind k, Precision prec,
+                                    Reconstruct recon) {
+  const double b = bytes_per_real(prec);
+  switch (k) {
+    case StencilKind::Wilson:
+      return (8 * 24 + 24) * b + 8 * reals_per_link(recon) * b;
+    case StencilKind::WilsonClover:
+      return (8 * 24 + 24 + 72) * b + 8 * reals_per_link(recon) * b;
+    case StencilKind::ImprovedStaggered:
+      // 8 fat + 8 long neighbours, links never reconstructed in the paper.
+      return (16 * 6 + 6) * b + 16 * 18 * b;
+  }
+  return 0;
+}
+
+/// Ghost spinor payload per boundary site and direction, on the wire.
+/// Wilson packs spin-projected half spinors (12 reals); staggered sends
+/// full 6-real color vectors on each of the 3 layers its stencil reaches.
+inline double ghost_reals_per_face_site(StencilKind k) {
+  switch (k) {
+    case StencilKind::Wilson:
+    case StencilKind::WilsonClover:
+      return 12.0;
+    case StencilKind::ImprovedStaggered:
+      return 3 * 6.0;
+  }
+  return 0;
+}
+
+/// Wire bytes per real of ghost payload.  Ghost zones are exchanged in at
+/// least single precision even for half-precision operators (the SC'11-era
+/// transfer path staged through fp32 buffers) — this is what makes the
+/// half- and single-precision curves of Fig. 5 converge once the operator
+/// is communication bound.
+inline int wire_bytes_per_real(Precision p) {
+  return std::max(4, bytes_per_real(p));
+}
+
+/// Bytes one rank sends per dslash in one direction of dimension mu.
+inline double face_message_bytes(const Partitioning& part, StencilKind k,
+                                 Precision prec, int mu) {
+  if (!part.partitioned(mu)) return 0.0;
+  const double face_sites =
+      static_cast<double>(part.local().volume()) / part.local().dim(mu);
+  return face_sites * ghost_reals_per_face_site(k) * wire_bytes_per_real(prec);
+}
+
+/// Total wire bytes one rank sends per dslash (both directions, all dims).
+inline double total_face_bytes(const Partitioning& part, StencilKind k,
+                               Precision prec) {
+  double total = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    total += 2.0 * face_message_bytes(part, k, prec, mu);
+  }
+  return total;
+}
+
+}  // namespace lqcd

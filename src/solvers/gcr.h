@@ -1,0 +1,201 @@
+#pragma once
+/// \file gcr.h
+/// \brief Flexible generalized conjugate residual, implementing the paper's
+/// Algorithm 1 (mixed-precision GCR-DD) faithfully:
+///
+///  * flexible: the preconditioner K may change between iterations (an
+///    inexact iterative solve), so the full Krylov basis is stored and
+///    explicitly orthogonalized;
+///  * restarts: when the basis reaches kmax, the solution contribution is
+///    recovered by the *implicit update* — back-substitution of the
+///    triangular system gamma_l chi_l + sum_{i>l} beta_{l,i} chi_i =
+///    alpha_l — which avoids an extra stored vector per step (following
+///    Luscher, ref. [20] of the paper);
+///  * the delta test: if the in-basis residual has already dropped by more
+///    than delta relative to the cycle's starting residual, restart early —
+///    protecting the half-precision iterated residual from drifting away
+///    from the true residual;
+///  * precision split: the Krylov basis and preconditioner run in storage
+///    precision emulated by the low_store hook (half in the paper's
+///    production config), while every restart recomputes the true residual
+///    in the field's working precision.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "dirac/operator.h"
+#include "fields/blas.h"
+#include "solvers/solver_stats.h"
+#include "util/log.h"
+
+namespace lqcd {
+
+struct GcrParams {
+  double tol = 1e-5;   ///< relative residual target
+  int kmax = 16;       ///< maximum Krylov basis size between restarts
+  double delta = 0.1;  ///< early-restart threshold on in-cycle residual drop
+  int max_iter = 2000; ///< total Krylov steps across restarts
+  int max_restarts = 500;
+};
+
+/// Solves A x = b with right-preconditioned flexible GCR.  \p precond may
+/// be null (plain GCR).  \p low_store, when set, emulates reduced storage
+/// precision on the Krylov vectors (Algorithm 1's hatted quantities).
+template <typename Field>
+SolverStats gcr_solve(const LinearOperator<Field>& a, Field& x, const Field& b,
+                      const LinearOperator<Field>* precond,
+                      const GcrParams& params,
+                      const std::function<void(Field&)>& low_store = nullptr) {
+  SolverStats stats;
+  const double b2 = norm2(b);
+  if (b2 == 0) {
+    set_zero(x);
+    stats.converged = true;
+    return stats;
+  }
+  const double target = params.tol * std::sqrt(b2);
+
+  const LatticeGeometry& geom = a.geometry();
+  Field r(geom);     // high-precision residual r0 of Algorithm 1
+  Field rhat(geom);  // iterated (storage-precision) residual
+  Field tmp(geom);
+
+  // Krylov storage: preconditioned directions p_hat and images z_hat.
+  std::vector<Field> p;
+  std::vector<Field> z;
+  p.reserve(static_cast<std::size_t>(params.kmax));
+  z.reserve(static_cast<std::size_t>(params.kmax));
+  std::vector<std::vector<std::complex<double>>> beta(
+      static_cast<std::size_t>(params.kmax));
+  std::vector<double> gamma(static_cast<std::size_t>(params.kmax));
+  std::vector<std::complex<double>> alpha(
+      static_cast<std::size_t>(params.kmax));
+
+  // r = b - A x.
+  a.apply(tmp, x);
+  ++stats.matvecs;
+  copy(r, b);
+  axpy(-1.0, tmp, r);
+  double rnorm = std::sqrt(norm2(r));
+
+  copy(rhat, r);
+  if (low_store) low_store(rhat);
+
+  int k = 0;
+  double cycle_start_norm = rnorm;
+
+  auto restart = [&](bool final_update) {
+    // Implicit solution update: back-substitute for chi, then
+    // x += sum chi_l p_l.
+    for (int l = k - 1; l >= 0; --l) {
+      std::complex<double> chi = alpha[static_cast<std::size_t>(l)];
+      for (int i = l + 1; i < k; ++i) {
+        chi -= beta[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)] *
+               alpha[static_cast<std::size_t>(i)];
+      }
+      // Reuse alpha[l] to hold chi_l (classic in-place back substitution).
+      alpha[static_cast<std::size_t>(l)] =
+          chi / gamma[static_cast<std::size_t>(l)];
+    }
+    for (int l = 0; l < k; ++l) {
+      caxpy(alpha[static_cast<std::size_t>(l)], p[static_cast<std::size_t>(l)],
+            x);
+    }
+    k = 0;
+    p.clear();
+    z.clear();
+    if (!final_update) {
+      // High-precision restart: recompute the true residual.
+      a.apply(tmp, x);
+      ++stats.matvecs;
+      copy(r, b);
+      axpy(-1.0, tmp, r);
+      rnorm = std::sqrt(norm2(r));
+      copy(rhat, r);
+      if (low_store) low_store(rhat);
+      cycle_start_norm = rnorm;
+      ++stats.restarts;
+    }
+  };
+
+  while (rnorm > target && stats.iterations < params.max_iter &&
+         stats.restarts < params.max_restarts) {
+    // p_k = K rhat_k ; z_k = A p_k.
+    p.emplace_back(geom);
+    z.emplace_back(geom);
+    Field& pk = p.back();
+    Field& zk = z.back();
+    if (precond != nullptr) {
+      precond->apply(pk, rhat);
+    } else {
+      copy(pk, rhat);
+    }
+    if (low_store) low_store(pk);
+    a.apply(zk, pk);
+    ++stats.matvecs;
+    if (low_store) low_store(zk);
+
+    // Orthogonalize z_k against the basis.
+    auto& beta_k = beta[static_cast<std::size_t>(k)];
+    beta_k.assign(static_cast<std::size_t>(params.kmax), {});
+    for (int i = 0; i < k; ++i) {
+      const std::complex<double> bik = dot(z[static_cast<std::size_t>(i)], zk);
+      // Store beta_{i,k} at row i of column k: beta[i][k].
+      beta[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = bik;
+      caxpy(-bik, z[static_cast<std::size_t>(i)], zk);
+    }
+    const double gk = std::sqrt(norm2(zk));
+    if (gk == 0) {
+      // Exact breakdown: the preconditioned direction added nothing.
+      p.pop_back();
+      z.pop_back();
+      restart(false);
+      continue;
+    }
+    gamma[static_cast<std::size_t>(k)] = gk;
+    scale(1.0 / gk, zk);
+    if (low_store) low_store(zk);
+
+    const std::complex<double> ak = dot(zk, rhat);
+    alpha[static_cast<std::size_t>(k)] = ak;
+    caxpy(-ak, zk, rhat);
+    if (low_store) low_store(rhat);
+    ++k;
+    ++stats.iterations;
+
+    const double rhat_norm = std::sqrt(norm2(rhat));
+    if (log_enabled(LogLevel::Debug)) {
+      log_debug("gcr: iter " + std::to_string(stats.iterations) +
+                " |rhat| = " + std::to_string(rhat_norm));
+    }
+    if (k == params.kmax || rhat_norm < params.delta * cycle_start_norm ||
+        rhat_norm < target) {
+      restart(false);
+    }
+  }
+
+  if (k > 0) restart(true);
+  // Final true residual.
+  a.apply(tmp, x);
+  ++stats.matvecs;
+  Field rf(geom);
+  copy(rf, b);
+  axpy(-1.0, tmp, rf);
+  stats.final_residual = std::sqrt(norm2(rf) / b2);
+  stats.converged = stats.final_residual <= params.tol;
+  return stats;
+}
+
+/// Convenience overload for unpreconditioned GCR (lets callers pass a
+/// literal nullptr without naming the operator type).
+template <typename Field>
+SolverStats gcr_solve(const LinearOperator<Field>& a, Field& x, const Field& b,
+                      std::nullptr_t, const GcrParams& params,
+                      const std::function<void(Field&)>& low_store = nullptr) {
+  return gcr_solve(a, x, b,
+                   static_cast<const LinearOperator<Field>*>(nullptr), params,
+                   low_store);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,78 @@
+#pragma once
+/// \file normal_cg.h
+/// \brief CGNE / CGNR — conjugate gradients on the normal equations, the
+/// classic alternative to BiCGstab for non-Hermitian Wilson systems (§3.1).
+/// Both use the gamma5-Hermiticity A^dag = g5 A g5 of Wilson-type
+/// operators, so no adjoint operator implementation is needed.
+
+#include "dirac/wilson_ops.h"
+#include "solvers/cg.h"
+
+namespace lqcd {
+
+namespace detail {
+
+/// A A^dag via the gamma5 trick (for CGNE).
+template <typename Real>
+class WilsonNormalEquationOperator
+    : public LinearOperator<WilsonField<Real>> {
+ public:
+  explicit WilsonNormalEquationOperator(const WilsonCloverOperator<Real>& m)
+      : m_(&m), tmp_(m.geometry()) {}
+
+  void apply(WilsonField<Real>& out,
+             const WilsonField<Real>& in) const override {
+    // out = A g5 A g5 in.
+    copy(tmp_, in);
+    apply_gamma5_field(tmp_);
+    m_->apply(out, tmp_);
+    apply_gamma5_field(out);
+    copy(tmp_, out);
+    m_->apply(out, tmp_);
+  }
+
+  const LatticeGeometry& geometry() const override { return m_->geometry(); }
+
+ private:
+  const WilsonCloverOperator<Real>* m_;
+  mutable WilsonField<Real> tmp_;
+};
+
+}  // namespace detail
+
+/// CGNR: solves A x = b through A^dag A x = A^dag b.  Minimizes the
+/// residual norm |b - A x| over the Krylov space.
+template <typename Real>
+SolverStats cgnr_solve(const WilsonCloverOperator<Real>& a,
+                       WilsonField<Real>& x, const WilsonField<Real>& b,
+                       const CgParams& params = {}) {
+  WilsonNormalOperator<Real> normal(a);
+  // rhs = A^dag b = g5 A g5 b.
+  WilsonField<Real> rhs(a.geometry());
+  copy(rhs, b);
+  apply_gamma5_field(rhs);
+  WilsonField<Real> tmp(a.geometry());
+  a.apply(tmp, rhs);
+  copy(rhs, tmp);
+  apply_gamma5_field(rhs);
+  return cg_solve(normal, x, rhs, params);
+}
+
+/// CGNE: solves A x = b through A A^dag y = b, x = A^dag y.  Minimizes the
+/// error norm |x - x*|.
+template <typename Real>
+SolverStats cgne_solve(const WilsonCloverOperator<Real>& a,
+                       WilsonField<Real>& x, const WilsonField<Real>& b,
+                       const CgParams& params = {}) {
+  detail::WilsonNormalEquationOperator<Real> normal(a);
+  WilsonField<Real> y(a.geometry());
+  set_zero(y);
+  const SolverStats stats = cg_solve(normal, y, b, params);
+  // x = A^dag y = g5 A g5 y.
+  apply_gamma5_field(y);
+  a.apply(x, y);
+  apply_gamma5_field(x);
+  return stats;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,132 @@
+#pragma once
+/// \file overlap_schwarz.h
+/// \brief Overlapping (restricted) additive Schwarz preconditioner — the
+/// "tunable parameter" of §3.2: "a greater degree of overlap ... will
+/// typically lead to requiring fewer iterations to reach convergence,
+/// since, heuristically, the larger sub blocks will approximate better the
+/// original matrix".
+///
+/// Each Schwarz block is grown by \p overlap sites on both faces of every
+/// cut dimension; the block system is solved with Dirichlet conditions on
+/// the *extended* boundary (a RegionMask-cut operator), and the update is
+/// restricted to the original (core) block so overlapping corrections are
+/// not double counted — the classic restricted additive Schwarz (RAS)
+/// combination.  With overlap = 0 this reduces exactly to the paper's
+/// non-overlapping preconditioner (asserted in tests).
+///
+/// Because extended blocks overlap, the block solves can no longer share a
+/// single masked global operator; each block gets its own RegionMask and a
+/// sequential MR solve.  On a real cluster each rank would solve only its
+/// own extended block — the sequential loop here is the virtual-cluster
+/// serialization of that, and the extra cost of overlap (larger blocks,
+/// halo exchange of the overlap region before each application) is the
+/// trade the paper alludes to.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dirac/operator.h"
+#include "lattice/block_mask.h"
+#include "lattice/link_cut.h"
+#include "solvers/mr.h"
+
+namespace lqcd {
+
+struct OverlapSchwarzParams {
+  int overlap = 1;  ///< sites of extension per cut face
+  MrParams mr{10, 1.0};
+};
+
+/// Factory for the per-block Dirichlet-cut operator given a region mask.
+/// (The preconditioner cannot build operators itself without knowing the
+/// operator type; callers supply a lambda returning a fresh operator bound
+/// to the given LinkCut.)
+template <typename Field>
+using RegionOperatorFactory =
+    std::function<std::unique_ptr<LinearOperator<Field>>(const LinkCut&)>;
+
+template <typename Field>
+class OverlapSchwarzPreconditioner : public LinearOperator<Field> {
+ public:
+  OverlapSchwarzPreconditioner(const LatticeGeometry& geom,
+                               const BlockMask& blocks,
+                               RegionOperatorFactory<Field> factory,
+                               OverlapSchwarzParams params)
+      : geom_(geom), blocks_(&blocks), params_(params) {
+    // Precompute each block's extended region, core region, and the
+    // region-cut operator.  The operators keep pointers to the stored
+    // RegionMasks, so the vectors must never reallocate after this.
+    cores_.reserve(static_cast<std::size_t>(blocks.num_blocks()));
+    regions_.reserve(static_cast<std::size_t>(blocks.num_blocks()));
+    ops_.reserve(static_cast<std::size_t>(blocks.num_blocks()));
+    for (int b = 0; b < blocks.num_blocks(); ++b) {
+      const Coord bc = blocks.block_coords(b);
+      Coord lo;
+      std::array<int, kNDim> core_ext{}, wide_ext{};
+      Coord wide_lo;
+      for (int mu = 0; mu < kNDim; ++mu) {
+        const auto m = static_cast<std::size_t>(mu);
+        const int bd = blocks.block_dim(mu);
+        lo[mu] = bc[mu] * bd;
+        core_ext[m] = bd;
+        if (blocks.grid()[m] > 1) {
+          wide_lo[mu] = lo[mu] - params.overlap;
+          wide_ext[m] = std::min(bd + 2 * params.overlap, geom.dim(mu));
+        } else {
+          wide_lo[mu] = lo[mu];
+          wide_ext[m] = geom.dim(mu);  // uncut dimension
+        }
+      }
+      cores_.emplace_back(geom, lo, core_ext);
+      regions_.emplace_back(geom, wide_lo, wide_ext);
+      ops_.push_back(factory(regions_.back()));
+    }
+  }
+
+  void apply(Field& out, const Field& in) const override {
+    set_zero(out);
+    Field rhs(geom_);
+    Field e(geom_);
+    for (std::size_t b = 0; b < regions_.size(); ++b) {
+      // Restrict the residual to the extended block (the halo-exchange
+      // step on a real cluster), solve, and keep only the core update.
+      copy(rhs, in);
+      zero_outside(rhs, regions_[b]);
+      set_zero(e);
+      const SolverStats s = mr_solve(*ops_[b], e, rhs, params_.mr);
+      inner_steps_ += s.iterations;
+      accumulate_core(out, e, cores_[b]);
+    }
+  }
+
+  const LatticeGeometry& geometry() const override { return geom_; }
+
+  int inner_steps() const { return inner_steps_; }
+
+ private:
+  void zero_outside(Field& f, const RegionMask& region) const {
+    for (std::int64_t s = 0; s < geom_.volume(); ++s) {
+      if (!region.contains(geom_.eo_coords(s))) {
+        f.at(s) = typename Field::site_type{};
+      }
+    }
+  }
+
+  void accumulate_core(Field& out, const Field& e,
+                       const RegionMask& core) const {
+    for (std::int64_t s = 0; s < geom_.volume(); ++s) {
+      if (core.contains(geom_.eo_coords(s))) out.at(s) += e.at(s);
+    }
+  }
+
+  LatticeGeometry geom_;
+  const BlockMask* blocks_;
+  OverlapSchwarzParams params_;
+  std::vector<RegionMask> cores_;
+  std::vector<RegionMask> regions_;
+  std::vector<std::unique_ptr<LinearOperator<Field>>> ops_;
+  mutable int inner_steps_ = 0;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,100 @@
+#pragma once
+/// \file sap.h
+/// \brief Multiplicative Schwarz (Schwarz Alternating Procedure, SAP)
+/// preconditioner — the Luscher scheme the paper cites as related work
+/// (ref. [20]) and names among the "more sophisticated methods" expected to
+/// improve on the non-overlapping additive preconditioner (§10).
+///
+/// The Schwarz blocks are coloured red/black on the block grid.  One SAP
+/// cycle updates the red blocks from the current residual, *recomputes the
+/// residual through the full operator* (this is the multiplicative step —
+/// and the step that costs communication, unlike the additive method), then
+/// updates the black blocks.  Block solves reuse the Dirichlet-cut operator
+/// and block-local MR of the additive path; a residual restricted to one
+/// colour stays on that colour through the block-diagonal A_D, so no
+/// per-block machinery is needed beyond the mask.
+
+#include <functional>
+#include <vector>
+
+#include "dirac/operator.h"
+#include "solvers/mr.h"
+
+namespace lqcd {
+
+struct SapParams {
+  int cycles = 1;      ///< red+black sweeps per application
+  MrParams mr{4, 1.0}; ///< block solve accuracy per half-step
+};
+
+/// Zeroes every site whose block colour differs from \p color.
+template <typename Field>
+void restrict_to_color(Field& f, const BlockMask& mask, int color) {
+  auto sites = f.sites();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (mask.block_color(mask.block_of_site(static_cast<std::int64_t>(i))) !=
+        color) {
+      sites[i] = typename Field::site_type{};
+    }
+  }
+}
+
+template <typename Field>
+class SapPreconditioner : public LinearOperator<Field> {
+ public:
+  /// \param full_op the communicating operator A (used for the residual
+  ///   update between colours).
+  /// \param dirichlet_op the block-decoupled operator A_D.
+  SapPreconditioner(const LinearOperator<Field>& full_op,
+                    const LinearOperator<Field>& dirichlet_op,
+                    const BlockMask& mask, SapParams params,
+                    std::function<void(Field&)> low_store = nullptr)
+      : full_(&full_op), dirichlet_(&dirichlet_op), mask_(&mask),
+        params_(params), low_store_(std::move(low_store)) {}
+
+  void apply(Field& out, const Field& in) const override {
+    const LatticeGeometry& g = full_->geometry();
+    set_zero(out);
+    Field r(g);
+    copy(r, in);
+    if (low_store_) low_store_(r);
+    Field rc(g);
+    Field e(g);
+    Field ae(g);
+    for (int cycle = 0; cycle < params_.cycles; ++cycle) {
+      for (int color = 0; color < 2; ++color) {
+        copy(rc, r);
+        restrict_to_color(rc, *mask_, color);
+        set_zero(e);
+        const SolverStats s =
+            mr_solve(*dirichlet_, e, rc, params_.mr, mask_, low_store_);
+        inner_steps_ += s.iterations;
+        axpy(1.0, e, out);
+        // Multiplicative step: refresh the residual through the full
+        // operator before the next colour.
+        full_->apply(ae, e);
+        axpy(-1.0, ae, r);
+        if (low_store_) {
+          low_store_(out);
+          low_store_(r);
+        }
+      }
+    }
+  }
+
+  const LatticeGeometry& geometry() const override {
+    return full_->geometry();
+  }
+
+  int inner_steps() const { return inner_steps_; }
+
+ private:
+  const LinearOperator<Field>* full_;
+  const LinearOperator<Field>* dirichlet_;
+  const BlockMask* mask_;
+  SapParams params_;
+  std::function<void(Field&)> low_store_;
+  mutable int inner_steps_ = 0;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,19 @@
+#pragma once
+/// \file solver_stats.h
+/// \brief Common result record of every Krylov solver in the library.
+
+namespace lqcd {
+
+struct SolverStats {
+  int iterations = 0;        ///< outer iterations / Krylov steps
+  int matvecs = 0;           ///< operator applications (all precisions)
+  int restarts = 0;          ///< restart or reliable-update events
+  double final_residual = 0; ///< |r| / |b| at exit (true residual if checked)
+  bool converged = false;
+
+  /// Inner-solver work for nested methods (preconditioner MR steps,
+  /// low-precision inner iterations).
+  int inner_iterations = 0;
+};
+
+}  // namespace lqcd

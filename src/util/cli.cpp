@@ -1,0 +1,62 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace lqcd {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      // "--key=value" form.
+      if (auto eq = key.find('='); eq != std::string::npos) {
+        options_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      // "--key value" form, unless the next token is another option or
+      // missing, in which case it is a boolean flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[key] = argv[++i];
+      } else {
+        options_[key] = "true";
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) != 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("CliArgs: bad boolean for --" + key + ": " + v);
+}
+
+}  // namespace lqcd

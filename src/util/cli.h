@@ -1,0 +1,36 @@
+#pragma once
+/// \file cli.h
+/// \brief Tiny command-line option parser for the examples and bench
+/// harnesses ("--key value" and "--flag" forms).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lqcd {
+
+/// Parses "--key value" / "--flag" style argument lists.  Unknown keys are
+/// kept (harnesses validate their own option sets); positional arguments are
+/// collected in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// Value lookups with defaults; throw std::invalid_argument on a value
+  /// that does not parse.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace lqcd {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Silent: break;
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, std::string_view msg) {
+  if (!log_enabled(level) || level == LogLevel::Silent) return;
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[lqcd:";
+  line += level_name(level);
+  line += "] ";
+  line.append(msg);
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace lqcd

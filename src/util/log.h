@@ -1,0 +1,33 @@
+#pragma once
+/// \file log.h
+/// \brief Minimal leveled logging to stderr.
+///
+/// Verbosity is a process-global setting (solvers report per-iteration
+/// residuals at Debug level, restarts and summaries at Info).  The interface
+/// is printf-free: callers build the message with std::format-style helpers
+/// or ostringstream; we keep it simple and allocation-light.
+
+#include <string_view>
+
+namespace lqcd {
+
+enum class LogLevel { Silent = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Sets the global verbosity.  Thread-safe (relaxed atomic).
+void set_log_level(LogLevel level);
+
+/// Current global verbosity.
+LogLevel log_level();
+
+/// True if a message at \p level would be emitted.
+bool log_enabled(LogLevel level);
+
+/// Emits one line ("[lqcd:<level>] <msg>\n") to stderr if enabled.
+void log_message(LogLevel level, std::string_view msg);
+
+inline void log_error(std::string_view m) { log_message(LogLevel::Error, m); }
+inline void log_warn(std::string_view m) { log_message(LogLevel::Warn, m); }
+inline void log_info(std::string_view m) { log_message(LogLevel::Info, m); }
+inline void log_debug(std::string_view m) { log_message(LogLevel::Debug, m); }
+
+}  // namespace lqcd

@@ -1,0 +1,185 @@
+#include "util/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace lqcd {
+
+namespace {
+
+std::atomic<int> g_workers{0};  // 0 = not yet resolved
+
+int resolve_default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// A minimal persistent pool.  Lifecycle per job: run() publishes the job
+/// under the mutex and wakes the workers; each participating worker
+/// registers (active_) while holding the mutex, then consumes chunk
+/// tickets lock-free; run() returns only after every chunk completed AND
+/// every registered worker has deregistered, so no worker can touch a
+/// stale job once run() returns.
+class Pool {
+ public:
+  explicit Pool(int workers) : workers_(workers) {
+    for (int w = 0; w < workers_ - 1; ++w) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  int workers() const { return workers_; }
+
+  void run(int chunks,
+           const std::function<void(int, std::int64_t, std::int64_t)>& fn,
+           std::int64_t n) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      job_fn_ = &fn;
+      job_n_ = n;
+      job_chunks_ = chunks;
+      next_chunk_.store(0, std::memory_order_release);
+      done_chunks_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain();  // the calling thread participates
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [this] {
+      return done_chunks_ == job_chunks_ && active_ == 0;
+    });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  /// Consumes tickets for the currently published job.  Caller must ensure
+  /// the job fields are stable for the duration (run() guarantees this via
+  /// the active_ barrier).
+  void drain() {
+    const auto* fn = job_fn_;
+    const std::int64_t n = job_n_;
+    const int chunks = job_chunks_;
+    const std::int64_t per = (n + chunks - 1) / chunks;
+    int completed = 0;
+    for (;;) {
+      const int c = next_chunk_.fetch_add(1, std::memory_order_acq_rel);
+      if (c >= chunks) break;
+      const std::int64_t b = static_cast<std::int64_t>(c) * per;
+      const std::int64_t e = std::min<std::int64_t>(n, b + per);
+      if (b < e) (*fn)(c, b, e);
+      ++completed;
+    }
+    if (completed > 0) {
+      std::unique_lock<std::mutex> lock(m_);
+      done_chunks_ += completed;
+      if (done_chunks_ == job_chunks_) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        if (job_fn_ == nullptr) continue;
+        ++active_;  // registered: run() cannot return while we drain
+      }
+      drain();
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        --active_;
+        if (active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  int workers_;
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  const std::function<void(int, std::int64_t, std::int64_t)>* job_fn_ =
+      nullptr;
+  std::int64_t job_n_ = 0;
+  int job_chunks_ = 0;
+  std::atomic<int> next_chunk_{0};
+  int done_chunks_ = 0;  // guarded by m_
+};
+
+std::mutex g_pool_mutex;
+std::unique_ptr<Pool> g_pool;
+
+Pool& pool() {
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  const int want = worker_count();
+  if (!g_pool || g_pool->workers() != want) {
+    g_pool.reset();  // join old workers before spawning new ones
+    g_pool = std::make_unique<Pool>(want);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+int worker_count() {
+  int w = g_workers.load(std::memory_order_relaxed);
+  if (w == 0) {
+    w = resolve_default_workers();
+    g_workers.store(w, std::memory_order_relaxed);
+  }
+  return w;
+}
+
+void set_worker_count(int n) {
+  g_workers.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+int chunk_count_for(std::int64_t n) {
+  // A FIXED chunk grid (not worker-dependent): reductions combine the
+  // per-chunk partials in chunk order, so the result is bitwise identical
+  // for any worker count — including the serial fast path.
+  constexpr std::int64_t kChunks = 64;
+  const std::int64_t chunks = std::min<std::int64_t>(n, kChunks);
+  return chunks < 1 ? 1 : static_cast<int>(chunks);
+}
+
+void run_chunked(std::int64_t n, int chunks,
+                 const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (worker_count() == 1 || chunks == 1) {
+    // Serial fast path: identical chunk decomposition, no pool traffic.
+    const std::int64_t per = (n + chunks - 1) / chunks;
+    for (int c = 0; c < chunks; ++c) {
+      const std::int64_t b = static_cast<std::int64_t>(c) * per;
+      const std::int64_t e = std::min<std::int64_t>(n, b + per);
+      if (b < e) fn(c, b, e);
+    }
+    return;
+  }
+  pool().run(chunks, fn, n);
+}
+
+}  // namespace detail
+
+}  // namespace lqcd

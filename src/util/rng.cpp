@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace lqcd {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& w : s_) w = splitmix64(seed);
+  // A zero state would be a fixed point; splitmix64 cannot produce four
+  // zero words from any seed, so no further check is needed.
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::gaussian() {
+  if (has_cached_gauss_) {
+    has_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  // Box–Muller; u1 is bounded away from zero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gauss_ = r * std::sin(theta);
+  has_cached_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  // Rejection-free modulo is fine for the small n used in lattice code; the
+  // bias is at most n / 2^64.
+  return (*this)() % n;
+}
+
+Rng Rng::for_site(std::uint64_t seed, std::uint64_t site, std::uint64_t slot) {
+  std::uint64_t x = seed;
+  std::uint64_t a = splitmix64(x);
+  x ^= site * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull;
+  std::uint64_t b = splitmix64(x);
+  x ^= slot * 0x9e3779b97f4a7c15ull + 1;
+  std::uint64_t c = splitmix64(x);
+  Rng r(a ^ rotl(b, 13) ^ rotl(c, 29));
+  return r;
+}
+
+}  // namespace lqcd

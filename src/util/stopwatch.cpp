@@ -1,0 +1,8 @@
+// stopwatch.h is header-only; this translation unit exists so the util
+// library always has at least the timing symbols' debug info anchored in one
+// place (and keeps the build graph uniform: every header has a .cpp home).
+#include "util/stopwatch.h"
+
+namespace lqcd {
+// Intentionally empty.
+}  // namespace lqcd

@@ -1,0 +1,68 @@
+#pragma once
+/// \file stopwatch.h
+/// \brief Wall-clock stopwatch and a cumulative named-section profiler used
+/// by the benchmark harnesses.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace lqcd {
+
+/// Simple wall-clock stopwatch.  Construction starts it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time into named sections; used by benches to report
+/// dslash vs. BLAS vs. reduction split without intrusive instrumentation.
+class SectionTimer {
+ public:
+  /// RAII guard: adds elapsed time to \p name on destruction.
+  class Scope {
+   public:
+    Scope(SectionTimer& owner, std::string name)
+        : owner_(owner), name_(std::move(name)) {}
+    ~Scope() { owner_.add(name_, sw_.seconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SectionTimer& owner_;
+    std::string name_;
+    Stopwatch sw_;
+  };
+
+  void add(const std::string& name, double seconds) {
+    totals_[name] += seconds;
+  }
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  double total(const std::string& name) const {
+    auto it = totals_.find(name);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,137 @@
+#include "fields/blas.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace lqcd {
+namespace {
+
+WilsonField<double> random_field(const LatticeGeometry& g, std::uint64_t seed) {
+  WilsonField<double> f(g);
+  Rng rng(seed);
+  for (auto& s : f.sites()) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        s[sp][c] = Cplx<double>(rng.gaussian(), rng.gaussian());
+      }
+    }
+  }
+  return f;
+}
+
+class BlasTest : public ::testing::Test {
+ protected:
+  LatticeGeometry g{{4, 4, 4, 4}};
+  WilsonField<double> x = random_field(g, 1);
+  WilsonField<double> y = random_field(g, 2);
+};
+
+TEST_F(BlasTest, AxpyLinear) {
+  WilsonField<double> y2 = y;
+  axpy(2.5, x, y2);
+  // <x, y2> = <x, y> + 2.5 <x, x>.
+  const auto lhs = dot(x, y2);
+  const auto rhs = dot(x, y) + 2.5 * norm2(x);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9);
+}
+
+TEST_F(BlasTest, XpayDefinition) {
+  WilsonField<double> y2 = y;
+  xpay(x, -0.75, y2);
+  WilsonField<double> expect = x;
+  axpy(-0.75, y, expect);
+  axpy(-1.0, expect, y2);
+  EXPECT_NEAR(norm2(y2), 0.0, 1e-18);
+}
+
+TEST_F(BlasTest, AxpbyDefinition) {
+  WilsonField<double> y2 = y;
+  axpby(0.5, x, -2.0, y2);
+  WilsonField<double> expect(g);
+  set_zero(expect);
+  axpy(0.5, x, expect);
+  axpy(-2.0, y, expect);
+  axpy(-1.0, expect, y2);
+  EXPECT_NEAR(norm2(y2), 0.0, 1e-18);
+}
+
+TEST_F(BlasTest, CaxpyComplexCoefficient) {
+  const std::complex<double> a(0.3, -1.2);
+  WilsonField<double> y2 = y;
+  caxpy(a, x, y2);
+  const auto lhs = dot(x, y2);
+  const auto rhs = dot(x, y) + a * norm2(x);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9);
+}
+
+TEST_F(BlasTest, DotConjugateSymmetry) {
+  const auto xy = dot(x, y);
+  const auto yx = dot(y, x);
+  EXPECT_NEAR(std::abs(xy - std::conj(yx)), 0.0, 1e-10);
+}
+
+TEST_F(BlasTest, NormMatchesSelfDot) {
+  EXPECT_NEAR(norm2(x), dot(x, x).real(), 1e-9);
+  EXPECT_NEAR(dot(x, x).imag(), 0.0, 1e-10);
+}
+
+TEST_F(BlasTest, CauchySchwarz) {
+  EXPECT_LE(std::norm(dot(x, y)), norm2(x) * norm2(y) * (1 + 1e-12));
+}
+
+TEST_F(BlasTest, ScaleQuadratic) {
+  WilsonField<double> x2 = x;
+  scale(3.0, x2);
+  EXPECT_NEAR(norm2(x2), 9.0 * norm2(x), 1e-8);
+}
+
+TEST_F(BlasTest, BlockDotSumsToGlobal) {
+  BlockMask mask(g, {2, 1, 2, 2});
+  const auto blocks = block_dot(x, y, mask);
+  std::complex<double> sum{};
+  for (const auto& b : blocks) sum += b;
+  EXPECT_NEAR(std::abs(sum - dot(x, y)), 0.0, 1e-9);
+}
+
+TEST_F(BlasTest, BlockNormSumsToGlobal) {
+  BlockMask mask(g, {1, 2, 2, 2});
+  const auto blocks = block_norm2(x, mask);
+  double sum = 0;
+  for (double b : blocks) sum += b;
+  EXPECT_NEAR(sum, norm2(x), 1e-9);
+}
+
+TEST_F(BlasTest, BlockCaxpyRespectsBlocks) {
+  BlockMask mask(g, {1, 1, 1, 4});
+  std::vector<std::complex<double>> coeffs(4);
+  coeffs[0] = {1.0, 0.0};
+  coeffs[1] = {0.0, 0.0};
+  coeffs[2] = {-2.0, 1.0};
+  coeffs[3] = {0.5, 0.5};
+  WilsonField<double> y2 = y;
+  block_caxpy(coeffs, x, y2, mask);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const int b = mask.block_of_site(s);
+    WilsonSpinor<double> expect = x.at(s);
+    expect *= Cplx<double>(coeffs[static_cast<std::size_t>(b)].real(),
+                           coeffs[static_cast<std::size_t>(b)].imag());
+    expect += y.at(s);
+    expect -= y2.at(s);
+    EXPECT_NEAR(norm2(expect), 0.0, 1e-18);
+  }
+}
+
+TEST_F(BlasTest, StaggeredFieldOpsCompile) {
+  StaggeredField<double> a(g), b(g);
+  set_zero(a);
+  set_zero(b);
+  for (std::int64_t s = 0; s < g.volume(); ++s) a.at(s)[0] = 1.0;
+  axpy(2.0, a, b);
+  EXPECT_NEAR(norm2(b), 4.0 * static_cast<double>(g.volume()), 1e-9);
+}
+
+}  // namespace
+}  // namespace lqcd

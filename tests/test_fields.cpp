@@ -1,0 +1,126 @@
+// Field containers: even-odd storage layout, parity views, ghost-zone
+// containers, and precision conversion of every field type.
+#include <gtest/gtest.h>
+
+#include "comm/ghost.h"
+#include "fields/blas.h"
+#include "fields/precision.h"
+#include "gauge/clover_leaf.h"
+#include "gauge/configure.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Fields, ParitySpansPartitionTheField) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  WilsonField<double> f = gaussian_wilson_source(g, 401);
+  auto even = f.parity_span(Parity::Even);
+  auto odd = f.parity_span(Parity::Odd);
+  EXPECT_EQ(static_cast<std::int64_t>(even.size()), g.half_volume());
+  EXPECT_EQ(static_cast<std::int64_t>(odd.size()), g.half_volume());
+  // Even span starts at the field base; odd follows contiguously.
+  EXPECT_EQ(even.data(), f.sites().data());
+  EXPECT_EQ(odd.data(), f.sites().data() + g.half_volume());
+  // Coordinates indexed through at() land in the right span.
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    if (LatticeGeometry::parity(x) == 0) {
+      EXPECT_LT(g.eo_index(x), g.half_volume());
+    } else {
+      EXPECT_GE(g.eo_index(x), g.half_volume());
+    }
+  }
+}
+
+TEST(Fields, GaugeFieldDimensionMajorLayout) {
+  const LatticeGeometry g({2, 2, 2, 2});
+  GaugeField<double> u(g);
+  u.set_identity();
+  // link(mu, s) strides by volume per dimension.
+  auto all = u.all_links();
+  EXPECT_EQ(static_cast<std::int64_t>(all.size()), 4 * g.volume());
+  EXPECT_EQ(&u.link(1, 0), &all[static_cast<std::size_t>(g.volume())]);
+  EXPECT_EQ(&u.link(3, 5), &all[static_cast<std::size_t>(3 * g.volume() + 5)]);
+}
+
+TEST(Fields, GhostZonesAllocateOnlyPartitionedDims) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  NeighborTable nt(g, {false, true, false, true}, 3);
+  GhostZones<ColorVector<double>> zones(nt);
+  EXPECT_EQ(zones.zone(0, 0).size(), 0u);
+  EXPECT_EQ(zones.zone(1, 0).size(),
+            static_cast<std::size_t>(3 * g.volume() / 4));
+  EXPECT_EQ(zones.zone(2, 1).size(), 0u);
+  EXPECT_EQ(zones.zone(3, 1).size(),
+            static_cast<std::size_t>(3 * g.volume() / 8));
+}
+
+TEST(Fields, GhostZoneLookupMatchesZoneId) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  NeighborTable nt(g, {false, false, false, true}, 1);
+  GhostZones<ColorVector<double>> zones(nt);
+  zones.zone(3, 0)[7][1] = Cplx<double>(2.5);
+  const auto& got = zones.at(ghost_zone_id(3, 0), 7);
+  EXPECT_EQ(got[1], Cplx<double>(2.5));
+}
+
+TEST(Fields, PrecisionConversionAllTypes) {
+  const LatticeGeometry g({2, 2, 2, 4});
+  const GaugeField<double> u = hot_gauge(g, 402);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+
+  const GaugeField<float> uf = convert_gauge<float>(u);
+  const CloverField<float> af = convert_clover<float>(a);
+  const GaugeField<double> u2 = convert_gauge<double>(uf);
+  const CloverField<double> a2 = convert_clover<double>(af);
+
+  double gauge_err = 0;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      gauge_err = std::max(gauge_err, norm2(u.link(mu, s) - u2.link(mu, s)));
+    }
+  }
+  EXPECT_LT(gauge_err, 1e-12);  // single-precision rounding squared
+  EXPECT_GT(gauge_err, 0.0);
+
+  double clover_err = 0;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    for (int b = 0; b < 2; ++b) {
+      for (std::size_t k = 0; k < 36; ++k) {
+        clover_err = std::max(
+            clover_err,
+            std::abs(a.at(s).chi[static_cast<std::size_t>(b)].m[k] -
+                     a2.at(s).chi[static_cast<std::size_t>(b)].m[k]));
+      }
+    }
+  }
+  EXPECT_LT(clover_err, 1e-5);
+}
+
+TEST(Fields, StaggeredConversionRoundTrip) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const StaggeredField<double> d = gaussian_staggered_source(g, 403);
+  const StaggeredField<double> back =
+      convert_field<double>(convert_field<float>(d));
+  StaggeredField<double> diff = back;
+  axpy(-1.0, d, diff);
+  EXPECT_LT(norm2(diff) / norm2(d), 1e-13);
+}
+
+TEST(Fields, BytesPerRealTable) {
+  EXPECT_EQ(bytes_per_real(Precision::Double), 8);
+  EXPECT_EQ(bytes_per_real(Precision::Single), 4);
+  EXPECT_EQ(bytes_per_real(Precision::Half), 2);
+  EXPECT_STREQ(to_string(Precision::Half), "half");
+}
+
+TEST(Fields, SetZeroClearsEverything) {
+  const LatticeGeometry g({2, 2, 2, 2});
+  WilsonField<double> f = gaussian_wilson_source(g, 404);
+  EXPECT_GT(norm2(f), 0.0);
+  f.set_zero();
+  EXPECT_EQ(norm2(f), 0.0);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,177 @@
+#include "linalg/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lqcd {
+namespace {
+
+WilsonSpinor<double> random_spinor(Rng& rng) {
+  WilsonSpinor<double> s;
+  for (int sp = 0; sp < kNSpin; ++sp) {
+    for (int c = 0; c < kNColor; ++c) {
+      s[sp][c] = Cplx<double>(rng.gaussian(), rng.gaussian());
+    }
+  }
+  return s;
+}
+
+/// gamma_mu as explicit 4x4 complex for the algebra checks.
+using Spin4 = std::array<std::array<Cplx<double>, 4>, 4>;
+
+Spin4 dense(int mu) {
+  Spin4 m{};
+  const GammaPattern& g = kGamma[static_cast<std::size_t>(mu)];
+  for (int r = 0; r < 4; ++r) {
+    m[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+        g.col[static_cast<std::size_t>(r)])] =
+        mul_i_pow(g.phase[static_cast<std::size_t>(r)], Cplx<double>(1));
+  }
+  return m;
+}
+
+Spin4 mul(const Spin4& a, const Spin4& b) {
+  Spin4 c{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        c[i][j] += a[i][k] * b[k][j];
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Gamma, Hermitian) {
+  for (int mu = 0; mu < kNDim; ++mu) {
+    const Spin4 g = dense(mu);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_NEAR(std::abs(g[r][c] - std::conj(g[c][r])), 0.0, 1e-15)
+            << "mu=" << mu;
+      }
+    }
+  }
+}
+
+TEST(Gamma, CliffordAlgebra) {
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int nu = 0; nu < kNDim; ++nu) {
+      const Spin4 anti = mul(dense(mu), dense(nu));
+      const Spin4 anti2 = mul(dense(nu), dense(mu));
+      for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+          const Cplx<double> sum = anti[r][c] + anti2[r][c];
+          const Cplx<double> expect =
+              (mu == nu && r == c) ? Cplx<double>(2) : Cplx<double>(0);
+          EXPECT_NEAR(std::abs(sum - expect), 0.0, 1e-15)
+              << "mu=" << mu << " nu=" << nu;
+        }
+      }
+    }
+  }
+}
+
+TEST(Gamma, Gamma5IsProductAndChiral) {
+  Spin4 g5 = dense(0);
+  for (int mu = 1; mu < kNDim; ++mu) g5 = mul(g5, dense(mu));
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const Cplx<double> expect =
+          r == c ? Cplx<double>(kGamma5Sign[r]) : Cplx<double>(0);
+      EXPECT_NEAR(std::abs(g5[r][c] - expect), 0.0, 1e-15);
+    }
+  }
+}
+
+TEST(Gamma, ApplyGammaMatchesDense) {
+  Rng rng(1);
+  const WilsonSpinor<double> psi = random_spinor(rng);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    const WilsonSpinor<double> fast = apply_gamma(mu, psi);
+    const Spin4 g = dense(mu);
+    for (int r = 0; r < kNSpin; ++r) {
+      for (int c = 0; c < kNColor; ++c) {
+        Cplx<double> expect{};
+        for (int k = 0; k < kNSpin; ++k) {
+          expect += g[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] *
+                    psi[k][c];
+        }
+        EXPECT_NEAR(std::abs(fast[r][c] - expect), 0.0, 1e-14);
+      }
+    }
+  }
+}
+
+TEST(Gamma, ProjectorIdempotentOverTwo) {
+  // P = (1 +- gamma)/2 is a projector: P^2 = P, i.e.
+  // (1 +- gamma)^2 = 2 (1 +- gamma).
+  Rng rng(2);
+  const WilsonSpinor<double> psi = random_spinor(rng);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int sign : {+1, -1}) {
+      const WilsonSpinor<double> once = apply_one_pm_gamma(mu, sign, psi);
+      const WilsonSpinor<double> twice = apply_one_pm_gamma(mu, sign, once);
+      WilsonSpinor<double> expect = once;
+      expect *= 2.0;
+      EXPECT_LT(norm2(twice - expect), 1e-24);
+    }
+  }
+}
+
+TEST(Gamma, ProjectorsSumToTwo) {
+  Rng rng(3);
+  const WilsonSpinor<double> psi = random_spinor(rng);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    WilsonSpinor<double> sum = apply_one_pm_gamma(mu, +1, psi);
+    sum += apply_one_pm_gamma(mu, -1, psi);
+    WilsonSpinor<double> expect = psi;
+    expect *= 2.0;
+    EXPECT_LT(norm2(sum - expect), 1e-24);
+  }
+}
+
+TEST(Gamma, HalfSpinorTrickMatchesFullProjection) {
+  // project + identity color multiply + reconstruct == (1 +- gamma) psi.
+  Rng rng(4);
+  const WilsonSpinor<double> psi = random_spinor(rng);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int sign : {+1, -1}) {
+      const HalfSpinor<double> h = project(mu, sign, psi);
+      WilsonSpinor<double> rec{};
+      accumulate_reconstruct(mu, sign, h, rec);
+      const WilsonSpinor<double> full = apply_one_pm_gamma(mu, sign, psi);
+      EXPECT_LT(norm2(rec - full), 1e-24) << "mu=" << mu << " sign=" << sign;
+    }
+  }
+}
+
+TEST(Gamma, Gamma5Involution) {
+  Rng rng(5);
+  const WilsonSpinor<double> psi = random_spinor(rng);
+  const WilsonSpinor<double> twice = apply_gamma5(apply_gamma5(psi));
+  EXPECT_LT(norm2(twice - psi), 1e-28);
+}
+
+TEST(Gamma, Gamma5AnticommutesWithGammaMu) {
+  Rng rng(6);
+  const WilsonSpinor<double> psi = random_spinor(rng);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    WilsonSpinor<double> a = apply_gamma5(apply_gamma(mu, psi));
+    const WilsonSpinor<double> b = apply_gamma(mu, apply_gamma5(psi));
+    a += b;
+    EXPECT_LT(norm2(a), 1e-24);
+  }
+}
+
+TEST(Gamma, MulIPowCycles) {
+  const Cplx<double> z(0.3, -0.7);
+  EXPECT_EQ(mul_i_pow(0, z), z);
+  EXPECT_EQ(mul_i_pow(4, z), z);
+  EXPECT_EQ(mul_i_pow(1, mul_i_pow(3, z)), z);
+  EXPECT_EQ(mul_i_pow(2, z), -z);
+}
+
+}  // namespace
+}  // namespace lqcd

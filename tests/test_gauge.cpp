@@ -1,0 +1,159 @@
+// Gauge-field generation and observables: plaquette limits, gauge
+// invariance, heatbath behaviour.
+#include <gtest/gtest.h>
+
+#include "gauge/configure.h"
+#include "gauge/heatbath.h"
+#include "fields/blas.h"
+#include "gauge/observables.h"
+#include "gauge/paths.h"
+#include "linalg/su3.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Gauge, UnitFieldPlaquetteIsOne) {
+  const GaugeField<double> u = unit_gauge(LatticeGeometry({4, 4, 4, 4}));
+  EXPECT_NEAR(average_plaquette(u), 1.0, 1e-13);
+  EXPECT_NEAR(average_rectangle(u), 1.0, 1e-13);
+}
+
+TEST(Gauge, HotFieldPlaquetteNearZero) {
+  const GaugeField<double> u = hot_gauge(LatticeGeometry({6, 6, 6, 6}), 11);
+  EXPECT_NEAR(average_plaquette(u), 0.0, 0.05);
+}
+
+TEST(Gauge, WeakFieldPlaquetteNearOne) {
+  const GaugeField<double> u =
+      weak_gauge(LatticeGeometry({4, 4, 4, 4}), 13, 0.05);
+  EXPECT_GT(average_plaquette(u), 0.9);
+  EXPECT_LT(average_plaquette(u), 1.0);
+}
+
+TEST(Gauge, HotStartDeterministicAndSeedDependent) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> a = hot_gauge(g, 21);
+  const GaugeField<double> b = hot_gauge(g, 21);
+  const GaugeField<double> c = hot_gauge(g, 22);
+  double diff_ab = 0, diff_ac = 0;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      diff_ab += norm2(a.link(mu, s) - b.link(mu, s));
+      diff_ac += norm2(a.link(mu, s) - c.link(mu, s));
+    }
+  }
+  EXPECT_EQ(diff_ab, 0.0);
+  EXPECT_GT(diff_ac, 1.0);
+}
+
+TEST(Gauge, PlaquetteGaugeInvariant) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 31);
+  const auto omega = random_gauge_rotation(g, 32);
+  const GaugeField<double> v = gauge_transform(u, omega);
+  EXPECT_NEAR(average_plaquette(u), average_plaquette(v), 1e-12);
+  EXPECT_NEAR(average_rectangle(u), average_rectangle(v), 1e-12);
+}
+
+TEST(Gauge, PathProductReversalIsAdjoint) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 41);
+  const Coord x{1, 2, 3, 0};
+  const std::array<PathStep, 4> fwd = {1, 2, -3, 4};
+  // Reversed path from the endpoint.
+  Coord end = x;
+  for (PathStep p : fwd) {
+    end = g.shifted(end, (p > 0 ? p : -p) - 1, p > 0 ? 1 : -1);
+  }
+  const std::array<PathStep, 4> bwd = {-4, 3, -2, -1};
+  const Matrix3<double> a = path_product(u, x, fwd);
+  const Matrix3<double> b = path_product(u, end, bwd);
+  EXPECT_LT(norm2(a - adj(b)), 1e-24);
+}
+
+TEST(Gauge, StapleSumMatchesPlaquetteDerivative) {
+  // Re tr(U_mu(x) * staple) sums the six plaquettes through the link.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 43);
+  double via_staple = 0;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      via_staple += trace(u.link(mu, s) * staple_sum(u, x, mu)).real();
+    }
+  }
+  // Each oriented plaquette appears twice per orientation: the sum over
+  // links and staples counts every unoriented plaquette 4 times (once per
+  // participating link orientation pattern).
+  double via_plaq = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (int nu = mu + 1; nu < kNDim; ++nu) {
+      via_plaq += average_plaquette_plane(u, mu, nu) * 3.0 *
+                  static_cast<double>(g.volume());
+    }
+  }
+  EXPECT_NEAR(via_staple, 4.0 * via_plaq, 1e-8);
+}
+
+TEST(Gauge, HeatbathStaysInGroup) {
+  GaugeField<double> u = hot_gauge(LatticeGeometry({4, 4, 4, 4}), 51);
+  HeatbathParams hb;
+  hb.beta = 5.7;
+  hb.overrelax_per_sweep = 1;
+  heatbath_sweep(u, hb, 0);
+  for (std::int64_t s = 0; s < u.geometry().volume(); ++s) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      EXPECT_LT(unitarity_error(u.link(mu, s)), 1e-10);
+    }
+  }
+}
+
+TEST(Gauge, HeatbathOrdersFromHotStart) {
+  // At beta = 5.7 the plaquette should rise well above the hot-start value
+  // within a few sweeps (equilibrium ~ 0.55).
+  GaugeField<double> u = hot_gauge(LatticeGeometry({4, 4, 4, 4}), 53);
+  const double p0 = average_plaquette(u);
+  HeatbathParams hb;
+  hb.beta = 5.7;
+  thermalize(u, hb, 5);
+  const double p1 = average_plaquette(u);
+  EXPECT_GT(p1, p0 + 0.3);
+  EXPECT_LT(p1, 0.75);
+}
+
+TEST(Gauge, HeatbathTracksCoupling) {
+  // Stronger coupling (smaller beta) -> smaller plaquette.
+  const LatticeGeometry g({4, 4, 4, 4});
+  GaugeField<double> weak = hot_gauge(g, 55);
+  GaugeField<double> strong = hot_gauge(g, 55);
+  HeatbathParams wp;
+  wp.beta = 8.0;
+  HeatbathParams sp;
+  sp.beta = 2.0;
+  thermalize(weak, wp, 6);
+  thermalize(strong, sp, 6);
+  EXPECT_GT(average_plaquette(weak), average_plaquette(strong) + 0.2);
+}
+
+TEST(Gauge, OverrelaxationPreservesAction) {
+  GaugeField<double> u = hot_gauge(LatticeGeometry({4, 4, 4, 4}), 57);
+  HeatbathParams hb;
+  hb.beta = 5.7;
+  thermalize(u, hb, 3);
+  const double p_before = average_plaquette(u);
+  overrelax_sweep(u, 0, 0);
+  const double p_after = average_plaquette(u);
+  EXPECT_NEAR(p_before, p_after, 5e-3);
+}
+
+TEST(Gauge, GaussianSourcesNormalized) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const WilsonField<double> w = gaussian_wilson_source(g, 61);
+  // 24 reals of unit variance per site.
+  EXPECT_NEAR(norm2(w) / static_cast<double>(g.volume()), 24.0, 1.5);
+  const StaggeredField<double> st = gaussian_staggered_source(g, 62);
+  EXPECT_NEAR(norm2(st) / static_cast<double>(g.volume()), 6.0, 0.8);
+}
+
+}  // namespace
+}  // namespace lqcd

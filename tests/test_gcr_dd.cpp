@@ -1,0 +1,178 @@
+// GCR-DD (Algorithm 1): convergence, the benefit of the Schwarz
+// preconditioner, block-size dependence, and the half-precision emulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gcr_dd.h"
+#include "dirac/wilson_ops.h"
+#include "fields/blas.h"
+#include "gauge/clover_leaf.h"
+#include "gauge/configure.h"
+#include "gauge/heatbath.h"
+
+namespace lqcd {
+namespace {
+
+GaugeField<double> thermalized(const LatticeGeometry& g, std::uint64_t seed) {
+  GaugeField<double> u = hot_gauge(g, seed);
+  HeatbathParams hb;
+  hb.beta = 5.9;
+  thermalize(u, hb, 3);
+  return u;
+}
+
+TEST(GcrDd, SolvesWilsonCloverToSinglePrecision) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 121);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+  const WilsonField<double> b = gaussian_wilson_source(g, 122);
+
+  GcrDdParams p;
+  p.mass = 0.1;
+  p.tol = 1e-5;
+  p.block_grid = {1, 1, 1, 2};
+  GcrDdWilsonSolver solver(u, &a, p);
+  WilsonField<double> x(g);
+  const SolverStats stats = solver.solve(x, b);
+  EXPECT_TRUE(stats.converged);
+
+  // Full-system double-precision residual must be near the single target.
+  WilsonCloverOperator<double> m(u, &a, p.mass);
+  WilsonField<double> r(g);
+  m.apply(r, x);
+  scale(-1.0, r);
+  axpy(1.0, b, r);
+  EXPECT_LT(std::sqrt(norm2(r) / norm2(b)), 5e-5);
+}
+
+TEST(GcrDd, PreconditionerReducesOuterIterations) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 123);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+  const WilsonField<double> b = gaussian_wilson_source(g, 124);
+
+  GcrDdParams with;
+  with.mass = 0.05;
+  with.tol = 1e-5;
+  with.block_grid = {1, 1, 1, 2};
+  with.mr.steps = 8;
+  GcrDdWilsonSolver s_with(u, &a, with);
+  WilsonField<double> x1(g);
+  const SolverStats stats_with = s_with.solve(x1, b);
+
+  // Baseline: plain GCR (no preconditioner) on the same single-precision
+  // Schur system.
+  const GaugeField<float> u_f = convert_gauge<float>(u);
+  const CloverField<float> a_f = convert_clover<float>(a);
+  WilsonCloverSchurOperator<float> schur(u_f, &a_f, with.mass);
+  WilsonField<float> b_f = convert_field<float>(b);
+  WilsonField<float> b_hat(g);
+  schur.prepare_source(b_hat, b_f);
+  WilsonField<float> x2(g);
+  set_zero(x2);
+  GcrParams gp;
+  gp.tol = with.tol;
+  gp.kmax = with.kmax;
+  gp.delta = with.delta;
+  const SolverStats stats_without = gcr_solve(schur, x2, b_hat, nullptr, gp);
+
+  EXPECT_TRUE(stats_with.converged);
+  EXPECT_TRUE(stats_without.converged);
+  EXPECT_LT(stats_with.iterations, stats_without.iterations);
+}
+
+TEST(GcrDd, MoreBlocksWeakenPreconditioner) {
+  // Smaller Dirichlet blocks approximate the operator less well: the outer
+  // iteration count must not decrease when the block grid refines.
+  const LatticeGeometry g({4, 4, 8, 8});
+  const GaugeField<double> u = thermalized(g, 125);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+  const WilsonField<double> b = gaussian_wilson_source(g, 126);
+
+  auto iterations_for = [&](std::array<int, 4> grid) {
+    GcrDdParams p;
+    p.mass = 0.05;
+    p.tol = 1e-5;
+    p.block_grid = grid;
+    p.mr.steps = 8;
+    GcrDdWilsonSolver solver(u, &a, p);
+    WilsonField<double> x(g);
+    const SolverStats stats = solver.solve(x, b);
+    EXPECT_TRUE(stats.converged);
+    return stats.iterations;
+  };
+
+  const int coarse = iterations_for({1, 1, 1, 2});
+  const int fine = iterations_for({2, 2, 4, 4});
+  EXPECT_LE(coarse, fine);
+}
+
+TEST(GcrDd, HalfEmulationStillConverges) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 127);
+  const WilsonField<double> b = gaussian_wilson_source(g, 128);
+
+  GcrDdParams half;
+  half.mass = 0.1;
+  half.tol = 1e-4;
+  half.block_grid = {1, 1, 1, 2};
+  half.half_krylov = true;
+  half.half_preconditioner = true;
+  GcrDdWilsonSolver s_half(u, nullptr, half);
+  WilsonField<double> x(g);
+  const SolverStats stats = s_half.solve(x, b);
+  EXPECT_TRUE(stats.converged);
+
+  WilsonCloverOperator<double> m(u, nullptr, half.mass);
+  WilsonField<double> r(g);
+  m.apply(r, x);
+  scale(-1.0, r);
+  axpy(1.0, b, r);
+  EXPECT_LT(std::sqrt(norm2(r) / norm2(b)), 5e-4);
+}
+
+TEST(GcrDd, SinglePrecisionKrylovNoWorseThanHalf) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 129);
+  const WilsonField<double> b = gaussian_wilson_source(g, 130);
+
+  auto run = [&](bool half_krylov) {
+    GcrDdParams p;
+    p.mass = 0.1;
+    p.tol = 1e-5;
+    p.block_grid = {1, 1, 1, 2};
+    p.half_krylov = half_krylov;
+    GcrDdWilsonSolver solver(u, nullptr, p);
+    WilsonField<double> x(g);
+    return solver.solve(x, b);
+  };
+  const SolverStats s_half = run(true);
+  const SolverStats s_single = run(false);
+  EXPECT_TRUE(s_half.converged);
+  EXPECT_TRUE(s_single.converged);
+  // Half storage may cost extra iterations but not an order of magnitude.
+  EXPECT_LE(s_single.iterations, s_half.iterations + 2);
+  EXPECT_LT(s_half.iterations, 4 * std::max(1, s_single.iterations));
+}
+
+TEST(GcrDd, CountsPreconditionerWork) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 131);
+  const WilsonField<double> b = gaussian_wilson_source(g, 132);
+  GcrDdParams p;
+  p.mass = 0.1;
+  p.tol = 1e-4;
+  p.block_grid = {1, 1, 1, 2};
+  p.mr.steps = 6;
+  GcrDdWilsonSolver solver(u, nullptr, p);
+  WilsonField<double> x(g);
+  const SolverStats stats = solver.solve(x, b);
+  EXPECT_TRUE(stats.converged);
+  // inner_iterations tallies MR steps: 6 per outer Krylov step (plus any
+  // restart-discarded work).
+  EXPECT_GE(stats.inner_iterations, 6 * stats.iterations);
+}
+
+}  // namespace
+}  // namespace lqcd

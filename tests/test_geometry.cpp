@@ -1,0 +1,107 @@
+#include "lattice/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace lqcd {
+namespace {
+
+class GeometryTest : public ::testing::TestWithParam<std::array<int, 4>> {};
+
+TEST_P(GeometryTest, IndexBijective) {
+  LatticeGeometry g(GetParam());
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    EXPECT_EQ(g.index(x), i);
+    seen.insert(i);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), g.volume());
+}
+
+TEST_P(GeometryTest, EoIndexBijective) {
+  LatticeGeometry g(GetParam());
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    const std::int64_t eo = g.eo_index(x);
+    EXPECT_GE(eo, 0);
+    EXPECT_LT(eo, g.volume());
+    EXPECT_TRUE(seen.insert(eo).second) << "eo index collision";
+    EXPECT_EQ(g.eo_coords(eo), x);
+  }
+}
+
+TEST_P(GeometryTest, ParityBlocksAreHalves) {
+  LatticeGeometry g(GetParam());
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    const std::int64_t eo = g.eo_index(x);
+    if (LatticeGeometry::parity(x) == 0) {
+      EXPECT_LT(eo, g.half_volume());
+    } else {
+      EXPECT_GE(eo, g.half_volume());
+    }
+  }
+}
+
+TEST_P(GeometryTest, ShiftRoundTrip) {
+  LatticeGeometry g(GetParam());
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (int d : {1, 2, 3}) {
+        EXPECT_EQ(g.shifted(g.shifted(x, mu, d), mu, -d), x);
+      }
+    }
+  }
+}
+
+TEST_P(GeometryTest, UnitShiftFlipsParity) {
+  LatticeGeometry g(GetParam());
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      EXPECT_NE(LatticeGeometry::parity(x),
+                LatticeGeometry::parity(g.shifted(x, mu, 1)));
+      EXPECT_NE(LatticeGeometry::parity(x),
+                LatticeGeometry::parity(g.shifted(x, mu, 3)));
+      EXPECT_EQ(LatticeGeometry::parity(x),
+                LatticeGeometry::parity(g.shifted(x, mu, 2)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeometryTest,
+                         ::testing::Values(std::array<int, 4>{2, 2, 2, 2},
+                                           std::array<int, 4>{4, 2, 2, 4},
+                                           std::array<int, 4>{4, 4, 4, 4},
+                                           std::array<int, 4>{2, 4, 6, 8},
+                                           std::array<int, 4>{6, 4, 2, 10}));
+
+TEST(Geometry, RejectsOddExtents) {
+  EXPECT_THROW(LatticeGeometry({3, 4, 4, 4}), std::invalid_argument);
+  EXPECT_THROW(LatticeGeometry({4, 4, 4, 1}), std::invalid_argument);
+  EXPECT_THROW(LatticeGeometry({0, 4, 4, 4}), std::invalid_argument);
+}
+
+TEST(Geometry, WrapNegative) {
+  LatticeGeometry g({4, 4, 4, 4});
+  Coord x{-1, 5, -9, 4};
+  const Coord w = g.wrap(x);
+  EXPECT_EQ(w[0], 3);
+  EXPECT_EQ(w[1], 1);
+  EXPECT_EQ(w[2], 3);
+  EXPECT_EQ(w[3], 0);
+}
+
+TEST(Geometry, VolumeMatchesProduct) {
+  LatticeGeometry g({2, 4, 6, 8});
+  EXPECT_EQ(g.volume(), 2 * 4 * 6 * 8);
+  EXPECT_EQ(g.half_volume(), g.volume() / 2);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,123 @@
+#include "linalg/half.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "fields/packed_half.h"
+#include "fields/precision.h"
+#include "linalg/su3.h"
+#include "util/rng.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Half, QuantizeRoundTripBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float y = dequantize_fixed(quantize_fixed(x, 1.0f), 1.0f);
+    EXPECT_NEAR(x, y, 1.0f / kHalfScale);
+  }
+}
+
+TEST(Half, QuantizeSaturates) {
+  EXPECT_EQ(quantize_fixed(2.0f, 1.0f), 32767);
+  EXPECT_EQ(quantize_fixed(-2.0f, 1.0f), -32767);
+}
+
+TEST(Half, SiteCodecErrorScalesWithNorm) {
+  Rng rng(2);
+  for (double scale : {1e-6, 1.0, 1e6}) {
+    std::array<float, 24> site{}, decoded{};
+    std::array<std::int16_t, 24> enc{};
+    for (auto& v : site) {
+      v = static_cast<float>(scale * rng.gaussian());
+    }
+    const float norm = encode_site_half(site, enc);
+    decode_site_half(enc, norm, decoded);
+    for (std::size_t i = 0; i < site.size(); ++i) {
+      EXPECT_NEAR(site[i], decoded[i], half_error_bound(norm))
+          << "scale=" << scale;
+    }
+  }
+}
+
+TEST(Half, ZeroSiteExact) {
+  std::array<float, 6> site{}, decoded{1, 1, 1, 1, 1, 1};
+  std::array<std::int16_t, 6> enc{};
+  const float norm = encode_site_half(site, enc);
+  decode_site_half(enc, norm, decoded);
+  for (float v : decoded) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Half, RoundTripIdempotent) {
+  // Quantizing an already-quantized site must be exact.
+  Rng rng(3);
+  std::array<float, 24> site{};
+  for (auto& v : site) v = static_cast<float>(rng.gaussian());
+  roundtrip_site_half(site);
+  std::array<float, 24> again = site;
+  roundtrip_site_half(again);
+  for (std::size_t i = 0; i < site.size(); ++i) EXPECT_EQ(site[i], again[i]);
+}
+
+TEST(Half, PackedFieldMatchesEmulation) {
+  // The int16 container and the in-place round trip must agree bitwise.
+  LatticeGeometry g({4, 4, 4, 4});
+  WilsonField<float> f(g);
+  Rng rng(4);
+  for (auto& s : f.sites()) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        s[sp][c] = Cplx<float>(static_cast<float>(rng.gaussian()),
+                               static_cast<float>(rng.gaussian()));
+      }
+    }
+  }
+  WilsonField<float> emulated = f;
+  half_roundtrip(emulated);
+
+  PackedHalfWilson packed(g);
+  packed.pack(f);
+  WilsonField<float> unpacked(g);
+  packed.unpack(unpacked);
+
+  auto a = emulated.sites();
+  auto b = unpacked.sites();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        EXPECT_EQ(a[i][sp][c], b[i][sp][c]);
+      }
+    }
+  }
+}
+
+TEST(Half, PackedFieldFootprint) {
+  LatticeGeometry g({4, 4, 4, 4});
+  PackedHalfWilson packed(g);
+  // 24 int16 + 1 float norm per site.
+  EXPECT_EQ(packed.storage_bytes(),
+            static_cast<std::size_t>(g.volume()) * (24 * 2 + 4));
+  PackedHalfStaggered staggered(g);
+  EXPECT_EQ(staggered.storage_bytes(),
+            static_cast<std::size_t>(g.volume()) * (6 * 2 + 4));
+}
+
+TEST(Half, GaugeRoundTripKeepsNearUnitarity) {
+  LatticeGeometry g({2, 2, 2, 2});
+  GaugeField<float> u(g);
+  Rng rng(5);
+  for (auto& link : u.all_links()) {
+    link = convert<float>(random_su3(rng));
+  }
+  half_roundtrip(u);
+  for (auto& link : u.all_links()) {
+    EXPECT_LT(unitarity_error(link), 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,176 @@
+// Hybrid Monte Carlo: force vs numerical action gradient, leapfrog energy
+// conservation and reversibility, Metropolis behaviour, and ensemble
+// agreement with the heatbath.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gauge/configure.h"
+#include "gauge/heatbath.h"
+#include "gauge/hmc.h"
+#include "gauge/observables.h"
+#include "linalg/su3.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Hmc, TracelessAntihermitianProjection) {
+  Rng rng(1);
+  const Matrix3<double> m = random_su3(rng);
+  const Matrix3<double> a = traceless_antihermitian(m);
+  EXPECT_LT(norm2(a + adj(a)), 1e-26);
+  EXPECT_NEAR(std::abs(trace(a)), 0.0, 1e-13);
+  // Projection is idempotent.
+  const Matrix3<double> aa = traceless_antihermitian(a);
+  EXPECT_LT(norm2(aa - a), 1e-26);
+}
+
+TEST(Hmc, MomentaAreAlgebraValuedWithUnitVariance) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  MomentumField p(g);
+  sample_momenta(p, 11, 0);
+  double ke = 0;
+  for (const auto& link : p.all_links()) {
+    EXPECT_LT(norm2(link + adj(link)), 1e-24);
+    EXPECT_NEAR(std::abs(trace(link)), 0.0, 1e-12);
+    ke -= trace(link * link).real();
+  }
+  // <KE> = 4 d.o.f. per link dimension... : 8 generators x 1/2 per link.
+  const double links = 4.0 * static_cast<double>(g.volume());
+  EXPECT_NEAR(ke / links, 4.0, 0.25);
+  EXPECT_NEAR(kinetic_energy(p), ke, 1e-8);
+}
+
+TEST(Hmc, ForceMatchesNumericalGradient) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  GaugeField<double> u = hot_gauge(g, 21);
+  const double beta = 5.5;
+  MomentumField f(g);
+  gauge_force(u, beta, f);
+
+  Rng rng(22);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::int64_t s =
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(g.volume())));
+    const int mu = static_cast<int>(rng.below(4));
+    const Matrix3<double> x = random_antihermitian(rng, 1.0);
+    const Matrix3<double> xt = traceless_antihermitian(x);
+
+    // dS/deps for U -> exp(eps X) U must equal -2 tr(X F).
+    const double eps = 1e-5;
+    GaugeField<double> up = u;
+    up.link(mu, s) = expm(eps * xt) * u.link(mu, s);
+    GaugeField<double> um = u;
+    um.link(mu, s) = expm(-1.0 * eps * xt) * u.link(mu, s);
+    const double numeric =
+        (gauge_action(up, beta) - gauge_action(um, beta)) / (2.0 * eps);
+    const double analytic = -2.0 * trace(xt * f.link(mu, s)).real();
+    EXPECT_NEAR(numeric, analytic, 1e-5 * std::max(1.0, std::abs(analytic)))
+        << "site " << s << " mu " << mu;
+  }
+}
+
+TEST(Hmc, LeapfrogConservesEnergyAtSecondOrder) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  GaugeField<double> u0 = weak_gauge(g, 23, 0.3);
+  const double beta = 5.5;
+
+  auto delta_h = [&](int steps) {
+    GaugeField<double> u = u0;
+    MomentumField p(g);
+    sample_momenta(p, 24, 0);
+    const double h0 = kinetic_energy(p) + gauge_action(u, beta);
+    leapfrog(u, p, beta, 0.5, steps);
+    return std::abs(kinetic_energy(p) + gauge_action(u, beta) - h0);
+  };
+  const double coarse = delta_h(8);
+  const double mid = delta_h(16);
+  const double fine = delta_h(32);
+  // Leapfrog is O(eps^2): halving eps shrinks |dH| by ~4 (allow slack for
+  // higher-order terms at the coarse end).
+  EXPECT_GT(coarse / mid, 2.5);
+  EXPECT_LT(coarse / mid, 6.5);
+  EXPECT_GT(mid / fine, 2.5);
+  EXPECT_LT(mid / fine, 6.5);
+}
+
+TEST(Hmc, LeapfrogExactlyReversible) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  GaugeField<double> u = hot_gauge(g, 25);
+  const GaugeField<double> u0 = u;
+  MomentumField p(g);
+  sample_momenta(p, 26, 0);
+  const double beta = 5.7;
+
+  leapfrog(u, p, beta, 0.4, 10);
+  // Flip momenta and integrate back.
+  for (auto& link : p.all_links()) link *= -1.0;
+  leapfrog(u, p, beta, 0.4, 10);
+
+  double diff = 0, norm = 0;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      diff += norm2(u.link(mu, s) - u0.link(mu, s));
+      norm += norm2(u0.link(mu, s));
+    }
+  }
+  EXPECT_LT(diff, 1e-18 * norm);
+}
+
+TEST(Hmc, TrajectoriesAcceptAtFineStep) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  GaugeField<double> u = hot_gauge(g, 27);
+  HmcParams params;
+  params.beta = 5.5;
+  params.tau = 0.5;
+  params.steps = 25;
+  int accepted = 0;
+  double max_dh = 0;
+  for (int t = 0; t < 8; ++t) {
+    const HmcStats stats = hmc_trajectory(u, params, t);
+    accepted += stats.accepted ? 1 : 0;
+    max_dh = std::max(max_dh, std::abs(stats.delta_h));
+  }
+  EXPECT_GE(accepted, 6);   // fine steps -> high acceptance
+  EXPECT_LT(max_dh, 1.0);
+  // Links stay in the group.
+  for (const auto& link : u.all_links()) {
+    EXPECT_LT(unitarity_error(link), 1e-8);
+  }
+}
+
+TEST(Hmc, EnsemblePlaquetteMatchesHeatbath) {
+  // Both algorithms target exp(-S_g): their equilibrium plaquettes must
+  // agree within statistical noise on this small lattice.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const double beta = 5.7;
+
+  GaugeField<double> u_hb = hot_gauge(g, 31);
+  HeatbathParams hb;
+  hb.beta = beta;
+  thermalize(u_hb, hb, 10);
+  double plaq_hb = 0;
+  for (int i = 0; i < 10; ++i) {
+    heatbath_sweep(u_hb, hb, 100 + i);
+    plaq_hb += average_plaquette(u_hb);
+  }
+  plaq_hb /= 10;
+
+  GaugeField<double> u_hmc = hot_gauge(g, 32);
+  HmcParams params;
+  params.beta = beta;
+  params.tau = 1.0;
+  params.steps = 20;
+  for (int t = 0; t < 15; ++t) hmc_trajectory(u_hmc, params, t);  // burn-in
+  double plaq_hmc = 0;
+  for (int t = 15; t < 30; ++t) {
+    hmc_trajectory(u_hmc, params, t);
+    plaq_hmc += average_plaquette(u_hmc);
+  }
+  plaq_hmc /= 15;
+
+  EXPECT_NEAR(plaq_hmc, plaq_hb, 0.05);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,172 @@
+// Face indexing, Schwarz block masks and neighbour tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lattice/block_mask.h"
+#include "lattice/face.h"
+#include "lattice/neighbor_table.h"
+
+namespace lqcd {
+namespace {
+
+TEST(FaceIndexer, BijectivePerSlice) {
+  LatticeGeometry g({4, 6, 2, 8});
+  for (int mu = 0; mu < kNDim; ++mu) {
+    FaceIndexer f(g, mu);
+    EXPECT_EQ(f.face_volume(), g.volume() / g.dim(mu));
+    std::set<std::int64_t> seen;
+    for (std::int64_t i = 0; i < g.volume(); ++i) {
+      const Coord x = g.coords(i);
+      if (x[mu] != 1) continue;
+      const std::int64_t fi = f.face_index(x);
+      EXPECT_GE(fi, 0);
+      EXPECT_LT(fi, f.face_volume());
+      EXPECT_TRUE(seen.insert(fi).second);
+      EXPECT_EQ(f.face_coords(fi, 1), x);
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()), f.face_volume());
+  }
+}
+
+TEST(FaceIndexer, IndexIgnoresMuComponent) {
+  LatticeGeometry g({4, 4, 4, 4});
+  FaceIndexer f(g, 2);
+  Coord a{1, 2, 0, 3};
+  Coord b{1, 2, 3, 3};
+  EXPECT_EQ(f.face_index(a), f.face_index(b));
+}
+
+TEST(BlockMask, BlockIdsPartitionLattice) {
+  LatticeGeometry g({4, 4, 4, 8});
+  BlockMask m(g, {2, 1, 2, 2});
+  EXPECT_EQ(m.num_blocks(), 8);
+  std::vector<std::int64_t> count(8);
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const int b = m.block_of_site(i);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 8);
+    count[static_cast<std::size_t>(b)] += 1;
+  }
+  for (auto c : count) EXPECT_EQ(c, m.block_volume());
+}
+
+TEST(BlockMask, CrossingMatchesBlockIds) {
+  LatticeGeometry g({4, 4, 4, 8});
+  BlockMask m(g, {2, 1, 2, 4});
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (int d : {+1, -1}) {
+        const bool crossed =
+            m.block_of(x) != m.block_of(g.shifted(x, mu, d));
+        EXPECT_EQ(m.crosses(x, mu, d), crossed)
+            << "mu=" << mu << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(BlockMask, ThreeHopDetectsPathCrossing) {
+  // dims 4, 2 blocks of extent 2 along T: x_t = 3, hop +3 ends at
+  // x_t = 2 (same block) but the path wraps through block 0.
+  LatticeGeometry g({4, 4, 4, 4});
+  BlockMask m(g, {1, 1, 1, 2});
+  Coord x{0, 0, 0, 3};
+  EXPECT_EQ(m.block_of(x), m.block_of(g.shifted(x, 3, 3)));
+  EXPECT_TRUE(m.crosses(x, 3, 3));
+}
+
+TEST(BlockMask, SingleBlockNeverCrosses) {
+  LatticeGeometry g({4, 4, 4, 4});
+  BlockMask m(g, {1, 1, 1, 1});
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord x = g.coords(i);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (int d : {1, -1, 3, -3}) EXPECT_FALSE(m.crosses(x, mu, d));
+    }
+  }
+}
+
+TEST(NeighborTable, UnpartitionedAllLocal) {
+  LatticeGeometry g({4, 4, 4, 4});
+  NeighborTable nt(g, {false, false, false, false}, 3);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (int d : {+1, -1}) {
+        for (int h : {1, 3}) {
+          const auto ref = nt.neighbor(s, mu, d, h);
+          EXPECT_TRUE(ref.local());
+          EXPECT_EQ(ref.index, g.eo_index(g.shifted(x, mu, d * h)));
+        }
+      }
+    }
+  }
+}
+
+TEST(NeighborTable, PartitionedBoundaryGoesToGhost) {
+  LatticeGeometry g({4, 4, 4, 4});
+  NeighborTable nt(g, {false, false, false, true}, 1);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    const auto fwd = nt.neighbor(s, 3, +1, 1);
+    if (x[3] == 3) {
+      EXPECT_EQ(fwd.zone, ghost_zone_id(3, 0));
+      // Layer 0, face index of x.
+      EXPECT_EQ(fwd.index, nt.face(3).face_index(x));
+    } else {
+      EXPECT_TRUE(fwd.local());
+    }
+    const auto bwd = nt.neighbor(s, 3, -1, 1);
+    if (x[3] == 0) {
+      EXPECT_EQ(bwd.zone, ghost_zone_id(3, 1));
+      EXPECT_EQ(bwd.index, nt.face(3).face_index(x));
+    } else {
+      EXPECT_TRUE(bwd.local());
+    }
+  }
+}
+
+TEST(NeighborTable, ThreeHopLayers) {
+  LatticeGeometry g({4, 4, 4, 8});
+  NeighborTable nt(g, {false, false, false, true}, 3);
+  const FaceIndexer& f = nt.face(3);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    const auto fwd = nt.neighbor(s, 3, +3, 3);
+    if (x[3] + 3 >= 8) {
+      const int layer = x[3] + 3 - 8;
+      EXPECT_EQ(fwd.zone, ghost_zone_id(3, 0));
+      EXPECT_EQ(fwd.index, layer * f.face_volume() + f.face_index(x));
+    } else {
+      EXPECT_TRUE(fwd.local());
+    }
+    const auto bwd = nt.neighbor(s, 3, -3, 3);
+    if (x[3] - 3 < 0) {
+      const int layer = 3 - 1 - x[3];
+      EXPECT_EQ(bwd.zone, ghost_zone_id(3, 1));
+      EXPECT_EQ(bwd.index, layer * f.face_volume() + f.face_index(x));
+    } else {
+      EXPECT_TRUE(bwd.local());
+    }
+  }
+}
+
+TEST(NeighborTable, GhostVolumes) {
+  LatticeGeometry g({4, 6, 4, 8});
+  NeighborTable nt(g, {true, false, true, true}, 3);
+  EXPECT_EQ(nt.ghost_volume(0), 3 * g.volume() / 4);
+  EXPECT_EQ(nt.ghost_volume(1), 0);
+  EXPECT_EQ(nt.ghost_volume(2), 3 * g.volume() / 4);
+  EXPECT_EQ(nt.ghost_volume(3), 3 * g.volume() / 8);
+}
+
+TEST(NeighborTable, RejectsTooShallowPartitionedDim) {
+  LatticeGeometry g({2, 4, 4, 4});
+  EXPECT_THROW(NeighborTable(g, {true, false, false, false}, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lqcd

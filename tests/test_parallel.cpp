@@ -1,0 +1,108 @@
+// Shared-memory parallel layer: the worker pool, and bitwise determinism
+// of the parallelized kernels and reductions regardless of worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "dirac/wilson_kernel.h"
+#include "fields/blas.h"
+#include "gauge/configure.h"
+#include "util/parallel_for.h"
+
+namespace lqcd {
+namespace {
+
+/// Restores the worker count after each test.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_worker_count(1); }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (int workers : {1, 2, 4, 7}) {
+    set_worker_count(workers);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(1000, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ParallelTest, EmptyAndTinyRanges) {
+  set_worker_count(4);
+  int count = 0;
+  parallel_for(0, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> hits{0};
+  parallel_for(1, [&](std::int64_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST_F(ParallelTest, ReduceMatchesSerialSum) {
+  set_worker_count(1);
+  const double serial =
+      parallel_reduce<double>(10000, [](std::int64_t i) { return 1.0 / (i + 1); });
+  set_worker_count(5);
+  const double parallel =
+      parallel_reduce<double>(10000, [](std::int64_t i) { return 1.0 / (i + 1); });
+  // Fixed chunk grid -> bitwise identical.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ParallelTest, DotBitwiseIndependentOfWorkers) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const WilsonField<double> x = gaussian_wilson_source(g, 301);
+  const WilsonField<double> y = gaussian_wilson_source(g, 302);
+  set_worker_count(1);
+  const std::complex<double> d1 = dot(x, y);
+  const double n1 = norm2(x);
+  set_worker_count(6);
+  const std::complex<double> d6 = dot(x, y);
+  const double n6 = norm2(x);
+  EXPECT_EQ(d1, d6);
+  EXPECT_EQ(n1, n6);
+}
+
+TEST_F(ParallelTest, DslashBitwiseIndependentOfWorkers) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 303);
+  const WilsonField<double> in = gaussian_wilson_source(g, 304);
+  WilsonField<double> out1(g), out4(g);
+  set_worker_count(1);
+  wilson_hop(out1, u, in);
+  set_worker_count(4);
+  wilson_hop(out4, u, in);
+  auto a = out1.sites();
+  auto b = out4.sites();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        ASSERT_EQ(a[i][sp][c], b[i][sp][c]);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, RepeatedJobsOnSamePool) {
+  set_worker_count(3);
+  for (int round = 0; round < 50; ++round) {
+    const double v = parallel_reduce<double>(
+        257, [&](std::int64_t i) { return static_cast<double>(i + round); });
+    const double expect = 257.0 * round + 256.0 * 257.0 / 2.0;
+    ASSERT_EQ(v, expect);
+  }
+}
+
+TEST_F(ParallelTest, WorkerCountClamped) {
+  set_worker_count(0);
+  EXPECT_EQ(worker_count(), 1);
+  set_worker_count(-5);
+  EXPECT_EQ(worker_count(), 1);
+  set_worker_count(3);
+  EXPECT_EQ(worker_count(), 3);
+}
+
+}  // namespace
+}  // namespace lqcd

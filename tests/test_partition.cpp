@@ -1,0 +1,107 @@
+#include "lattice/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace lqcd {
+namespace {
+
+struct Case {
+  std::array<int, 4> dims;
+  std::array<int, 4> grid;
+};
+
+class PartitionTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PartitionTest, RankIndexBijective) {
+  Partitioning p(LatticeGeometry(GetParam().dims), GetParam().grid);
+  std::set<int> seen;
+  for (int r = 0; r < p.num_ranks(); ++r) {
+    EXPECT_EQ(p.rank_index(p.rank_coords(r)), r);
+    seen.insert(r);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), p.num_ranks());
+}
+
+TEST_P(PartitionTest, GlobalLocalRoundTrip) {
+  Partitioning p(LatticeGeometry(GetParam().dims), GetParam().grid);
+  const LatticeGeometry& g = p.global();
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord gx = g.coords(i);
+    const int r = p.rank_of_site(gx);
+    const Coord lx = p.local_coord(gx);
+    EXPECT_EQ(p.global_coord(r, lx), gx);
+  }
+}
+
+TEST_P(PartitionTest, EveryRankOwnsEqualShare) {
+  Partitioning p(LatticeGeometry(GetParam().dims), GetParam().grid);
+  std::vector<std::int64_t> count(static_cast<std::size_t>(p.num_ranks()));
+  const LatticeGeometry& g = p.global();
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    count[static_cast<std::size_t>(p.rank_of_site(g.coords(i)))] += 1;
+  }
+  for (auto c : count) EXPECT_EQ(c, p.local().volume());
+}
+
+TEST_P(PartitionTest, NeighborRanksConsistent) {
+  Partitioning p(LatticeGeometry(GetParam().dims), GetParam().grid);
+  for (int r = 0; r < p.num_ranks(); ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const int fwd = p.neighbor_rank(r, mu, +1);
+      EXPECT_EQ(p.neighbor_rank(fwd, mu, -1), r);
+      if (!p.partitioned(mu)) {
+        EXPECT_EQ(fwd, r);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionTest, BoundaryCrossingSitesLandOnNeighbor) {
+  Partitioning p(LatticeGeometry(GetParam().dims), GetParam().grid);
+  const LatticeGeometry& g = p.global();
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coord gx = g.coords(i);
+    const int r = p.rank_of_site(gx);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const Coord lx = p.local_coord(gx);
+      if (lx[mu] == p.local().dim(mu) - 1) {
+        const int owner = p.rank_of_site(g.shifted(gx, mu, +1));
+        EXPECT_EQ(owner, p.neighbor_rank(r, mu, +1));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PartitionTest,
+    ::testing::Values(Case{{4, 4, 4, 4}, {1, 1, 1, 1}},
+                      Case{{4, 4, 4, 4}, {1, 1, 1, 2}},
+                      Case{{4, 4, 4, 8}, {1, 1, 2, 2}},
+                      Case{{4, 4, 4, 8}, {2, 2, 2, 2}},
+                      Case{{8, 4, 4, 8}, {2, 1, 2, 4}}));
+
+TEST(Partition, RejectsNonDividingGrid) {
+  EXPECT_THROW(Partitioning(LatticeGeometry({4, 4, 4, 4}), {3, 1, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Partition, RejectsOddLocalExtent) {
+  // 6 / 3 = 2 would be fine, but 6/2=3 is odd -> must throw.
+  EXPECT_THROW(Partitioning(LatticeGeometry({6, 4, 4, 4}), {2, 1, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Partition, PartitionedDimsMask) {
+  Partitioning p(LatticeGeometry({4, 4, 8, 8}), {1, 2, 1, 4});
+  const auto mask = p.partitioned_dims();
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,365 @@
+// Performance model: analytic byte formulas vs the metered implementation,
+// stream-schedule invariants, and the qualitative shapes the figures rely
+// on (comm-bound degradation, partitioning trade-off, solver crossover
+// mechanics).
+#include <gtest/gtest.h>
+
+#include "comm/counters.h"
+#include "dirac/partitioned.h"
+#include "gauge/configure.h"
+#include "gauge/staggered_links.h"
+#include "perfmodel/dslash_model.h"
+#include "perfmodel/machine.h"
+#include "perfmodel/solver_model.h"
+#include "perfmodel/stencil.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Stencil, FaceBytesMatchMeteredWilson) {
+  // The model's wire-byte formula must equal what the implementation
+  // actually sends per application.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 151);
+  for (const std::array<int, 4> grid :
+       {std::array<int, 4>{1, 1, 1, 2}, std::array<int, 4>{1, 1, 2, 2},
+        std::array<int, 4>{2, 2, 2, 2}}) {
+    Partitioning part(g, grid);
+    PartitionedWilsonClover<double> op(part, u, nullptr, 0.0);
+    const WilsonField<double> in = gaussian_wilson_source(g, 152);
+    WilsonField<double> out(g);
+    op.apply(out, in);
+    const double metered =
+        static_cast<double>(op.traffic().spinor.total_bytes()) /
+        part.num_ranks();
+    const double model =
+        total_face_bytes(part, StencilKind::Wilson, Precision::Double);
+    EXPECT_DOUBLE_EQ(metered, model);
+  }
+}
+
+TEST(Stencil, FaceBytesMatchMeteredStaggered) {
+  const LatticeGeometry g({4, 4, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 153);
+  const AsqtadLinks links = build_asqtad_links(u);
+  Partitioning part(g, {1, 1, 2, 2});
+  PartitionedStaggered<double> op(part, links.fat, links.lng, 0.1);
+  const StaggeredField<double> in = gaussian_staggered_source(g, 154);
+  StaggeredField<double> out(g);
+  op.apply(out, in);
+  const double metered =
+      static_cast<double>(op.traffic().spinor.total_bytes()) /
+      part.num_ranks();
+  const double model = total_face_bytes(part, StencilKind::ImprovedStaggered,
+                                        Precision::Double);
+  EXPECT_DOUBLE_EQ(metered, model);
+}
+
+TEST(Stencil, FlopConventions) {
+  EXPECT_EQ(dslash_flops_per_site(StencilKind::Wilson), 1320.0);
+  EXPECT_EQ(dslash_flops_per_site(StencilKind::WilsonClover), 1824.0);
+  EXPECT_EQ(dslash_flops_per_site(StencilKind::ImprovedStaggered), 1146.0);
+}
+
+TEST(Stencil, ReconstructionReducesBytes) {
+  const double none = dslash_bytes_per_site(StencilKind::Wilson,
+                                            Precision::Single,
+                                            Reconstruct::None);
+  const double r12 = dslash_bytes_per_site(StencilKind::Wilson,
+                                           Precision::Single,
+                                           Reconstruct::Twelve);
+  const double r8 = dslash_bytes_per_site(StencilKind::Wilson,
+                                          Precision::Single,
+                                          Reconstruct::Eight);
+  EXPECT_GT(none, r12);
+  EXPECT_GT(r12, r8);
+}
+
+TEST(StreamSchedule, TotalAtLeastKernelAndCommBounds) {
+  StreamScheduleInput in;
+  in.cluster = edge_cluster();
+  in.interior_kernel_us = 100;
+  for (int mu = 2; mu < 4; ++mu) {
+    StreamScheduleInput::Dim d;
+    d.mu = mu;
+    d.message_bytes = 1 << 20;
+    d.gather_kernel_us = 5;
+    d.exterior_kernel_us = 10;
+    in.dims.push_back(d);
+  }
+  const StreamScheduleResult r = simulate_dslash_streams(in);
+  EXPECT_GE(r.total_us, in.interior_kernel_us);
+  EXPECT_GE(r.total_us, r.comm_critical_us);
+  EXPECT_GE(r.gpu_idle_us, 0.0);
+  EXPECT_FALSE(r.timeline.empty());
+}
+
+TEST(StreamSchedule, NoCommMeansNoIdle) {
+  StreamScheduleInput in;
+  in.cluster = edge_cluster();
+  in.interior_kernel_us = 50;
+  const StreamScheduleResult r = simulate_dslash_streams(in);
+  EXPECT_DOUBLE_EQ(r.total_us, 50.0);
+  EXPECT_DOUBLE_EQ(r.gpu_idle_us, 0.0);
+}
+
+TEST(StreamSchedule, CommBoundWhenInteriorSmall) {
+  // Big messages + tiny kernel: the GPU must idle waiting for ghosts.
+  StreamScheduleInput in;
+  in.cluster = edge_cluster();
+  in.interior_kernel_us = 5;
+  StreamScheduleInput::Dim d;
+  d.mu = 3;
+  d.message_bytes = 8 << 20;
+  d.gather_kernel_us = 2;
+  d.exterior_kernel_us = 2;
+  in.dims.push_back(d);
+  const StreamScheduleResult r = simulate_dslash_streams(in);
+  EXPECT_GT(r.gpu_idle_us, 0.0);
+  EXPECT_GT(r.comm_critical_us, in.interior_kernel_us);
+}
+
+TEST(DslashModel, StrongScalingDegradesPerGpu) {
+  // Fig. 5 mechanics: per-GPU Gflops falls as GPUs increase at fixed
+  // global volume.
+  const LatticeGeometry g({32, 32, 32, 256});
+  DslashModelConfig cfg;
+  cfg.cluster = edge_cluster();
+  cfg.kind = StencilKind::WilsonClover;
+  cfg.precision = Precision::Single;
+  cfg.recon = Reconstruct::Twelve;
+
+  double prev = 1e9;
+  for (int gpus : {8, 32, 128, 256}) {
+    cfg.part = Partitioning(g, {1, 1, gpus >= 32 ? 2 : 1,
+                                gpus / (gpus >= 32 ? 2 : 1)});
+    const DslashModelResult r = model_dslash(cfg);
+    EXPECT_LT(r.gflops_per_gpu, prev);
+    prev = r.gflops_per_gpu;
+  }
+}
+
+TEST(DslashModel, HalfPrecisionAdvantageShrinksWhenCommBound) {
+  // Fig. 5: "as the communications overhead grows, the performance
+  // advantage of the half precision operator ... appears diminished."
+  const LatticeGeometry g({32, 32, 32, 256});
+  DslashModelConfig cfg;
+  cfg.cluster = edge_cluster();
+  cfg.kind = StencilKind::WilsonClover;
+  cfg.recon = Reconstruct::Twelve;
+
+  auto ratio_at = [&](std::array<int, 4> grid) {
+    cfg.part = Partitioning(g, grid);
+    cfg.precision = Precision::Half;
+    const double hp = model_dslash(cfg).gflops_per_gpu;
+    cfg.precision = Precision::Single;
+    const double sp = model_dslash(cfg).gflops_per_gpu;
+    return hp / sp;
+  };
+  const double small = ratio_at({1, 1, 1, 8});
+  const double large = ratio_at({2, 2, 2, 32});
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 1.1);  // clearly faster when compute-bound
+}
+
+TEST(DslashModel, PartitioningTradeoffCrossesOver) {
+  // Fig. 6 mechanics: at few GPUs fewer partitioned dims win (better
+  // kernels); at many GPUs XYZT wins (better surface-to-volume).
+  const LatticeGeometry g({64, 64, 64, 192});
+  DslashModelConfig cfg;
+  cfg.cluster = edge_cluster();
+  cfg.kind = StencilKind::ImprovedStaggered;
+  cfg.precision = Precision::Single;
+  cfg.recon = Reconstruct::None;
+
+  // 32 GPUs: the two decompositions happen to expose identical total
+  // surface, so the byte-proportional communication model predicts a
+  // near-tie; the kernel-rate penalty is what separates them when not
+  // fully communication-bound (see EXPERIMENTS.md for the discussion of
+  // the paper's stronger measured separation at 32 GPUs).
+  cfg.part = Partitioning(g, {1, 1, 2, 16});
+  const double zt_32 = model_dslash(cfg).gflops_per_gpu;
+  const double zt_32_kernel = 1e6 / dirichlet_dslash_us(cfg);
+  cfg.part = Partitioning(g, {2, 2, 2, 4});
+  const double xyzt_32 = model_dslash(cfg).gflops_per_gpu;
+  const double xyzt_32_kernel = 1e6 / dirichlet_dslash_us(cfg);
+
+  cfg.part = Partitioning(g, {1, 1, 8, 32});
+  const double zt_256 = model_dslash(cfg).gflops_per_gpu;
+  cfg.part = Partitioning(g, {2, 2, 4, 16});
+  const double xyzt_256 = model_dslash(cfg).gflops_per_gpu;
+
+  // Kernel-only rates must order ZT > XYZT (the paper's "worst single-GPU
+  // performance" for XYZT).
+  EXPECT_GT(zt_32_kernel, 1.2 * xyzt_32_kernel);
+  // End-to-end at 32 GPUs: comparable (byte-tied), ZT not behind by more
+  // than a whisker.
+  EXPECT_GT(zt_32, 0.97 * xyzt_32);
+  // At 256 GPUs surface-to-volume dominates and XYZT wins outright.
+  EXPECT_GT(xyzt_256, zt_256);
+}
+
+TEST(SolverModel, GcrDdCheaperPerResidualReductionAtScale) {
+  // At 256 GPUs the communicating Schur apply is latency-dominated; the
+  // GCR-DD iteration buys n_mr communication-free dslashes for one
+  // communicating one.
+  const LatticeGeometry g({32, 32, 32, 256});
+  SolverModelConfig cfg;
+  cfg.dslash.cluster = edge_cluster();
+  cfg.dslash.kind = StencilKind::WilsonClover;
+  cfg.dslash.precision = Precision::Single;
+  cfg.dslash.part = Partitioning(g, {2, 2, 2, 32});
+  cfg.n_mr = 10;
+
+  const IterationCost bi = bicgstab_iteration(cfg);
+  const IterationCost gcr = gcr_dd_iteration(cfg);
+  // One GCR iteration does ~12 dslash-equivalents vs BiCGstab's 2 but must
+  // cost far less than 6x as much time.
+  EXPECT_LT(gcr.time_us, 4.0 * bi.time_us);
+  EXPECT_GT(gcr.flops, 3.0 * bi.flops);
+}
+
+TEST(SolverModel, MultishiftBlasScalesWithShifts) {
+  const LatticeGeometry g({64, 64, 64, 192});
+  SolverModelConfig cfg;
+  cfg.dslash.cluster = edge_cluster();
+  cfg.dslash.kind = StencilKind::ImprovedStaggered;
+  cfg.dslash.precision = Precision::Single;
+  cfg.dslash.recon = Reconstruct::None;
+  // Few GPUs: compute- and bandwidth-bound regime where the per-shift
+  // BLAS tail is visible (at 64+ GPUs communication hides it).
+  cfg.dslash.part = Partitioning(g, {1, 1, 1, 4});
+  cfg.num_shifts = 1;
+  const double t1 = multishift_iteration(cfg).time_us;
+  cfg.num_shifts = 9;
+  const double t9 = multishift_iteration(cfg).time_us;
+  EXPECT_GT(t9, t1 * 1.15);
+}
+
+TEST(CpuModel, Fig9WindowReproduced) {
+  // 10-17 sustained Tflops at >= 16k cores on 32^3 x 256 (Fig. 9).
+  const double sites = 32.0 * 32 * 32 * 256;
+  for (const CpuSystemSpec& sys :
+       {jaguar_xt4(), jaguar_xt5(), intrepid_bgp()}) {
+    const double t32k = cpu_sustained_tflops(sys, sites, 32768);
+    EXPECT_GT(t32k, 5.0) << sys.name;
+    EXPECT_LT(t32k, 20.0) << sys.name;
+  }
+}
+
+TEST(CpuModel, KrakenCalibration) {
+  // §9.2: MILC on Kraken reaches 942 Gflops with 4096 cores on 64^3 x 192.
+  const double sites = 64.0 * 64 * 64 * 192;
+  const double tflops = cpu_sustained_tflops(kraken_xt5(), sites, 4096);
+  EXPECT_NEAR(tflops, 0.942, 0.1);
+}
+
+TEST(StreamSchedule, IntraNodeDirectionSkipsInfiniband) {
+  StreamScheduleInput in;
+  in.cluster = edge_cluster();
+  in.interior_kernel_us = 10;
+  StreamScheduleInput::Dim d;
+  d.mu = 3;
+  d.message_bytes = 1 << 20;
+  d.gather_kernel_us = 2;
+  d.exterior_kernel_us = 2;
+  d.one_direction_intra_node = true;
+  in.dims.push_back(d);
+  const StreamScheduleResult r = simulate_dslash_streams(in);
+  int mpi = 0, shm = 0;
+  for (const auto& e : r.timeline) {
+    if (e.label.rfind("MPIshm", 0) == 0) ++shm;
+    else if (e.label.rfind("MPI", 0) == 0) ++mpi;
+  }
+  EXPECT_EQ(shm, 1);
+  EXPECT_EQ(mpi, 1);
+
+  // Without the intra-node path both directions hit InfiniBand and the
+  // exchange cannot be faster.
+  in.dims[0].one_direction_intra_node = false;
+  const StreamScheduleResult r2 = simulate_dslash_streams(in);
+  EXPECT_GE(r2.comm_critical_us, r.comm_critical_us);
+}
+
+TEST(StreamSchedule, MessageOverheadDominatesSmallMessages) {
+  // At tiny payloads the fixed per-message software overhead sets the
+  // communication time — the regime where GCR-DD pays off.
+  StreamScheduleInput in;
+  in.cluster = edge_cluster();
+  in.interior_kernel_us = 1;
+  StreamScheduleInput::Dim d;
+  d.mu = 3;
+  d.message_bytes = 1024;  // ~nothing
+  d.gather_kernel_us = 1;
+  d.exterior_kernel_us = 1;
+  in.dims.push_back(d);
+  const StreamScheduleResult r = simulate_dslash_streams(in);
+  EXPECT_GT(r.comm_critical_us, in.cluster.node.message_overhead_us);
+}
+
+TEST(DslashModel, ReconstructionRescalesKernelRate) {
+  // Bandwidth-bound kernels speed up with fewer bytes per link: rate(8) >
+  // rate(12) > rate(18), with ratios bounded by the byte ratios.
+  DslashModelConfig cfg;
+  cfg.cluster = edge_cluster();
+  cfg.kind = StencilKind::Wilson;
+  cfg.precision = Precision::Single;
+  cfg.part = Partitioning(LatticeGeometry({8, 8, 8, 8}), {1, 1, 1, 1});
+  cfg.recon = Reconstruct::Twelve;
+  const double r12 = sustained_kernel_gflops(cfg);
+  cfg.recon = Reconstruct::Eight;
+  const double r8 = sustained_kernel_gflops(cfg);
+  cfg.recon = Reconstruct::None;
+  const double r18 = sustained_kernel_gflops(cfg);
+  EXPECT_GT(r8, r12);
+  EXPECT_GT(r12, r18);
+  const double byte_ratio =
+      dslash_bytes_per_site(StencilKind::Wilson, Precision::Single,
+                            Reconstruct::None) /
+      dslash_bytes_per_site(StencilKind::Wilson, Precision::Single,
+                            Reconstruct::Twelve);
+  EXPECT_NEAR(r12 / r18, byte_ratio, 1e-12);
+}
+
+TEST(CpuModel, MoreCoresNeverSlower) {
+  const double sites = 32.0 * 32 * 32 * 256;
+  for (const CpuSystemSpec& sys : {jaguar_xt4(), jaguar_xt5(), intrepid_bgp(),
+                                   kraken_xt5()}) {
+    double prev = 0;
+    for (int cores = 1024; cores <= 65536; cores *= 2) {
+      const double t = cpu_sustained_tflops(sys, sites, cores);
+      EXPECT_GE(t, prev) << sys.name << " at " << cores;
+      prev = t;
+    }
+  }
+}
+
+TEST(Counters, AccumulateAndReset) {
+  ExchangeCounters a, b;
+  a.bytes_by_dim[0] = 100;
+  a.bytes_by_dim[3] = 50;
+  a.messages = 4;
+  a.exchanges = 1;
+  b.bytes_by_dim[0] = 1;
+  b.messages = 2;
+  b.exchanges = 1;
+  a += b;
+  EXPECT_EQ(a.bytes_by_dim[0], 101u);
+  EXPECT_EQ(a.bytes_by_dim[3], 50u);
+  EXPECT_EQ(a.total_bytes(), 151u);
+  EXPECT_EQ(a.messages, 6u);
+  EXPECT_EQ(a.exchanges, 2u);
+  a.reset();
+  EXPECT_EQ(a.total_bytes(), 0u);
+  EXPECT_EQ(a.messages, 0u);
+}
+
+TEST(Machine, AllreduceGrowsLogarithmically) {
+  const ClusterSpec c = edge_cluster();
+  EXPECT_DOUBLE_EQ(c.allreduce_us(1), 0.0);
+  EXPECT_GT(c.allreduce_us(256), c.allreduce_us(16));
+  EXPECT_NEAR(c.allreduce_us(256) / c.allreduce_us(16), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,88 @@
+#include "linalg/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/su3.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Reconstruct12, ExactRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Matrix3<double> u = random_su3(rng);
+    const Matrix3<double> v = decompress12(compress12(u));
+    EXPECT_LT(std::sqrt(norm2(v - u)), 1e-13);
+  }
+}
+
+TEST(Reconstruct12, ReconstructedRowUnitary) {
+  Rng rng(2);
+  const Matrix3<double> u = random_su3(rng);
+  const Matrix3<double> v = decompress12(compress12(u));
+  EXPECT_LT(unitarity_error(v), 1e-13);
+  EXPECT_NEAR(det(v).real(), 1.0, 1e-13);
+}
+
+TEST(Reconstruct8, ExactRoundTrip) {
+  Rng rng(3);
+  double worst = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Matrix3<double> u = random_su3(rng);
+    const Matrix3<double> v = decompress8(compress8(u));
+    worst = std::max(worst, std::sqrt(norm2(v - u)));
+  }
+  EXPECT_LT(worst, 1e-10);
+}
+
+TEST(Reconstruct8, HandlesNearDegenerateFirstRow) {
+  // First row close to (0, 1, 0): the complement-basis seed must switch.
+  Matrix3<double> u = Matrix3<double>::zero();
+  u(0, 1) = Cplx<double>(1.0);
+  u(1, 2) = Cplx<double>(1.0);
+  u(2, 0) = Cplx<double>(1.0);
+  // This permutation has det = +1.
+  EXPECT_NEAR(det(u).real(), 1.0, 1e-15);
+  const Matrix3<double> v = decompress8(compress8(u));
+  EXPECT_LT(std::sqrt(norm2(v - u)), 1e-12);
+}
+
+TEST(Reconstruct8, IdentityMatrix) {
+  const Matrix3<double> u = Matrix3<double>::identity();
+  const Matrix3<double> v = decompress8(compress8(u));
+  EXPECT_LT(std::sqrt(norm2(v - u)), 1e-13);
+}
+
+TEST(Reconstruct8, SinglePrecisionAccuracy) {
+  Rng rng(4);
+  double worst = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Matrix3<float> u = convert<float>(random_su3(rng));
+    const Matrix3<float> v = decompress8(compress8(u));
+    worst = std::max(worst, static_cast<double>(std::sqrt(norm2(v - u))));
+  }
+  EXPECT_LT(worst, 5e-5);
+}
+
+TEST(Reconstruct, RealCountsMatchEnum) {
+  EXPECT_EQ(reals_per_link(Reconstruct::None), 18);
+  EXPECT_EQ(reals_per_link(Reconstruct::Twelve), 12);
+  EXPECT_EQ(reals_per_link(Reconstruct::Eight), 8);
+  EXPECT_EQ(sizeof(Packed12<float>), 12 * sizeof(float));
+  EXPECT_EQ(sizeof(Packed8<double>), 8 * sizeof(double));
+}
+
+TEST(Reconstruct8, PreservesGroupStructure) {
+  // Round-trip twice composes to the same matrix, and products survive.
+  Rng rng(5);
+  const Matrix3<double> a = random_su3(rng);
+  const Matrix3<double> b = random_su3(rng);
+  const Matrix3<double> ra = decompress8(compress8(a));
+  const Matrix3<double> rb = decompress8(compress8(b));
+  EXPECT_LT(std::sqrt(norm2(ra * rb - a * b)), 1e-9);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,105 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace lqcd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(13);
+  double sum = 0, sum2 = 0, sum4 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.15);  // normal kurtosis
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, ForSiteStreamsIndependent) {
+  // Same site/slot -> identical stream; different site or slot -> distinct.
+  Rng a = Rng::for_site(5, 100, 2);
+  Rng b = Rng::for_site(5, 100, 2);
+  Rng c = Rng::for_site(5, 101, 2);
+  Rng d = Rng::for_site(5, 100, 3);
+  EXPECT_EQ(a(), b());
+  Rng a2 = Rng::for_site(5, 100, 2);
+  EXPECT_NE(a2(), c());
+  EXPECT_NE(a2(), d());
+}
+
+TEST(Rng, SplitMixAdvances) {
+  std::uint64_t s = 0;
+  const auto v1 = splitmix64(s);
+  const auto v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,123 @@
+#include "linalg/small_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace lqcd {
+namespace {
+
+DenseMatrix<double> random_matrix(int n, Rng& rng) {
+  DenseMatrix<double> m(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      m(r, c) = std::complex<double>(rng.gaussian(), rng.gaussian());
+    }
+  }
+  return m;
+}
+
+TEST(SmallMatrix, SolveRecoversKnownSolution) {
+  Rng rng(1);
+  for (int n : {1, 2, 6, 12, 24}) {
+    const DenseMatrix<double> a = random_matrix(n, rng);
+    std::vector<std::complex<double>> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = std::complex<double>(rng.gaussian(), rng.gaussian());
+    const auto b = a.multiply(x);
+    const auto x2 = LuFactorization<double>(a).solve(b);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x2[static_cast<std::size_t>(i)] -
+                           x[static_cast<std::size_t>(i)]),
+                  0.0, 1e-9)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SmallMatrix, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  const int n = 6;
+  const DenseMatrix<double> a = random_matrix(n, rng);
+  const DenseMatrix<double> inv = LuFactorization<double>(a).inverse();
+  const DenseMatrix<double> p = a * inv;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      EXPECT_NEAR(std::abs(p(r, c) - (r == c ? 1.0 : 0.0)), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(SmallMatrix, SingularThrows) {
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW((void)LuFactorization<double>(a), std::runtime_error);
+}
+
+TEST(SmallMatrix, NonSquareThrows) {
+  DenseMatrix<double> a(2, 3);
+  EXPECT_THROW((void)LuFactorization<double>(a), std::invalid_argument);
+}
+
+TEST(SmallMatrix, PivotingHandlesZeroLeadingDiagonal) {
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = LuFactorization<double>(a).solve({{1.0, 0.0}, {2.0, 0.0}});
+  EXPECT_NEAR(x[0].real(), 2.0, 1e-14);
+  EXPECT_NEAR(x[1].real(), 1.0, 1e-14);
+}
+
+TEST(SmallMatrix, AdjointProperty) {
+  Rng rng(3);
+  const DenseMatrix<double> a = random_matrix(3, rng);
+  const DenseMatrix<double> ad = a.adjoint();
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(ad(c, r), std::conj(a(r, c)));
+    }
+  }
+}
+
+TEST(SmallMatrix, HermitianSystemFloat) {
+  Rng rng(4);
+  const int n = 6;
+  DenseMatrix<float> h(n, n);
+  // Build A^dag A + I: Hermitian positive definite.
+  DenseMatrix<float> a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a(r, c) = std::complex<float>(static_cast<float>(rng.gaussian()),
+                                    static_cast<float>(rng.gaussian()));
+    }
+  }
+  h = a.adjoint() * a;
+  for (int i = 0; i < n; ++i) h(i, i) += 1.0f;
+  std::vector<std::complex<float>> x(static_cast<std::size_t>(n),
+                                     std::complex<float>(1.0f, -0.5f));
+  const auto b = h.multiply(x);
+  const auto x2 = LuFactorization<float>(h).solve(b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(x2[static_cast<std::size_t>(i)] -
+                         x[static_cast<std::size_t>(i)]),
+                0.0f, 1e-3f);
+  }
+}
+
+TEST(SmallMatrix, IdentityFactory) {
+  const auto id = DenseMatrix<double>::identity(4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(id(r, c), std::complex<double>(r == c ? 1.0 : 0.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,132 @@
+// Asqtad fat/long link construction.
+#include <gtest/gtest.h>
+
+#include "gauge/configure.h"
+#include "gauge/staggered_links.h"
+#include "linalg/su3.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Smear, UnitGaugeFatLinkValue) {
+  // On the free field every path is the identity: the fat link equals the
+  // coefficient sum (9/8 for asqtad) times the KS phase.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const AsqtadCoefficients coeff;
+  EXPECT_NEAR(coeff.fat_link_free_value(), 9.0 / 8.0, 1e-15);
+  const AsqtadLinks links = build_asqtad_links(unit_gauge(g), coeff);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const double eta = staggered_phase(x, mu);
+      Matrix3<double> expect_fat = Matrix3<double>::identity();
+      expect_fat *= eta * coeff.fat_link_free_value();
+      ASSERT_LT(norm2(links.fat.link(mu, s) - expect_fat), 1e-24);
+      Matrix3<double> expect_lng = Matrix3<double>::identity();
+      expect_lng *= eta * coeff.c_naik;
+      ASSERT_LT(norm2(links.lng.link(mu, s) - expect_lng), 1e-24);
+    }
+  }
+}
+
+TEST(Smear, TreeLevelDerivativeNormalization) {
+  // fat + 3 * naik = 1: the improved central difference has unit
+  // derivative coefficient at tree level.
+  const AsqtadCoefficients c;
+  EXPECT_NEAR(c.fat_link_free_value() + 3.0 * c.c_naik, 1.0, 1e-15);
+}
+
+TEST(Smear, ProductionMatchesPathEnumerationReference) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 71);
+  const AsqtadCoefficients coeff;
+  const AsqtadLinks links = build_asqtad_links(u, coeff);
+  // Spot-check a representative set of sites and directions against the
+  // independent explicit path walker.
+  Rng rng(72);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::int64_t s =
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(g.volume())));
+    const Coord x = g.eo_coords(s);
+    const int mu = static_cast<int>(rng.below(4));
+    const Matrix3<double> ref = fat_link_reference(u, x, mu, coeff);
+    ASSERT_LT(norm2(links.fat.link(mu, s) - ref), 1e-20)
+        << "site " << s << " mu " << mu;
+  }
+}
+
+TEST(Smear, FatLinksGaugeCovariant) {
+  // F'_mu(x) = Omega(x) F_mu(x) Omega(x+mu)^dag — smearing is built from
+  // paths with the same endpoints as the thin link.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 73);
+  const auto omega = random_gauge_rotation(g, 74);
+  const GaugeField<double> v = gauge_transform(u, omega);
+  const AsqtadLinks lu = build_asqtad_links(u);
+  const AsqtadLinks lv = build_asqtad_links(v);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const Coord xp1 = g.shifted(x, mu, 1);
+      const Matrix3<double> expect_fat =
+          omega.at(s) * lu.fat.link(mu, s) * adj(omega.at(xp1));
+      ASSERT_LT(norm2(lv.fat.link(mu, s) - expect_fat), 1e-18);
+      const Coord xp3 = g.shifted(x, mu, 3);
+      const Matrix3<double> expect_lng =
+          omega.at(s) * lu.lng.link(mu, s) * adj(omega.at(xp3));
+      ASSERT_LT(norm2(lv.lng.link(mu, s) - expect_lng), 1e-18);
+    }
+  }
+}
+
+TEST(Smear, NaiveCoefficientsGiveThinLink) {
+  // c1 = 1, everything else 0: fat link = thin link (with phases), long
+  // link vanishes.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 75);
+  AsqtadCoefficients naive{};
+  naive.c1 = 1.0;
+  naive.c3 = naive.c5 = naive.c7 = naive.c_lepage = 0.0;
+  naive.c_naik = 0.0;
+  const AsqtadLinks links = build_asqtad_links(u, naive);
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const double eta = staggered_phase(x, mu);
+      Matrix3<double> expect = u.link(mu, s);
+      expect *= eta;
+      ASSERT_LT(norm2(links.fat.link(mu, s) - expect), 1e-26);
+      ASSERT_LT(norm2(links.lng.link(mu, s)), 1e-26);
+    }
+  }
+}
+
+TEST(Smear, StaggeredPhasePattern) {
+  // eta_x = 1 everywhere; eta_y flips with x; eta_t with x+y+z.
+  EXPECT_EQ(staggered_phase({3, 2, 1, 0}, 0), 1);
+  EXPECT_EQ(staggered_phase({1, 0, 0, 0}, 1), -1);
+  EXPECT_EQ(staggered_phase({2, 0, 0, 0}, 1), 1);
+  EXPECT_EQ(staggered_phase({1, 1, 0, 0}, 2), 1);
+  EXPECT_EQ(staggered_phase({1, 1, 1, 0}, 3), -1);
+}
+
+TEST(Smear, LongLinkIsTripleProduct) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 77);
+  const AsqtadCoefficients coeff;
+  const AsqtadLinks links = build_asqtad_links(u, coeff);
+  for (std::int64_t s = 0; s < std::min<std::int64_t>(g.volume(), 64); ++s) {
+    const Coord x = g.eo_coords(s);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const Coord x1 = g.shifted(x, mu, 1);
+      const Coord x2 = g.shifted(x, mu, 2);
+      Matrix3<double> expect = u.link(mu, s) * u.link(mu, g.eo_index(x1)) *
+                               u.link(mu, g.eo_index(x2));
+      expect *= coeff.c_naik * staggered_phase(x, mu);
+      ASSERT_LT(norm2(links.lng.link(mu, s) - expect), 1e-24);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lqcd

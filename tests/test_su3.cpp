@@ -1,0 +1,112 @@
+#include "linalg/su3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lqcd {
+namespace {
+
+TEST(Su3, RandomIsUnitary) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Matrix3<double> u = random_su3(rng);
+    EXPECT_LT(unitarity_error(u), 1e-12);
+  }
+}
+
+TEST(Su3, RandomHasUnitDeterminant) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Matrix3<double> u = random_su3(rng);
+    const Cplx<double> d = det(u);
+    EXPECT_NEAR(d.real(), 1.0, 1e-12);
+    EXPECT_NEAR(d.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Su3, RandomCoversGroup) {
+  // Mean of tr(U)/3 over Haar measure is 0.
+  Rng rng(3);
+  Cplx<double> mean{};
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) mean += trace(random_su3(rng));
+  mean /= static_cast<double>(3 * n);
+  EXPECT_NEAR(std::abs(mean), 0.0, 0.02);
+}
+
+TEST(Su3, AdjointIsInverse) {
+  Rng rng(4);
+  const Matrix3<double> u = random_su3(rng);
+  const Matrix3<double> p = u * adj(u);
+  EXPECT_LT(std::sqrt(norm2(p - Matrix3<double>::identity())), 1e-12);
+}
+
+TEST(Su3, AdjMulMatchesAdjointMultiply) {
+  Rng rng(5);
+  const Matrix3<double> u = random_su3(rng);
+  ColorVector<double> v;
+  for (int i = 0; i < kNColor; ++i) {
+    v[i] = Cplx<double>(rng.gaussian(), rng.gaussian());
+  }
+  const ColorVector<double> a = adj_mul(u, v);
+  const ColorVector<double> b = adj(u) * v;
+  EXPECT_LT(norm2(a - b), 1e-24);
+}
+
+TEST(Su3, ReunitarizeProjectsBack) {
+  Rng rng(6);
+  Matrix3<double> u = random_su3(rng);
+  // Perturb.
+  for (auto& z : u.m) z += Cplx<double>(0.01 * rng.gaussian(), 0.01 * rng.gaussian());
+  const Matrix3<double> v = reunitarize(u);
+  EXPECT_LT(unitarity_error(v), 1e-12);
+  EXPECT_NEAR(det(v).real(), 1.0, 1e-12);
+  // Should stay close to the perturbed matrix.
+  EXPECT_LT(std::sqrt(norm2(v - u)), 0.2);
+}
+
+TEST(Su3, ExpmOfZeroIsIdentity) {
+  const Matrix3<double> e = expm(Matrix3<double>::zero());
+  EXPECT_LT(std::sqrt(norm2(e - Matrix3<double>::identity())), 1e-15);
+}
+
+TEST(Su3, ExpmOfAntiHermitianIsUnitary) {
+  Rng rng(7);
+  for (double eps : {0.01, 0.1, 0.5}) {
+    const Matrix3<double> a = random_antihermitian(rng, eps);
+    const Matrix3<double> e = expm(a);
+    EXPECT_LT(unitarity_error(e), 1e-10) << "eps=" << eps;
+    EXPECT_NEAR(std::abs(det(e)), 1.0, 1e-10);  // traceless generator
+  }
+}
+
+TEST(Su3, ExpmAdditionOnCommutingArguments) {
+  Rng rng(8);
+  const Matrix3<double> a = random_antihermitian(rng, 0.2);
+  const Matrix3<double> e1 = expm(a) * expm(a);
+  Matrix3<double> a2 = a;
+  a2 *= 2.0;
+  const Matrix3<double> e2 = expm(a2);
+  EXPECT_LT(std::sqrt(norm2(e1 - e2)), 1e-10);
+}
+
+TEST(Su3, CrossConjCompletesRightHanded) {
+  Rng rng(9);
+  const Matrix3<double> u = random_su3(rng);
+  const ColorVector<double> r2 = cross_conj(row(u, 0), row(u, 1));
+  EXPECT_LT(norm2(r2 - row(u, 2)), 1e-24);
+}
+
+TEST(Su3, TraceOfProductCyclic) {
+  Rng rng(10);
+  const Matrix3<double> a = random_su3(rng);
+  const Matrix3<double> b = random_su3(rng);
+  const Cplx<double> t1 = trace(a * b);
+  const Cplx<double> t2 = trace(b * a);
+  EXPECT_NEAR(t1.real(), t2.real(), 1e-12);
+  EXPECT_NEAR(t1.imag(), t2.imag(), 1e-12);
+}
+
+}  // namespace
+}  // namespace lqcd

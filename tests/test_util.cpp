@@ -1,0 +1,105 @@
+// Utility layer: CLI parsing, logging levels, timers.
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace lqcd {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, KeyValuePairs) {
+  const CliArgs a = parse({"--lattice", "16", "--mass", "-0.2"});
+  EXPECT_EQ(a.get_int("lattice", 0), 16);
+  EXPECT_DOUBLE_EQ(a.get_double("mass", 0.0), -0.2);
+}
+
+TEST(Cli, EqualsForm) {
+  const CliArgs a = parse({"--tol=1e-7", "--name=run1"});
+  EXPECT_DOUBLE_EQ(a.get_double("tol", 0.0), 1e-7);
+  EXPECT_EQ(a.get("name", ""), "run1");
+}
+
+TEST(Cli, BooleanFlags) {
+  const CliArgs a = parse({"--verbose", "--fast", "false"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_FALSE(a.get_bool("fast", true));
+  EXPECT_TRUE(a.get_bool("absent", true));
+  EXPECT_FALSE(a.get_bool("absent", false));
+}
+
+TEST(Cli, Defaults) {
+  const CliArgs a = parse({});
+  EXPECT_EQ(a.get_int("n", 42), 42);
+  EXPECT_EQ(a.get("s", "dflt"), "dflt");
+  EXPECT_FALSE(a.has("n"));
+}
+
+TEST(Cli, Positional) {
+  const CliArgs a = parse({"input.cfg", "--flag", "output.cfg"});
+  // "--flag output.cfg" is a key-value pair; only input.cfg is positional.
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "input.cfg");
+  EXPECT_EQ(a.get("flag", ""), "output.cfg");
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const CliArgs a = parse({"--opt", "maybe"});
+  EXPECT_THROW((void)a.get_bool("opt", false), std::invalid_argument);
+}
+
+TEST(Log, LevelsGate) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_TRUE(log_enabled(LogLevel::Error));
+  EXPECT_TRUE(log_enabled(LogLevel::Warn));
+  EXPECT_FALSE(log_enabled(LogLevel::Info));
+  EXPECT_FALSE(log_enabled(LogLevel::Debug));
+  set_log_level(LogLevel::Debug);
+  EXPECT_TRUE(log_enabled(LogLevel::Debug));
+  set_log_level(old);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  const double t1 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(sw.seconds(), t1);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), t1 + 1.0);
+}
+
+TEST(SectionTimer, AccumulatesByName) {
+  SectionTimer timer;
+  timer.add("dslash", 1.5);
+  timer.add("blas", 0.5);
+  timer.add("dslash", 0.5);
+  EXPECT_DOUBLE_EQ(timer.total("dslash"), 2.0);
+  EXPECT_DOUBLE_EQ(timer.total("blas"), 0.5);
+  EXPECT_DOUBLE_EQ(timer.total("absent"), 0.0);
+  EXPECT_EQ(timer.totals().size(), 2u);
+  timer.clear();
+  EXPECT_DOUBLE_EQ(timer.total("dslash"), 0.0);
+}
+
+TEST(SectionTimer, ScopeMeasures) {
+  SectionTimer timer;
+  {
+    auto scope = timer.scope("work");
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  }
+  EXPECT_GT(timer.total("work"), 0.0);
+}
+
+}  // namespace
+}  // namespace lqcd
