@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blas.dir/bench_blas.cpp.o"
+  "CMakeFiles/bench_blas.dir/bench_blas.cpp.o.d"
+  "bench_blas"
+  "bench_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

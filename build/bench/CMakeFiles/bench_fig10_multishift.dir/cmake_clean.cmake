@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multishift.dir/bench_fig10_multishift.cpp.o"
+  "CMakeFiles/bench_fig10_multishift.dir/bench_fig10_multishift.cpp.o.d"
+  "bench_fig10_multishift"
+  "bench_fig10_multishift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multishift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

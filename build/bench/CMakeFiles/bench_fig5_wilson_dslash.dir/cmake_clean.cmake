@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_wilson_dslash.dir/bench_fig5_wilson_dslash.cpp.o"
+  "CMakeFiles/bench_fig5_wilson_dslash.dir/bench_fig5_wilson_dslash.cpp.o.d"
+  "bench_fig5_wilson_dslash"
+  "bench_fig5_wilson_dslash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_wilson_dslash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_asqtad_dslash.dir/bench_fig6_asqtad_dslash.cpp.o"
+  "CMakeFiles/bench_fig6_asqtad_dslash.dir/bench_fig6_asqtad_dslash.cpp.o.d"
+  "bench_fig6_asqtad_dslash"
+  "bench_fig6_asqtad_dslash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_asqtad_dslash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

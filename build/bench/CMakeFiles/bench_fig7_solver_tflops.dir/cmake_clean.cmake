@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_solver_tflops.dir/bench_fig7_solver_tflops.cpp.o"
+  "CMakeFiles/bench_fig7_solver_tflops.dir/bench_fig7_solver_tflops.cpp.o.d"
+  "bench_fig7_solver_tflops"
+  "bench_fig7_solver_tflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_solver_tflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

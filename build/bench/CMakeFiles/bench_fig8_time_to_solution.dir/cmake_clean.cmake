@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_time_to_solution.dir/bench_fig8_time_to_solution.cpp.o"
+  "CMakeFiles/bench_fig8_time_to_solution.dir/bench_fig8_time_to_solution.cpp.o.d"
+  "bench_fig8_time_to_solution"
+  "bench_fig8_time_to_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_time_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cpu_systems.dir/bench_fig9_cpu_systems.cpp.o"
+  "CMakeFiles/bench_fig9_cpu_systems.dir/bench_fig9_cpu_systems.cpp.o.d"
+  "bench_fig9_cpu_systems"
+  "bench_fig9_cpu_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cpu_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

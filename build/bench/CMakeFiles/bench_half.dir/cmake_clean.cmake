@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_half.dir/bench_half.cpp.o"
+  "CMakeFiles/bench_half.dir/bench_half.cpp.o.d"
+  "bench_half"
+  "bench_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

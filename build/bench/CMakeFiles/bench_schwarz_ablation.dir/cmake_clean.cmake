@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schwarz_ablation.dir/bench_schwarz_ablation.cpp.o"
+  "CMakeFiles/bench_schwarz_ablation.dir/bench_schwarz_ablation.cpp.o.d"
+  "bench_schwarz_ablation"
+  "bench_schwarz_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schwarz_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

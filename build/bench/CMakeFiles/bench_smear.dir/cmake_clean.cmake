@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smear.dir/bench_smear.cpp.o"
+  "CMakeFiles/bench_smear.dir/bench_smear.cpp.o.d"
+  "bench_smear"
+  "bench_smear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_su3.dir/bench_su3.cpp.o"
+  "CMakeFiles/bench_su3.dir/bench_su3.cpp.o.d"
+  "bench_su3"
+  "bench_su3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_su3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_workflow.dir/ensemble_workflow.cpp.o"
+  "CMakeFiles/ensemble_workflow.dir/ensemble_workflow.cpp.o.d"
+  "ensemble_workflow"
+  "ensemble_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

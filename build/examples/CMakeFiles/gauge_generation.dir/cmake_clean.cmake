@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_generation.dir/gauge_generation.cpp.o"
+  "CMakeFiles/gauge_generation.dir/gauge_generation.cpp.o.d"
+  "gauge_generation"
+  "gauge_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

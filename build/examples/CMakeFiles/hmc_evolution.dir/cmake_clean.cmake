@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmc_evolution.dir/hmc_evolution.cpp.o"
+  "CMakeFiles/hmc_evolution.dir/hmc_evolution.cpp.o.d"
+  "hmc_evolution"
+  "hmc_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmc_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

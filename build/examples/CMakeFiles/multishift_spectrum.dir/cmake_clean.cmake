@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multishift_spectrum.dir/multishift_spectrum.cpp.o"
+  "CMakeFiles/multishift_spectrum.dir/multishift_spectrum.cpp.o.d"
+  "multishift_spectrum"
+  "multishift_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multishift_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pion_correlator.dir/pion_correlator.cpp.o"
+  "CMakeFiles/pion_correlator.dir/pion_correlator.cpp.o.d"
+  "pion_correlator"
+  "pion_correlator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pion_correlator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

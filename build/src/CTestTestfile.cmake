@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("lattice")
+subdirs("linalg")
+subdirs("fields")
+subdirs("comm")
+subdirs("gauge")
+subdirs("dirac")
+subdirs("solvers")
+subdirs("perfmodel")
+subdirs("core")

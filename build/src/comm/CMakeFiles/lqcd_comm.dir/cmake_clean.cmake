@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_comm.dir/comm.cpp.o"
+  "CMakeFiles/lqcd_comm.dir/comm.cpp.o.d"
+  "liblqcd_comm.a"
+  "liblqcd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_core.dir/facade.cpp.o"
+  "CMakeFiles/lqcd_core.dir/facade.cpp.o.d"
+  "liblqcd_core.a"
+  "liblqcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

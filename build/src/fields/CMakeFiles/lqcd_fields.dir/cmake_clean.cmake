@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_fields.dir/packed_half.cpp.o"
+  "CMakeFiles/lqcd_fields.dir/packed_half.cpp.o.d"
+  "CMakeFiles/lqcd_fields.dir/precision.cpp.o"
+  "CMakeFiles/lqcd_fields.dir/precision.cpp.o.d"
+  "liblqcd_fields.a"
+  "liblqcd_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

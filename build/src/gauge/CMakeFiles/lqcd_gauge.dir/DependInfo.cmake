@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gauge/clover_leaf.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/clover_leaf.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/clover_leaf.cpp.o.d"
+  "/root/repo/src/gauge/configure.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/configure.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/configure.cpp.o.d"
+  "/root/repo/src/gauge/gauge_io.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/gauge_io.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/gauge_io.cpp.o.d"
+  "/root/repo/src/gauge/heatbath.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/heatbath.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/heatbath.cpp.o.d"
+  "/root/repo/src/gauge/hmc.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/hmc.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/hmc.cpp.o.d"
+  "/root/repo/src/gauge/observables.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/observables.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/observables.cpp.o.d"
+  "/root/repo/src/gauge/staggered_links.cpp" "src/gauge/CMakeFiles/lqcd_gauge.dir/staggered_links.cpp.o" "gcc" "src/gauge/CMakeFiles/lqcd_gauge.dir/staggered_links.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fields/CMakeFiles/lqcd_fields.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lqcd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/lqcd_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lqcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

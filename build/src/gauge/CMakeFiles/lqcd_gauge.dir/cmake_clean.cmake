@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_gauge.dir/clover_leaf.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/clover_leaf.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/configure.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/configure.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/gauge_io.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/gauge_io.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/heatbath.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/heatbath.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/hmc.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/hmc.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/observables.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/observables.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/staggered_links.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/staggered_links.cpp.o.d"
+  "liblqcd_gauge.a"
+  "liblqcd_gauge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_gauge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/block_mask.cpp" "src/lattice/CMakeFiles/lqcd_lattice.dir/block_mask.cpp.o" "gcc" "src/lattice/CMakeFiles/lqcd_lattice.dir/block_mask.cpp.o.d"
+  "/root/repo/src/lattice/face.cpp" "src/lattice/CMakeFiles/lqcd_lattice.dir/face.cpp.o" "gcc" "src/lattice/CMakeFiles/lqcd_lattice.dir/face.cpp.o.d"
+  "/root/repo/src/lattice/geometry.cpp" "src/lattice/CMakeFiles/lqcd_lattice.dir/geometry.cpp.o" "gcc" "src/lattice/CMakeFiles/lqcd_lattice.dir/geometry.cpp.o.d"
+  "/root/repo/src/lattice/neighbor_table.cpp" "src/lattice/CMakeFiles/lqcd_lattice.dir/neighbor_table.cpp.o" "gcc" "src/lattice/CMakeFiles/lqcd_lattice.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/lattice/partition.cpp" "src/lattice/CMakeFiles/lqcd_lattice.dir/partition.cpp.o" "gcc" "src/lattice/CMakeFiles/lqcd_lattice.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lqcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_lattice.dir/block_mask.cpp.o"
+  "CMakeFiles/lqcd_lattice.dir/block_mask.cpp.o.d"
+  "CMakeFiles/lqcd_lattice.dir/face.cpp.o"
+  "CMakeFiles/lqcd_lattice.dir/face.cpp.o.d"
+  "CMakeFiles/lqcd_lattice.dir/geometry.cpp.o"
+  "CMakeFiles/lqcd_lattice.dir/geometry.cpp.o.d"
+  "CMakeFiles/lqcd_lattice.dir/neighbor_table.cpp.o"
+  "CMakeFiles/lqcd_lattice.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/lqcd_lattice.dir/partition.cpp.o"
+  "CMakeFiles/lqcd_lattice.dir/partition.cpp.o.d"
+  "liblqcd_lattice.a"
+  "liblqcd_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/half.cpp" "src/linalg/CMakeFiles/lqcd_linalg.dir/half.cpp.o" "gcc" "src/linalg/CMakeFiles/lqcd_linalg.dir/half.cpp.o.d"
+  "/root/repo/src/linalg/reconstruct.cpp" "src/linalg/CMakeFiles/lqcd_linalg.dir/reconstruct.cpp.o" "gcc" "src/linalg/CMakeFiles/lqcd_linalg.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/linalg/small_matrix.cpp" "src/linalg/CMakeFiles/lqcd_linalg.dir/small_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/lqcd_linalg.dir/small_matrix.cpp.o.d"
+  "/root/repo/src/linalg/su3.cpp" "src/linalg/CMakeFiles/lqcd_linalg.dir/su3.cpp.o" "gcc" "src/linalg/CMakeFiles/lqcd_linalg.dir/su3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lqcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

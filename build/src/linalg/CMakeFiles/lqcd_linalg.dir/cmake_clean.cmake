@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_linalg.dir/half.cpp.o"
+  "CMakeFiles/lqcd_linalg.dir/half.cpp.o.d"
+  "CMakeFiles/lqcd_linalg.dir/reconstruct.cpp.o"
+  "CMakeFiles/lqcd_linalg.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/lqcd_linalg.dir/small_matrix.cpp.o"
+  "CMakeFiles/lqcd_linalg.dir/small_matrix.cpp.o.d"
+  "CMakeFiles/lqcd_linalg.dir/su3.cpp.o"
+  "CMakeFiles/lqcd_linalg.dir/su3.cpp.o.d"
+  "liblqcd_linalg.a"
+  "liblqcd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

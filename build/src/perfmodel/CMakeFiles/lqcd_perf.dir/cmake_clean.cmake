@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_perf.dir/dslash_model.cpp.o"
+  "CMakeFiles/lqcd_perf.dir/dslash_model.cpp.o.d"
+  "CMakeFiles/lqcd_perf.dir/machine.cpp.o"
+  "CMakeFiles/lqcd_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/lqcd_perf.dir/solver_model.cpp.o"
+  "CMakeFiles/lqcd_perf.dir/solver_model.cpp.o.d"
+  "CMakeFiles/lqcd_perf.dir/stream_schedule.cpp.o"
+  "CMakeFiles/lqcd_perf.dir/stream_schedule.cpp.o.d"
+  "liblqcd_perf.a"
+  "liblqcd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

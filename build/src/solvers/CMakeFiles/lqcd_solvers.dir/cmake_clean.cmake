@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_solvers.dir/solvers.cpp.o"
+  "CMakeFiles/lqcd_solvers.dir/solvers.cpp.o.d"
+  "liblqcd_solvers.a"
+  "liblqcd_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_util.dir/cli.cpp.o"
+  "CMakeFiles/lqcd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/log.cpp.o"
+  "CMakeFiles/lqcd_util.dir/log.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/parallel_for.cpp.o"
+  "CMakeFiles/lqcd_util.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/rng.cpp.o"
+  "CMakeFiles/lqcd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/lqcd_util.dir/stopwatch.cpp.o.d"
+  "liblqcd_util.a"
+  "liblqcd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/test_blas.cpp.o"
+  "CMakeFiles/test_blas.dir/test_blas.cpp.o.d"
+  "test_blas"
+  "test_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

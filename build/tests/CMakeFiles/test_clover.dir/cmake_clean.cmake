@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clover.dir/test_clover.cpp.o"
+  "CMakeFiles/test_clover.dir/test_clover.cpp.o.d"
+  "test_clover"
+  "test_clover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_even_odd.dir/test_even_odd.cpp.o"
+  "CMakeFiles/test_even_odd.dir/test_even_odd.cpp.o.d"
+  "test_even_odd"
+  "test_even_odd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_even_odd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

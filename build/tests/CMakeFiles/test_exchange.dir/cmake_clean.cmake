@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exchange.dir/test_exchange.cpp.o"
+  "CMakeFiles/test_exchange.dir/test_exchange.cpp.o.d"
+  "test_exchange"
+  "test_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcr_dd.dir/test_gcr_dd.cpp.o"
+  "CMakeFiles/test_gcr_dd.dir/test_gcr_dd.cpp.o.d"
+  "test_gcr_dd"
+  "test_gcr_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcr_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

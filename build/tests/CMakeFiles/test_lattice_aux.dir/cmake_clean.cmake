@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_aux.dir/test_lattice_aux.cpp.o"
+  "CMakeFiles/test_lattice_aux.dir/test_lattice_aux.cpp.o.d"
+  "test_lattice_aux"
+  "test_lattice_aux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_aux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

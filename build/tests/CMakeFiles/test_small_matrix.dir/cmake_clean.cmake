@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_small_matrix.dir/test_small_matrix.cpp.o"
+  "CMakeFiles/test_small_matrix.dir/test_small_matrix.cpp.o.d"
+  "test_small_matrix"
+  "test_small_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_small_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

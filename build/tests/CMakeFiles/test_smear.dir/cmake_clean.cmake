@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smear.dir/test_smear.cpp.o"
+  "CMakeFiles/test_smear.dir/test_smear.cpp.o.d"
+  "test_smear"
+  "test_smear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
