@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/tune_main.h"
 #include "fields/blas.h"
 #include "gauge/configure.h"
 
@@ -87,3 +88,5 @@ void BM_StaggeredAxpy(benchmark::State& state) {
 BENCHMARK(BM_StaggeredAxpy)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+LQCD_TUNED_BENCH_MAIN()

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/tune_main.h"
 #include "dirac/even_odd.h"
 #include "dirac/staggered.h"
 #include "dirac/wilson_kernel.h"
@@ -142,3 +143,5 @@ void BM_DirichletWilsonHop(benchmark::State& state) {
 BENCHMARK(BM_DirichletWilsonHop)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+LQCD_TUNED_BENCH_MAIN()

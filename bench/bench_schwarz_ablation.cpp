@@ -14,6 +14,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/common.h"
 #include "dirac/wilson_ops.h"
@@ -21,6 +23,10 @@
 #include "solvers/overlap_schwarz.h"
 #include "solvers/sap.h"
 #include "solvers/schwarz.h"
+#include "tune/schwarz_policy.h"
+#include "tune/tune_cache.h"
+#include "tune/tune_launch.h"
+#include "util/stopwatch.h"
 
 using namespace lqcd;
 using namespace lqcd::bench;
@@ -97,5 +103,60 @@ int main() {
   std::printf("\ncommunication per application: additive none; overlap o "
               "needs an o-deep halo\nexchange; SAP needs one full-operator "
               "residual refresh per colour.\n");
+
+  // --- Policy-class autotuner sweep ---------------------------------------
+  // Block geometry and MR step count change the preconditioner (and hence
+  // the iterates), so they are TuneClass::policy knobs: the driver refuses
+  // them unless the caller opts in with allow_policy.  Each candidate is a
+  // full preconditioned GCR solve; the tuner picks the fastest.
+  std::printf("\n== Schwarz policy sweep (block grid x MR steps, "
+              "policy-class tunable) ==\n\n");
+
+  std::vector<SchwarzPolicy> policies =
+      enumerate_schwarz_policies(g, /*max_blocks=*/8, {5, 10});
+  if (policies.size() > 8) policies.resize(8);
+
+  struct SweepRow {
+    std::string param;
+    double seconds = 0.0;
+    int iters = 0;
+    int inner = 0;
+  };
+  std::vector<SweepRow> rows;
+
+  SchwarzPolicy active = policies.front();
+  SchwarzPolicyTunable tunable(
+      g, policies, [&](const SchwarzPolicy& p) { active = p; },
+      [&] {
+        BlockMask pm(g, active.block_grid);
+        WilsonCloverOperator<double> cut(u, &clover, mass, &pm);
+        SchwarzPreconditioner<WilsonField<double>> pre(
+            cut, pm, MrParams{active.mr_steps, 1.0});
+        WilsonField<double> x(g);
+        set_zero(x);
+        Stopwatch sw;
+        const SolverStats s = gcr_solve(m, x, b, &pre, gp);
+        rows.push_back(
+            {active.param(), sw.seconds(), s.iterations, pre.inner_steps()});
+      });
+
+  TuneOptions topts;
+  topts.allow_policy = true;  // explicit opt-in: candidates change numerics
+  topts.warmups = 0;
+  topts.reps = 1;
+  TuneCache sweep_cache;  // keep solver-level policies out of the kernel cache
+  topts.cache = &sweep_cache;
+  const TuneResult best = tune_launch(tunable, topts);
+
+  std::printf("%-16s  %10s  %10s  %12s\n", "bx.by.bz.bt/mr", "GCR iters",
+              "inner MR", "solve [ms]");
+  for (const SweepRow& r : rows) {
+    std::printf("%-16s  %10d  %10d  %12.1f%s\n", r.param.c_str(), r.iters,
+                r.inner, 1e3 * r.seconds,
+                r.param == best.param ? "   <-- best" : "");
+  }
+  std::printf("\nbest policy %s: %.1f ms vs %.1f ms for the default (%.2fx)\n",
+              best.param.c_str(), best.best_us / 1e3, best.default_us / 1e3,
+              best.default_us / best.best_us);
   return 0;
 }

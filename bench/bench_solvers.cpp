@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
+#include "bench/tune_main.h"
 #include "core/staggered_multishift.h"
 #include "gauge/staggered_links.h"
 #include "solvers/cg.h"
@@ -91,3 +92,5 @@ void BM_SolveStaggeredMultishift(benchmark::State& state) {
 BENCHMARK(BM_SolveStaggeredMultishift)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+LQCD_TUNED_BENCH_MAIN()

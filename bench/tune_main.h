@@ -1,0 +1,102 @@
+#pragma once
+/// \file tune_main.h
+/// \brief Shared main() for the google-benchmark harnesses that take the
+/// autotuner flags:
+///
+///   --tune      enable autotuning AND persist the tunecache (default path
+///               lqcd_tunecache.tsv, overridable via LQCD_TUNE_CACHE); a
+///               second run loads it and must report zero tuning sessions.
+///   --no-tune   force default launch parameters (same as LQCD_TUNE=0).
+///
+/// After the benchmarks run it prints the tunecache scoreboard —
+/// hits/misses/bypasses, the tuned-vs-default time per kernel — and the
+/// ghost-exchange traffic metered by comm counters.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/counters.h"
+#include "tune/tune_cache.h"
+
+namespace lqcd::bench {
+
+inline int tuned_bench_main(int argc, char** argv) {
+  bool tune = false;
+  bool no_tune = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tune") == 0) {
+      tune = true;
+    } else if (std::strcmp(argv[i], "--no-tune") == 0) {
+      no_tune = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (no_tune) {
+    set_tuning_enabled(false);
+  } else if (tune) {
+    set_tuning_enabled(true);
+    if (tune_cache_path().empty()) set_tune_cache_path("lqcd_tunecache.tsv");
+  }
+
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  reset_exchange_counters();
+  benchmark::RunSpecifiedBenchmarks();
+
+  const TuneCacheStats stats = global_tune_cache().stats();
+  std::printf("\n== tunecache ==\n");
+  std::printf("enabled: %s   path: %s\n", tuning_enabled() ? "yes" : "no",
+              tune_cache_path().empty() ? "(in-memory only)"
+                                        : tune_cache_path().c_str());
+  std::printf("entries %zu | hits %llu | tuning sessions (misses) %llu | "
+              "bypassed %llu | stale %llu\n",
+              global_tune_cache().size(),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.bypassed),
+              static_cast<unsigned long long>(stats.stale));
+  if (tuning_enabled()) {
+    std::printf("%-26s %-18s %10s %12s %12s %9s\n", "kernel", "aux", "volume",
+                "param", "default_us", "speedup");
+    for (const auto& [key, res] : global_tune_cache().entries()) {
+      const double speedup =
+          res.best_us > 0 ? res.default_us / res.best_us : 1.0;
+      std::printf("%-26s %-18s %10lld %12s %12.2f %8.2fx\n",
+                  key.kernel.c_str(), key.aux.c_str(),
+                  static_cast<long long>(key.volume), res.param.c_str(),
+                  res.default_us, speedup);
+    }
+  }
+  const ExchangeCounters xc = exchange_counters_snapshot();
+  if (xc.exchanges > 0) {
+    std::printf("ghost exchanges %llu | messages %llu | bytes %llu\n",
+                static_cast<unsigned long long>(xc.exchanges),
+                static_cast<unsigned long long>(xc.messages),
+                static_cast<unsigned long long>(xc.total_bytes()));
+  }
+  if (tune) {
+    if (save_tune_cache()) {
+      std::printf("tunecache saved to %s\n", tune_cache_path().c_str());
+    } else {
+      std::printf("WARNING: failed to save tunecache to %s\n",
+                  tune_cache_path().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace lqcd::bench
+
+#define LQCD_TUNED_BENCH_MAIN()                       \
+  int main(int argc, char** argv) {                   \
+    return lqcd::bench::tuned_bench_main(argc, argv); \
+  }

@@ -6,13 +6,22 @@
 // Usage: scaling_planner [--nx 32 --ny 32 --nz 32 --nt 256] [--gpus 64]
 //                        [--op wilson|clover|asqtad]
 //                        [--prec half|single|double] [--top 8]
+//                        [--schwarz [--max-blocks 16]]
+//
+// With --schwarz the planner instead enumerates the GCR-DD preconditioner
+// policy space (Schwarz block grid x inner MR steps) on the *local*
+// per-GPU volume and ranks candidates by a quality to cost heuristic —
+// the same candidate list the autotuner sweeps at run time
+// (bench_schwarz_ablation).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "perfmodel/dslash_model.h"
+#include "tune/schwarz_policy.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -27,6 +36,58 @@ int main(int argc, char** argv) {
   const std::string op = args.get("op", "clover");
   const std::string prec = args.get("prec", "single");
   const int top = static_cast<int>(args.get_int("top", 8));
+
+  if (args.has("schwarz")) {
+    // Rank the GCR-DD policy space offline.  Treat --nx..--nt as the local
+    // (per-GPU) lattice and score each candidate by a quality-per-cost
+    // heuristic: the fraction of hopping terms the Dirichlet cut keeps,
+    // times the local MR contraction (diminishing returns in step count),
+    // per operator application spent.  The run-time autotuner
+    // (bench_schwarz_ablation, TuneClass::policy) sweeps this same list
+    // with real solves.
+    const LatticeGeometry local(dims);
+    const int max_blocks = static_cast<int>(args.get_int("max-blocks", 16));
+    const std::vector<SchwarzPolicy> policies =
+        enumerate_schwarz_policies(local, max_blocks);
+    if (policies.empty()) {
+      std::printf("no feasible Schwarz blocking of %dx%dx%dx%d "
+                  "(<= %d blocks)\n",
+                  dims[0], dims[1], dims[2], dims[3], max_blocks);
+      return 1;
+    }
+    struct Row {
+      SchwarzPolicy p;
+      int blocks;
+      double cut;
+      double score;
+    };
+    std::vector<Row> rows;
+    for (const SchwarzPolicy& p : policies) {
+      const double cut = p.cut_fraction(local);
+      const double quality =
+          (1.0 - cut) * (1.0 - std::pow(0.6, p.mr_steps));
+      const int blocks =
+          p.block_grid[0] * p.block_grid[1] * p.block_grid[2] * p.block_grid[3];
+      rows.push_back({p, blocks, cut, quality / p.relative_cost()});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.score > b.score; });
+
+    std::printf("== Schwarz policy plans on local %dx%dx%dx%d "
+                "(<= %d blocks) ==\n\n",
+                dims[0], dims[1], dims[2], dims[3], max_blocks);
+    std::printf("%-16s  %7s  %9s  %9s  %11s\n", "bx.by.bz.bt/mr", "blocks",
+                "cut frac", "cost", "qual/cost");
+    const int nrows = std::min<int>(top, static_cast<int>(rows.size()));
+    for (int i = 0; i < nrows; ++i) {
+      const Row& r = rows[static_cast<std::size_t>(i)];
+      std::printf("%-16s  %7d  %9.3f  %9.0f  %11.4f\n", r.p.param().c_str(),
+                  r.blocks, r.cut, r.p.relative_cost(), r.score);
+    }
+    std::printf("\n%zu candidate policies; best by the heuristic is %s.\n",
+                rows.size(), rows.front().p.param().c_str());
+    return 0;
+  }
 
   DslashModelConfig cfg;
   cfg.cluster = edge_cluster();

@@ -23,3 +23,18 @@ namespace {
 }
 }  // namespace
 }  // namespace lqcd
+
+namespace lqcd {
+
+ExchangeCounters& global_exchange_counters() {
+  static ExchangeCounters counters;
+  return counters;
+}
+
+ExchangeCounters exchange_counters_snapshot() {
+  return global_exchange_counters();
+}
+
+void reset_exchange_counters() { global_exchange_counters().reset(); }
+
+}  // namespace lqcd

@@ -44,4 +44,17 @@ struct ExchangeCounters {
   }
 };
 
+/// Process-global accumulation over *every* ghost exchange, regardless of
+/// which operator owns the per-instance counters: the autotuner's bench
+/// reports and the `--tune` harnesses read this to show message/byte
+/// traffic alongside kernel timings.  Defined in comm.cpp.
+ExchangeCounters& global_exchange_counters();
+
+/// Copy of the global counters at this moment (pair with
+/// reset_exchange_counters() to meter a region: reset, run, snapshot).
+ExchangeCounters exchange_counters_snapshot();
+
+/// Zeroes the global counters (per-operator counters are unaffected).
+void reset_exchange_counters();
+
 }  // namespace lqcd

@@ -64,6 +64,7 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
                      std::optional<Parity> source_parity = std::nullopt) {
   const LatticeGeometry& local = part.local();
   const int depth = nt.ghost_depth();
+  ExchangeCounters delta;
   for (int n = 0; n < part.num_ranks(); ++n) {
     const auto& body = locals[static_cast<std::size_t>(n)];
     for (int mu = 0; mu < kNDim; ++mu) {
@@ -100,14 +101,14 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
           }
         }
       }
-      if (counters != nullptr) {
-        counters->bytes_by_dim[static_cast<std::size_t>(mu)] +=
-            packed * sizeof(typename Packer::ghost_type);
-        counters->messages += 2;
-      }
+      delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
+          packed * sizeof(typename Packer::ghost_type);
+      delta.messages += 2;
     }
   }
-  if (counters != nullptr) counters->exchanges += 1;
+  delta.exchanges = 1;
+  if (counters != nullptr) *counters += delta;
+  global_exchange_counters() += delta;
 }
 
 /// Exchanges gauge-link ghosts.  Only the backward zones are populated and
@@ -125,6 +126,7 @@ void exchange_gauge_ghosts(const Partitioning& part, const NeighborTable& nt,
                            int depth = -1) {
   const LatticeGeometry& local = part.local();
   if (depth < 0) depth = nt.ghost_depth();
+  ExchangeCounters delta;
   for (int n = 0; n < part.num_ranks(); ++n) {
     const auto& body = locals[static_cast<std::size_t>(n)];
     for (int mu = 0; mu < kNDim; ++mu) {
@@ -141,15 +143,15 @@ void exchange_gauge_ghosts(const Partitioning& part, const NeighborTable& nt,
               body.link(mu, local.eo_index(top));
         }
       }
-      if (counters != nullptr) {
-        counters->bytes_by_dim[static_cast<std::size_t>(mu)] +=
-            static_cast<std::uint64_t>(depth) * static_cast<std::uint64_t>(fv) *
-            sizeof(Matrix3<Real>);
-        counters->messages += 1;
-      }
+      delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
+          static_cast<std::uint64_t>(depth) * static_cast<std::uint64_t>(fv) *
+          sizeof(Matrix3<Real>);
+      delta.messages += 1;
     }
   }
-  if (counters != nullptr) counters->exchanges += 1;
+  delta.exchanges = 1;
+  if (counters != nullptr) *counters += delta;
+  global_exchange_counters() += delta;
 }
 
 }  // namespace lqcd

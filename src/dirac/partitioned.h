@@ -22,10 +22,12 @@
 
 #include "comm/domain_map.h"
 #include "comm/exchange.h"
+#include "dirac/dslash_tune.h"
 #include "dirac/operator.h"
 #include "fields/clover.h"
 #include "lattice/neighbor_table.h"
 #include "linalg/gamma.h"
+#include "tune/site_loop.h"
 
 namespace lqcd {
 
@@ -130,7 +132,15 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
         target.has_value() && *target == Parity::Even ? local.half_volume()
                                                       : local.volume();
     if (target.has_value()) out.set_zero();
-    for (std::int64_t s = begin; s < end; ++s) {
+    // Sites are written independently; the loop granularity is autotuned
+    // (shared across ranks: every rank has the same local volume, so rank 0
+    // tunes and the rest hit the cache).
+    std::string aux = detail::dslash_aux<Real>(target, false);
+    if (hop_only) aux += ",hop";
+    tuned_site_loop(
+        "wilson_part_interior", std::move(aux), out.sites(), end - begin,
+        [&](std::int64_t idx) {
+      const std::int64_t s = begin + idx;
       WilsonSpinor<Real> hop{};
       for (int mu = 0; mu < kNDim; ++mu) {
         const auto fwd = nt_.neighbor(s, mu, +1, 1);
@@ -153,7 +163,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       }
       if (hop_only) {
         out.at(s) = hop;
-        continue;
+        return;
       }
       WilsonSpinor<Real> v = in.at(s);
       v *= diag;
@@ -164,7 +174,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       hop *= Real(-0.5);
       v += hop;
       out.at(s) = v;
-    }
+    });
   }
 
   /// Adds ghost-zone contributions across the two faces of dimension mu.
@@ -176,39 +186,47 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     const auto& sg = spinor_ghosts_[static_cast<std::size_t>(r)];
     auto& out = out_local_[static_cast<std::size_t>(r)];
     const FaceIndexer& face = nt_.face(mu);
+    const std::int64_t fv = face.face_volume();
     const int slices[2] = {0, local.dim(mu) - 1};
-    for (int which = 0; which < 2; ++which) {
-      // Slice L-1 receives forward-ghost terms, slice 0 backward-ghost.
-      for (std::int64_t f = 0; f < face.face_volume(); ++f) {
-        const Coord x = face.face_coords(f, slices[which]);
-        if (target.has_value() &&
-            LatticeGeometry::parity(x) !=
-                (*target == Parity::Even ? 0 : 1)) {
-          continue;
-        }
-        const std::int64_t s = local.eo_index(x);
-        WilsonSpinor<Real> hop{};
-        const auto fwd = nt_.neighbor(s, mu, +1, 1);
-        if (!fwd.local() && fwd.zone == ghost_zone_id(mu, 0)) {
-          const HalfSpinor<Real>& h = sg.at(fwd.zone, fwd.index);
-          HalfSpinor<Real> t;
-          t[0] = u.link(mu, s) * h[0];
-          t[1] = u.link(mu, s) * h[1];
-          accumulate_reconstruct(mu, -1, t, hop);
-        }
-        const auto bwd = nt_.neighbor(s, mu, -1, 1);
-        if (!bwd.local() && bwd.zone == ghost_zone_id(mu, 1)) {
-          const HalfSpinor<Real>& h = sg.at(bwd.zone, bwd.index);
-          const Matrix3<Real>& link = gg.at(bwd.zone, bwd.index);
-          HalfSpinor<Real> t;
-          t[0] = adj_mul(link, h[0]);
-          t[1] = adj_mul(link, h[1]);
-          accumulate_reconstruct(mu, +1, t, hop);
-        }
-        if (!hop_only) hop *= Real(-0.5);
-        out.at(s) += hop;
+    // Flattened over (slice, face site): the two slices are distinct for
+    // any partitioned extent >= 2, so every index writes its own site and
+    // the granularity is autotuned like the interior.
+    std::string aux = detail::dslash_aux<Real>(target, false);
+    if (hop_only) aux += ",hop";
+    // Slice L-1 receives forward-ghost terms, slice 0 backward-ghost.
+    tuned_site_loop(
+        "wilson_part_exterior", std::move(aux), out.sites(), 2 * fv,
+        [&](std::int64_t idx) {
+      const int which = static_cast<int>(idx / fv);
+      const std::int64_t f = idx % fv;
+      const Coord x = face.face_coords(f, slices[which]);
+      if (target.has_value() &&
+          LatticeGeometry::parity(x) !=
+              (*target == Parity::Even ? 0 : 1)) {
+        return;
       }
-    }
+      const std::int64_t s = local.eo_index(x);
+      WilsonSpinor<Real> hop{};
+      const auto fwd = nt_.neighbor(s, mu, +1, 1);
+      if (!fwd.local() && fwd.zone == ghost_zone_id(mu, 0)) {
+        const HalfSpinor<Real>& h = sg.at(fwd.zone, fwd.index);
+        HalfSpinor<Real> t;
+        t[0] = u.link(mu, s) * h[0];
+        t[1] = u.link(mu, s) * h[1];
+        accumulate_reconstruct(mu, -1, t, hop);
+      }
+      const auto bwd = nt_.neighbor(s, mu, -1, 1);
+      if (!bwd.local() && bwd.zone == ghost_zone_id(mu, 1)) {
+        const HalfSpinor<Real>& h = sg.at(bwd.zone, bwd.index);
+        const Matrix3<Real>& link = gg.at(bwd.zone, bwd.index);
+        HalfSpinor<Real> t;
+        t[0] = adj_mul(link, h[0]);
+        t[1] = adj_mul(link, h[1]);
+        accumulate_reconstruct(mu, +1, t, hop);
+      }
+      if (!hop_only) hop *= Real(-0.5);
+      out.at(s) += hop;
+    });
   }
 
   Partitioning part_;
@@ -288,7 +306,9 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
     const auto& in = in_local_[static_cast<std::size_t>(r)];
     auto& out = out_local_[static_cast<std::size_t>(r)];
     const Real m = static_cast<Real>(mass_);
-    for (std::int64_t s = 0; s < local.volume(); ++s) {
+    tuned_site_loop(
+        "staggered_part_interior", detail::dslash_aux<Real>(std::nullopt, false),
+        out.sites(), local.volume(), [&](std::int64_t s) {
       ColorVector<Real> hop{};
       for (int mu = 0; mu < kNDim; ++mu) {
         const auto f1 = nt_.neighbor(s, mu, +1, 1);
@@ -309,9 +329,12 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
       hop *= Real(0.5);
       v += hop;
       out.at(s) = v;
-    }
+    });
   }
 
+  /// Stays serial: the slice list is deduplicated (a 3-hop stencil on a
+  /// local extent of 4 revisits slices), so a flattened loop would not have
+  /// write-disjoint iterations the way the Wilson exterior does.
   void exterior_kernel(int r, int mu) const {
     const LatticeGeometry& local = part_.local();
     const auto& fat = fat_local_[static_cast<std::size_t>(r)];

@@ -16,10 +16,12 @@
 
 #include <optional>
 
+#include "dirac/dslash_tune.h"
 #include "dirac/operator.h"
 #include "fields/blas.h"
 #include "fields/lattice_field.h"
 #include "lattice/block_mask.h"
+#include "tune/site_loop.h"
 #include "util/parallel_for.h"
 
 namespace lqcd {
@@ -36,7 +38,9 @@ void staggered_hop(StaggeredField<Real>& out, const GaugeField<Real>& fat,
   const std::int64_t end =
       target.has_value() && *target == Parity::Even ? g.half_volume()
                                                     : g.volume();
-  parallel_for(end - begin, [&](std::int64_t idx) {
+  tuned_site_loop(
+      "staggered_hop", detail::dslash_aux<Real>(target, mask != nullptr),
+      out.sites(), end - begin, [&](std::int64_t idx) {
     const std::int64_t s = begin + idx;
     const Coord x = g.eo_coords(s);
     ColorVector<Real> acc{};

@@ -14,10 +14,12 @@
 
 #include <optional>
 
+#include "dirac/dslash_tune.h"
 #include "fields/blas.h"
 #include "fields/lattice_field.h"
 #include "lattice/block_mask.h"
 #include "linalg/gamma.h"
+#include "tune/site_loop.h"
 #include "util/parallel_for.h"
 
 namespace lqcd {
@@ -37,8 +39,11 @@ void wilson_hop(WilsonField<Real>& out, const GaugeField<Real>& u,
   const std::int64_t end =
       target.has_value() && *target == Parity::Even ? g.half_volume()
                                                     : g.volume();
-  // Each site writes only its own output: embarrassingly parallel.
-  parallel_for(end - begin, [&](std::int64_t idx) {
+  // Each site writes only its own output: embarrassingly parallel, so the
+  // loop granularity is autotuned (numerics-neutral).
+  tuned_site_loop(
+      "wilson_hop", detail::dslash_aux<Real>(target, mask != nullptr),
+      out.sites(), end - begin, [&](std::int64_t idx) {
     const std::int64_t s = begin + idx;
     const Coord x = g.eo_coords(s);
     WilsonSpinor<Real> acc{};

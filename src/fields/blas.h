@@ -17,6 +17,7 @@
 
 #include "fields/lattice_field.h"
 #include "lattice/block_mask.h"
+#include "tune/site_loop.h"
 #include "util/parallel_for.h"
 
 namespace lqcd {
@@ -51,18 +52,22 @@ template <typename Site>
 using site_real_t = typename site_real<Site>::type;
 }  // namespace detail
 
-/// y += a x.
+/// y += a x.  (Fused BLAS loops run through the autotuner: every candidate
+/// re-shards the same per-site arithmetic, so results are bitwise identical
+/// regardless of tuning — only the reductions below have ordering
+/// sensitivity, and those keep the fixed chunk grid.)
 template <typename Site>
 void axpy(double a, const LatticeField<Site>& x, LatticeField<Site>& y) {
   using Real = detail::site_real_t<Site>;
   const Real ar = static_cast<Real>(a);
   auto xs = x.sites();
   auto ys = y.sites();
-  parallel_for(static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
-    Site t = xs[static_cast<std::size_t>(i)];
-    t *= ar;
-    ys[static_cast<std::size_t>(i)] += t;
-  });
+  tuned_site_loop("blas_axpy", site_aux<Site>(), ys,
+                  static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
+                    Site t = xs[static_cast<std::size_t>(i)];
+                    t *= ar;
+                    ys[static_cast<std::size_t>(i)] += t;
+                  });
 }
 
 /// y = x + a y.
@@ -72,12 +77,14 @@ void xpay(const LatticeField<Site>& x, double a, LatticeField<Site>& y) {
   const Real ar = static_cast<Real>(a);
   auto xs = x.sites();
   auto ys = y.sites();
-  for (std::size_t i = 0; i < ys.size(); ++i) {
-    Site t = ys[i];
-    t *= ar;
-    t += xs[i];
-    ys[i] = t;
-  }
+  tuned_site_loop("blas_xpay", site_aux<Site>(), ys,
+                  static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
+                    const auto u = static_cast<std::size_t>(i);
+                    Site t = ys[u];
+                    t *= ar;
+                    t += xs[u];
+                    ys[u] = t;
+                  });
 }
 
 /// y = a x + b y.
@@ -85,16 +92,20 @@ template <typename Site>
 void axpby(double a, const LatticeField<Site>& x, double b,
            LatticeField<Site>& y) {
   using Real = detail::site_real_t<Site>;
+  const Real ar = static_cast<Real>(a);
+  const Real br = static_cast<Real>(b);
   auto xs = x.sites();
   auto ys = y.sites();
-  for (std::size_t i = 0; i < ys.size(); ++i) {
-    Site t = xs[i];
-    t *= static_cast<Real>(a);
-    Site u = ys[i];
-    u *= static_cast<Real>(b);
-    t += u;
-    ys[i] = t;
-  }
+  tuned_site_loop("blas_axpby", site_aux<Site>(), ys,
+                  static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
+                    const auto u = static_cast<std::size_t>(i);
+                    Site t = xs[u];
+                    t *= ar;
+                    Site v = ys[u];
+                    v *= br;
+                    t += v;
+                    ys[u] = t;
+                  });
 }
 
 /// y += a x with complex a.
@@ -105,11 +116,13 @@ void caxpy(std::complex<double> a, const LatticeField<Site>& x,
   const Cplx<Real> ar(static_cast<Real>(a.real()), static_cast<Real>(a.imag()));
   auto xs = x.sites();
   auto ys = y.sites();
-  for (std::size_t i = 0; i < ys.size(); ++i) {
-    Site t = xs[i];
-    t *= ar;
-    ys[i] += t;
-  }
+  tuned_site_loop("blas_caxpy", site_aux<Site>(), ys,
+                  static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
+                    const auto u = static_cast<std::size_t>(i);
+                    Site t = xs[u];
+                    t *= ar;
+                    ys[u] += t;
+                  });
 }
 
 /// x *= a.
@@ -117,7 +130,11 @@ template <typename Site>
 void scale(double a, LatticeField<Site>& x) {
   using Real = detail::site_real_t<Site>;
   const Real ar = static_cast<Real>(a);
-  for (auto& s : x.sites()) s *= ar;
+  auto xs = x.sites();
+  tuned_site_loop("blas_scale", site_aux<Site>(), xs,
+                  static_cast<std::int64_t>(xs.size()), [&](std::int64_t i) {
+                    xs[static_cast<std::size_t>(i)] *= ar;
+                  });
 }
 
 /// <x, y> accumulated in double (deterministic fixed-chunk reduction).
@@ -185,13 +202,16 @@ void block_caxpy(const std::vector<std::complex<double>>& a,
   using Real = detail::site_real_t<Site>;
   auto xs = x.sites();
   auto ys = y.sites();
-  for (std::size_t i = 0; i < ys.size(); ++i) {
-    const auto& ab =
-        a[static_cast<std::size_t>(mask.block_of_site(static_cast<std::int64_t>(i)))];
-    Site t = xs[i];
-    t *= Cplx<Real>(static_cast<Real>(ab.real()), static_cast<Real>(ab.imag()));
-    ys[i] += t;
-  }
+  tuned_site_loop(
+      "blas_block_caxpy", site_aux<Site>(), ys,
+      static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
+        const auto u = static_cast<std::size_t>(i);
+        const auto& ab = a[static_cast<std::size_t>(mask.block_of_site(i))];
+        Site t = xs[u];
+        t *= Cplx<Real>(static_cast<Real>(ab.real()),
+                        static_cast<Real>(ab.imag()));
+        ys[u] += t;
+      });
 }
 
 }  // namespace lqcd

@@ -1,0 +1,96 @@
+#include "tune/schwarz_policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lqcd {
+
+std::string SchwarzPolicy::param() const {
+  std::ostringstream os;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (mu > 0) os << '.';
+    os << block_grid[static_cast<std::size_t>(mu)];
+  }
+  os << '/' << mr_steps;
+  return os.str();
+}
+
+bool SchwarzPolicy::parse(const std::string& s, SchwarzPolicy& out) {
+  SchwarzPolicy p;
+  std::istringstream is(s);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (!(is >> p.block_grid[static_cast<std::size_t>(mu)])) return false;
+    if (p.block_grid[static_cast<std::size_t>(mu)] < 1) return false;
+    if (mu + 1 < kNDim && is.get() != '.') return false;
+  }
+  if (is.get() != '/') return false;
+  if (!(is >> p.mr_steps) || p.mr_steps < 1) return false;
+  out = p;
+  return true;
+}
+
+double SchwarzPolicy::cut_fraction(const LatticeGeometry& geom) const {
+  double cut = 0.0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    const auto m = static_cast<std::size_t>(mu);
+    if (block_grid[m] <= 1) continue;  // wraparound kept, nothing cut
+    const int bdim = geom.dim(mu) / block_grid[m];
+    cut += 1.0 / static_cast<double>(bdim);
+  }
+  return cut / static_cast<double>(kNDim);
+}
+
+std::vector<SchwarzPolicy> enumerate_schwarz_policies(
+    const LatticeGeometry& geom, int max_blocks,
+    const std::vector<int>& mr_candidates, int min_extent) {
+  std::vector<std::array<int, kNDim>> grids;
+  std::array<int, kNDim> g{};
+  const auto feasible = [&](int mu, int b) {
+    const int d = geom.dim(mu);
+    if (d % b != 0) return false;
+    const int local = d / b;
+    // Block extents stay even (checkerboard parity must be block-local)
+    // and no shallower than min_extent when actually cut.
+    return local % 2 == 0 && (b == 1 || local >= min_extent);
+  };
+  for (g[0] = 1; g[0] <= geom.dim(0); ++g[0]) {
+    if (!feasible(0, g[0])) continue;
+    for (g[1] = 1; g[1] <= geom.dim(1); ++g[1]) {
+      if (!feasible(1, g[1])) continue;
+      for (g[2] = 1; g[2] <= geom.dim(2); ++g[2]) {
+        if (!feasible(2, g[2])) continue;
+        for (g[3] = 1; g[3] <= geom.dim(3); ++g[3]) {
+          if (!feasible(3, g[3])) continue;
+          const int blocks = g[0] * g[1] * g[2] * g[3];
+          if (blocks < 2 || blocks > max_blocks) continue;
+          grids.push_back(g);
+        }
+      }
+    }
+  }
+  // Fewest blocks first; the default policy (coarsest cut, 10 MR steps)
+  // must be candidate 0.
+  std::sort(grids.begin(), grids.end(),
+            [](const auto& a, const auto& b) {
+              const int na = a[0] * a[1] * a[2] * a[3];
+              const int nb = b[0] * b[1] * b[2] * b[3];
+              if (na != nb) return na < nb;
+              return a < b;
+            });
+  std::vector<SchwarzPolicy> out;
+  for (const auto& grid : grids) {
+    // Default MR step count leads within each geometry.
+    std::vector<int> mrs = mr_candidates;
+    auto ten = std::find(mrs.begin(), mrs.end(), 10);
+    if (ten != mrs.end()) std::rotate(mrs.begin(), ten, ten + 1);
+    for (int mr : mrs) {
+      SchwarzPolicy p;
+      p.block_grid = grid;
+      p.mr_steps = mr;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace lqcd

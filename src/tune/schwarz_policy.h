@@ -1,0 +1,103 @@
+#pragma once
+/// \file schwarz_policy.h
+/// \brief The SAP/Schwarz *policy-class* tunable: block geometry and inner
+/// MR step count.  Unlike the numerics-neutral site-loop tunables, a
+/// different policy is a different preconditioner — individually valid but
+/// not bitwise equivalent — so sweeping one requires the explicit
+/// TuneOptions::allow_policy opt-in (the paper's Figs. 8–9 sweep exactly
+/// this quality-vs-cost knob by hand).
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lattice/geometry.h"
+#include "tune/tunable.h"
+
+namespace lqcd {
+
+/// One point in the Schwarz design space.
+struct SchwarzPolicy {
+  std::array<int, kNDim> block_grid = {1, 1, 1, 1};
+  int mr_steps = 10;  ///< paper's production setting
+
+  /// Serialized as "bx.by.bz.bt/mr" (cache/CLI form).
+  std::string param() const;
+  /// Parses param() output; returns false on malformed input.
+  static bool parse(const std::string& s, SchwarzPolicy& out);
+
+  /// Fraction of hopping terms the Dirichlet cut removes = the block
+  /// surface-to-volume ratio sum_mu (grid[mu] > 1 ? 1/block_dim[mu] : 0) /
+  /// kNDim — the knob that governs preconditioner quality (DESIGN.md §4).
+  double cut_fraction(const LatticeGeometry& geom) const;
+
+  /// Relative per-application cost: mr_steps + 1 Dirichlet-operator
+  /// applications over the full local volume (the MR iteration's matvecs),
+  /// in units of one operator application.
+  double relative_cost() const { return static_cast<double>(mr_steps) + 1.0; }
+};
+
+/// Enumerates feasible policies on \p geom: block grids whose extents
+/// divide the lattice with even block dims no smaller than \p min_extent,
+/// between 2 and \p max_blocks blocks, crossed with \p mr_candidates.
+/// The first entry is the default policy (fewest blocks, 10 MR steps)
+/// when feasible.
+std::vector<SchwarzPolicy> enumerate_schwarz_policies(
+    const LatticeGeometry& geom, int max_blocks,
+    const std::vector<int>& mr_candidates = {4, 6, 8, 10, 12},
+    int min_extent = 4);
+
+/// Wraps a policy sweep as a Tunable: \p run executes the workload (e.g. a
+/// full preconditioned solve) under the currently applied policy, which
+/// \p apply installs.  TuneClass::policy — the driver refuses to time this
+/// without allow_policy.
+class SchwarzPolicyTunable final : public Tunable {
+ public:
+  SchwarzPolicyTunable(const LatticeGeometry& geom,
+                       std::vector<SchwarzPolicy> candidates,
+                       std::function<void(const SchwarzPolicy&)> apply,
+                       std::function<void()> run)
+      : volume_(geom.volume()), candidates_(std::move(candidates)),
+        apply_(std::move(apply)), run_(std::move(run)) {}
+
+  std::string kernel_name() const override { return "schwarz_policy"; }
+  std::string aux() const override { return "gcr_dd"; }
+  std::int64_t volume() const override { return volume_; }
+  TuneClass tune_class() const override { return TuneClass::policy; }
+
+  int num_candidates() const override {
+    return static_cast<int>(candidates_.size());
+  }
+  std::string candidate_param(int c) const override {
+    return candidates_[static_cast<std::size_t>(c)].param();
+  }
+  void apply_candidate(int c) override {
+    current_ = candidates_[static_cast<std::size_t>(c)];
+    apply_(current_);
+  }
+  bool apply_param(const std::string& param) override {
+    SchwarzPolicy p;
+    if (!SchwarzPolicy::parse(param, p)) return false;
+    for (const auto& cand : candidates_) {
+      if (cand.param() == param) {
+        current_ = p;
+        apply_(current_);
+        return true;
+      }
+    }
+    return false;
+  }
+  void run() override { run_(); }
+
+  const SchwarzPolicy& current() const { return current_; }
+
+ private:
+  std::int64_t volume_;
+  std::vector<SchwarzPolicy> candidates_;
+  std::function<void(const SchwarzPolicy&)> apply_;
+  std::function<void()> run_;
+  SchwarzPolicy current_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,134 @@
+#pragma once
+/// \file site_loop.h
+/// \brief Autotuned independent site loops: `tuned_site_loop` is the
+/// drop-in replacement for `parallel_for` on loops whose iterations write
+/// disjoint outputs.  The tuner sweeps the chunk count (which doubles as
+/// the worker-participation cap — see parallel_for_chunked) and caches the
+/// winner per (kernel, aux, trip count, workers).
+///
+/// This is strictly TuneClass::numerics_neutral: every candidate performs
+/// the same arithmetic per site, so results are bitwise identical across
+/// candidates and worker counts.  Reductions never come through here.
+///
+/// Timing runs re-execute the caller's loop body, which may not be
+/// idempotent (axpy's y += ax compounds).  Callers therefore hand over the
+/// output span; pre_tune()/post_tune() save and restore it around the
+/// sweep, QUDA-style, and the single post-selection run() produces the real
+/// result.
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tune/tune_launch.h"
+#include "util/parallel_for.h"
+
+namespace lqcd {
+
+namespace detail {
+
+/// Chunk-count candidate set for a loop of length n with the current pool:
+/// the fixed default grid first (candidate 0 = untuned behaviour), then
+/// serial, small multiples of the worker count, and denser grids.
+inline std::vector<int> site_loop_candidates(std::int64_t n) {
+  const int w = worker_count();
+  std::vector<int> c;
+  c.push_back(default_chunk_count(n));
+  for (int k : {1, w, 2 * w, 4 * w, 8 * w, 128, 256}) {
+    if (k < 1 || k > n) continue;
+    if (std::find(c.begin(), c.end(), k) == c.end()) c.push_back(k);
+  }
+  return c;
+}
+
+}  // namespace detail
+
+/// A chunk-granularity tunable over an arbitrary independent site loop.
+/// \p Fn is called as fn(i) for i in [0, n); \p out is the memory the loop
+/// writes (saved/restored around timing runs).
+template <typename Site, typename Fn>
+class SiteLoopTunable final : public Tunable {
+ public:
+  SiteLoopTunable(std::string kernel, std::string aux, std::span<Site> out,
+                  std::int64_t n, Fn& fn)
+      : kernel_(std::move(kernel)), aux_(std::move(aux)), out_(out), n_(n),
+        fn_(fn), candidates_(detail::site_loop_candidates(n)),
+        chunks_(candidates_.front()) {}
+
+  std::string kernel_name() const override { return kernel_; }
+  std::string aux() const override { return aux_; }
+  std::int64_t volume() const override { return n_; }
+  TuneClass tune_class() const override {
+    return TuneClass::numerics_neutral;
+  }
+
+  int num_candidates() const override {
+    return static_cast<int>(candidates_.size());
+  }
+  std::string candidate_param(int c) const override {
+    return "chunks=" +
+           std::to_string(candidates_[static_cast<std::size_t>(c)]);
+  }
+  void apply_candidate(int c) override {
+    chunks_ = candidates_[static_cast<std::size_t>(c)];
+  }
+  bool apply_param(const std::string& param) override {
+    constexpr std::string_view prefix = "chunks=";
+    if (param.rfind(prefix, 0) != 0) return false;
+    try {
+      const int k = std::stoi(param.substr(prefix.size()));
+      if (k < 1) return false;
+      chunks_ = k;  // parallel_for_chunked clamps to <= n
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  void run() override { parallel_for_chunked(n_, chunks_, fn_); }
+
+  void pre_tune() override { saved_.assign(out_.begin(), out_.end()); }
+  void post_tune() override {
+    std::copy(saved_.begin(), saved_.end(), out_.begin());
+    saved_.clear();
+    saved_.shrink_to_fit();
+  }
+
+ private:
+  std::string kernel_;
+  std::string aux_;
+  std::span<Site> out_;
+  std::int64_t n_;
+  Fn& fn_;
+  std::vector<int> candidates_;
+  int chunks_;
+  std::vector<Site> saved_;
+};
+
+/// Runs fn(i) for i in [0, n) with autotuned granularity (falling back to
+/// the default parallel_for grid when tuning is off).  \p out must cover
+/// everything fn writes.
+template <typename Site, typename Fn>
+void tuned_site_loop(const char* kernel, std::string aux, std::span<Site> out,
+                     std::int64_t n, Fn&& fn) {
+  if (n <= 0) return;
+  if (!tuning_enabled()) {
+    global_tune_cache().note_bypass();
+    parallel_for(n, fn);
+    return;
+  }
+  SiteLoopTunable<Site, Fn> t(kernel, std::move(aux), out, n, fn);
+  tune_launch(t);
+  t.run();
+}
+
+/// Aux fragment identifying the site layout (distinguishes e.g. a Wilson
+/// spinor axpy from a staggered one in the cache).
+template <typename Site>
+std::string site_aux() {
+  return "site" + std::to_string(sizeof(Site));
+}
+
+}  // namespace lqcd

@@ -1,0 +1,117 @@
+#pragma once
+/// \file tunable.h
+/// \brief The Tunable interface — QUDA's `Tunable` translated to this
+/// library: a kernel that can enumerate candidate launch parameters, apply
+/// one, and run itself, plus pre/post hooks that save and restore any state
+/// the timing runs clobber (QUDA's preTune()/postTune()).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tune/tune_key.h"
+
+namespace lqcd {
+
+class Tunable {
+ public:
+  virtual ~Tunable() = default;
+
+  /// Stable kernel name (first key component; no tabs/newlines).
+  virtual std::string kernel_name() const = 0;
+
+  /// Everything else that changes the work per iteration (precision,
+  /// parity, cut, ...).  Same format rule as kernel_name().
+  virtual std::string aux() const { return ""; }
+
+  /// Loop trip count — part of the key: the optimal granularity depends on
+  /// the local volume.
+  virtual std::int64_t volume() const = 0;
+
+  virtual TuneClass tune_class() const { return TuneClass::numerics_neutral; }
+
+  /// Number of candidate parameter sets.  Candidate 0 MUST be the default
+  /// (untuned) parameter so the driver can report tuned-vs-default.
+  virtual int num_candidates() const = 0;
+
+  /// Serialized form of candidate \p c, e.g. "chunks=32".  This is what the
+  /// cache stores and what apply_param() must be able to parse back.
+  virtual std::string candidate_param(int c) const = 0;
+
+  /// Selects candidate \p c for subsequent run() calls.
+  virtual void apply_candidate(int c) = 0;
+
+  /// Selects a parameter loaded from the cache.  Returns false if the
+  /// string does not correspond to a currently valid candidate (stale cache
+  /// row); the driver then re-tunes.
+  virtual bool apply_param(const std::string& param) = 0;
+
+  /// Executes the kernel once with the currently applied parameter.
+  virtual void run() = 0;
+
+  /// Saves state that run() mutates, so repeated timing runs can be undone.
+  virtual void pre_tune() {}
+  /// Restores the state saved by pre_tune().
+  virtual void post_tune() {}
+};
+
+/// A Tunable assembled from closures — used for policy-class sweeps (where
+/// the "kernel" is a whole preconditioned solve) and for driver tests.
+class CallbackTunable : public Tunable {
+ public:
+  struct Candidate {
+    std::string param;            ///< serialized form (candidate 0 = default)
+    std::function<void()> apply;  ///< selects this candidate
+  };
+
+  CallbackTunable(std::string kernel, std::string aux, std::int64_t volume,
+                  TuneClass cls, std::vector<Candidate> candidates,
+                  std::function<void()> run)
+      : kernel_(std::move(kernel)), aux_(std::move(aux)), volume_(volume),
+        class_(cls), candidates_(std::move(candidates)),
+        run_(std::move(run)) {}
+
+  std::string kernel_name() const override { return kernel_; }
+  std::string aux() const override { return aux_; }
+  std::int64_t volume() const override { return volume_; }
+  TuneClass tune_class() const override { return class_; }
+  int num_candidates() const override {
+    return static_cast<int>(candidates_.size());
+  }
+  std::string candidate_param(int c) const override {
+    return candidates_[static_cast<std::size_t>(c)].param;
+  }
+  void apply_candidate(int c) override {
+    candidates_[static_cast<std::size_t>(c)].apply();
+  }
+  bool apply_param(const std::string& param) override {
+    for (const auto& cand : candidates_) {
+      if (cand.param == param) {
+        cand.apply();
+        return true;
+      }
+    }
+    return false;
+  }
+  void run() override { run_(); }
+
+  void set_pre_tune(std::function<void()> f) { pre_ = std::move(f); }
+  void set_post_tune(std::function<void()> f) { post_ = std::move(f); }
+  void pre_tune() override {
+    if (pre_) pre_();
+  }
+  void post_tune() override {
+    if (post_) post_();
+  }
+
+ private:
+  std::string kernel_;
+  std::string aux_;
+  std::int64_t volume_;
+  TuneClass class_;
+  std::vector<Candidate> candidates_;
+  std::function<void()> run_;
+  std::function<void()> pre_, post_;
+};
+
+}  // namespace lqcd

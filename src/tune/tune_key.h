@@ -1,0 +1,59 @@
+#pragma once
+/// \file tune_key.h
+/// \brief Identity and classification of a tunable kernel, mirroring QUDA's
+/// TuneKey: a kernel is identified by its name, an auxiliary string encoding
+/// everything that changes the work per site (precision, parity restriction,
+/// Dirichlet cut, ...), the loop volume, and the worker count.  Entries with
+/// different keys never share launch parameters.
+
+#include <cstdint>
+#include <string>
+
+namespace lqcd {
+
+/// What a tunable is allowed to change.
+///
+///  * `numerics_neutral` — candidates only re-shard the same arithmetic
+///    (chunk granularity of an independent site loop).  Results are bitwise
+///    identical for every candidate, so the driver may tune freely.
+///    Reductions are *excluded* by construction: `parallel_reduce` keeps
+///    its fixed chunk grid and is never routed through the tuner.
+///  * `policy` — candidates change the algorithm itself (Schwarz block
+///    geometry, MR step count).  Different candidates give different —
+///    individually valid — results, so the driver refuses to time these
+///    unless the caller explicitly opts in (`TuneOptions::allow_policy`).
+enum class TuneClass { numerics_neutral, policy };
+
+inline const char* tune_class_name(TuneClass c) {
+  return c == TuneClass::policy ? "policy" : "neutral";
+}
+
+/// Cache key.  `volume` is the loop trip count (not the lattice volume per
+/// se) and `workers` the pool size the tuning was performed with; both
+/// change the optimal granularity, so both are part of the key.
+struct TuneKey {
+  std::string kernel;
+  std::string aux;
+  std::int64_t volume = 0;
+  int workers = 1;
+
+  bool operator==(const TuneKey& o) const {
+    return volume == o.volume && workers == o.workers && kernel == o.kernel &&
+           aux == o.aux;
+  }
+  bool operator<(const TuneKey& o) const {
+    if (kernel != o.kernel) return kernel < o.kernel;
+    if (aux != o.aux) return aux < o.aux;
+    if (volume != o.volume) return volume < o.volume;
+    return workers < o.workers;
+  }
+};
+
+/// Outcome of one tuning session (or one loaded cache row).
+struct TuneResult {
+  std::string param;        ///< serialized winning parameter, e.g. "chunks=32"
+  double best_us = 0.0;     ///< best candidate's measured time
+  double default_us = 0.0;  ///< the default parameter's measured time
+};
+
+}  // namespace lqcd

@@ -1,0 +1,104 @@
+#include "tune/tune_launch.h"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/parallel_for.h"
+#include "util/stopwatch.h"
+
+namespace lqcd {
+
+namespace {
+
+TuneKey make_key(const Tunable& t) {
+  TuneKey key;
+  key.kernel = t.kernel_name();
+  key.aux = t.aux();
+  key.volume = t.volume();
+  key.workers = worker_count();
+  return key;
+}
+
+double time_candidate(Tunable& t, const TuneOptions& opts,
+                      const std::function<double()>& now) {
+  for (int w = 0; w < opts.warmups; ++w) t.run();
+  double best = std::numeric_limits<double>::infinity();
+  const int reps = opts.reps < 1 ? 1 : opts.reps;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now();
+    t.run();
+    const double dt = now() - t0;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+}  // namespace
+
+TuneResult tune_launch(Tunable& t, const TuneOptions& opts) {
+  if (t.num_candidates() < 1) {
+    throw std::logic_error("tune_launch: tunable '" + t.kernel_name() +
+                           "' enumerates no candidates");
+  }
+  if (t.tune_class() == TuneClass::policy && !opts.allow_policy) {
+    throw std::logic_error(
+        "tune_launch: '" + t.kernel_name() +
+        "' is a policy-class tunable (candidates change the numerics); "
+        "sweeping it requires TuneOptions::allow_policy");
+  }
+  TuneCache& cache = opts.cache != nullptr ? *opts.cache : global_tune_cache();
+
+  if (!tuning_enabled()) {
+    cache.note_bypass();
+    t.apply_candidate(0);
+    TuneResult res;
+    res.param = t.candidate_param(0);
+    return res;
+  }
+
+  const TuneKey key = make_key(t);
+  if (auto cached = cache.lookup(key)) {
+    if (t.apply_param(cached->param)) return *cached;
+    // Stale row (candidate set changed since it was written): drop and
+    // fall through to a fresh tuning session.
+    cache.invalidate(key);
+  }
+
+  std::function<double()> now = opts.clock;
+  if (!now) {
+    auto sw = std::make_shared<Stopwatch>();
+    now = [sw] { return sw->seconds(); };
+  }
+
+  t.pre_tune();
+  int best_c = 0;
+  double best_s = std::numeric_limits<double>::infinity();
+  double default_s = 0.0;
+  for (int c = 0; c < t.num_candidates(); ++c) {
+    t.apply_candidate(c);
+    const double s = time_candidate(t, opts, now);
+    if (c == 0) default_s = s;
+    if (s < best_s) {
+      best_s = s;
+      best_c = c;
+    }
+  }
+  t.post_tune();
+  t.apply_candidate(best_c);
+
+  TuneResult res;
+  res.param = t.candidate_param(best_c);
+  res.best_us = best_s * 1e6;
+  res.default_us = default_s * 1e6;
+  cache.store(key, res);
+  if (log_enabled(LogLevel::Debug)) {
+    log_debug("tuned " + key.kernel + "[" + key.aux + "] v=" +
+              std::to_string(key.volume) + " w=" +
+              std::to_string(key.workers) + " -> " + res.param);
+  }
+  return res;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,42 @@
+#pragma once
+/// \file tune_launch.h
+/// \brief The tuning driver — QUDA's tuneLaunch(): consult the cache, and
+/// on a miss time every candidate (warm-up + repetitions, best-of), select
+/// the fastest, and record it.
+///
+/// The driver enforces the TuneClass contract: policy-class tunables (whose
+/// candidates change the numbers, not just the schedule) are refused unless
+/// the caller sets TuneOptions::allow_policy — a generic site loop can never
+/// accidentally sweep an algorithmic knob.
+
+#include <functional>
+
+#include "tune/tunable.h"
+#include "tune/tune_cache.h"
+
+namespace lqcd {
+
+struct TuneOptions {
+  int warmups = 1;  ///< untimed runs per candidate (warm caches, fault pages)
+  int reps = 2;     ///< timed runs per candidate; best-of is scored
+  /// Opt-in required to tune TuneClass::policy tunables (see file comment).
+  bool allow_policy = false;
+  /// Monotonic clock in seconds; injectable so tests can drive candidate
+  /// selection with a fake timer.  Null = Stopwatch (steady_clock).
+  std::function<double()> clock;
+  /// Cache to consult/record in; null = global_tune_cache().
+  TuneCache* cache = nullptr;
+};
+
+/// Ensures \p t has its best-known parameter applied and returns it:
+///  * tuning disabled -> applies candidate 0 (the default), records a bypass;
+///  * cache hit       -> applies the cached parameter (re-tunes if stale);
+///  * cache miss      -> pre_tune(), times all candidates, post_tune(),
+///                       applies and records the winner.
+/// The kernel itself is NOT run on the caller's behalf after selection; call
+/// t.run() (the timing runs' side effects are undone by post_tune()).
+///
+/// Throws std::logic_error for a policy-class tunable without allow_policy.
+TuneResult tune_launch(Tunable& t, const TuneOptions& opts = {});
+
+}  // namespace lqcd

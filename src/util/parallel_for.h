@@ -49,6 +49,32 @@ void parallel_for(std::int64_t n, Fn&& fn) {
                       });
 }
 
+/// The chunk count parallel_for(n, fn) would use — the *default* (untuned)
+/// granularity, and the grid parallel_reduce always uses.
+inline int default_chunk_count(std::int64_t n) {
+  return detail::chunk_count_for(n);
+}
+
+/// parallel_for with an explicit chunk count — the knob the autotuner
+/// (src/tune) turns for *non-reduction* site loops.  Because chunk tickets
+/// are consumed greedily, `chunks` simultaneously bounds the number of
+/// workers that participate (chunks == 1 degrades to the serial path), so
+/// it is both the grain-size and the worker-count policy.  Only valid for
+/// loops whose iterations are independent: the result is bitwise identical
+/// for every chunk count.  Reductions are NOT expressible through this
+/// entry point — parallel_reduce keeps its fixed chunk grid so partials
+/// combine in a worker-count-independent order.
+template <typename Fn>
+void parallel_for_chunked(std::int64_t n, int chunks, Fn&& fn) {
+  if (n <= 0) return;
+  if (chunks < 1) chunks = 1;
+  if (chunks > n) chunks = static_cast<int>(n);
+  detail::run_chunked(n, chunks,
+                      [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) fn(i);
+                      });
+}
+
 /// Deterministic parallel reduction: partials are produced per chunk and
 /// summed in chunk order.  T needs operator+= and value initialization.
 template <typename T, typename Fn>
