@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/tune_main.h"
+#include "comm/virtual_cluster.h"
 #include "dirac/even_odd.h"
+#include "dirac/partitioned.h"
 #include "dirac/staggered.h"
 #include "dirac/wilson_kernel.h"
 #include "dirac/wilson_ops.h"
@@ -130,6 +132,37 @@ void BM_StaggeredSchurApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StaggeredSchurApply)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionedWilson(benchmark::State& state) {
+  // The virtual-cluster dslash under both rank runtimes.  arg0 selects the
+  // mode (0 = seq reference, 1 = thread-per-rank channels); in threads
+  // mode the overlap counters report the executed Fig. 4 overlap: the
+  // fraction of each rank's comm window covered by its interior kernel.
+  const RankMode mode = state.range(0) == 0 ? RankMode::Seq : RankMode::Threads;
+  const RankMode prev = rank_mode();
+  set_rank_mode(mode);
+  WilsonFixture f;
+  Partitioning part(f.g, {1, 1, 2, 2});
+  PartitionedWilsonClover<double> op(part, f.u, &f.clover, -0.1);
+  for (auto _ : state) {
+    op.apply(f.out, f.in);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          dslash_flops_per_site(StencilKind::WilsonClover) *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+  const OverlapStats& ov = op.overlap();
+  if (ov.rank_samples > 0) {
+    state.counters["overlap_eff"] = ov.overlap_efficiency();
+    state.counters["wait_frac"] =
+        ov.wait_s / (ov.post_s + ov.interior_s + ov.wait_s + ov.exterior_s);
+  }
+  state.SetLabel(rank_mode_name(mode));
+  set_rank_mode(prev);
+}
+BENCHMARK(BM_PartitionedWilson)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_DirichletWilsonHop(benchmark::State& state) {
   // The Schwarz preconditioner's kernel: hopping with the block cut.

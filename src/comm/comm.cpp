@@ -26,13 +26,13 @@ namespace {
 
 namespace lqcd {
 
-ExchangeCounters& global_exchange_counters() {
-  static ExchangeCounters counters;
+GlobalExchangeCounters& global_exchange_counters() {
+  static GlobalExchangeCounters counters;
   return counters;
 }
 
 ExchangeCounters exchange_counters_snapshot() {
-  return global_exchange_counters();
+  return global_exchange_counters().snapshot();
 }
 
 void reset_exchange_counters() { global_exchange_counters().reset(); }

@@ -10,6 +10,7 @@
 /// metered counts equal the analytic formulas the model uses.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "lattice/geometry.h"
@@ -44,11 +45,55 @@ struct ExchangeCounters {
   }
 };
 
+/// The process-global accumulator: same tallies as ExchangeCounters but
+/// held in relaxed atomics, because concurrent virtual ranks (and tests
+/// metering exchanges from several threads) all fold their deltas into the
+/// one global instance.  Relaxed ordering suffices — the counters carry no
+/// synchronization duty, only totals, and unsigned adds commute — but the
+/// atomicity guarantees no increment is ever lost (asserted in
+/// tests/test_virtual_cluster.cpp).
+class GlobalExchangeCounters {
+ public:
+  GlobalExchangeCounters& operator+=(const ExchangeCounters& o) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      bytes_by_dim_[static_cast<std::size_t>(mu)].fetch_add(
+          o.bytes_by_dim[static_cast<std::size_t>(mu)],
+          std::memory_order_relaxed);
+    }
+    messages_.fetch_add(o.messages, std::memory_order_relaxed);
+    exchanges_.fetch_add(o.exchanges, std::memory_order_relaxed);
+    return *this;
+  }
+
+  ExchangeCounters snapshot() const {
+    ExchangeCounters c;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      c.bytes_by_dim[static_cast<std::size_t>(mu)] =
+          bytes_by_dim_[static_cast<std::size_t>(mu)].load(
+              std::memory_order_relaxed);
+    }
+    c.messages = messages_.load(std::memory_order_relaxed);
+    c.exchanges = exchanges_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  void reset() {
+    for (auto& b : bytes_by_dim_) b.store(0, std::memory_order_relaxed);
+    messages_.store(0, std::memory_order_relaxed);
+    exchanges_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNDim> bytes_by_dim_{};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> exchanges_{0};
+};
+
 /// Process-global accumulation over *every* ghost exchange, regardless of
 /// which operator owns the per-instance counters: the autotuner's bench
 /// reports and the `--tune` harnesses read this to show message/byte
 /// traffic alongside kernel timings.  Defined in comm.cpp.
-ExchangeCounters& global_exchange_counters();
+GlobalExchangeCounters& global_exchange_counters();
 
 /// Copy of the global counters at this moment (pair with
 /// reset_exchange_counters() to meter a region: reset, run, snapshot).

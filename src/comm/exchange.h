@@ -6,20 +6,36 @@
 /// dimension, each rank gathers its boundary slices into contiguous buffers
 /// (the "gather kernels"), the buffers move to the neighbouring rank (on
 /// the modelled machine: D2H PCI-E copy, two host memcpys, MPI, H2D), and
-/// land in the neighbour's ghost zones.  Here the transport is a memcpy
-/// between rank-local buffers; ExchangeCounters captures the per-dimension
-/// payload the performance model prices.
+/// land in the neighbour's ghost zones.  ExchangeCounters captures the
+/// per-dimension payload the performance model prices.
+///
+/// Two transports exist, selected by rank_mode() (comm/virtual_cluster.h):
+///  * seq     — the reference path: one loop over ranks, each packing its
+///              faces and copying them straight into the neighbours' zones.
+///  * threads — the executed path: every rank runs concurrently, posting
+///              its face buffers as non-blocking sends on the SPSC channel
+///              mesh (comm/channel.h) and receiving its own ghosts with
+///              wait_all.  AsyncGhostExchange exposes the post/wait halves
+///              separately so the partitioned operators can run their
+///              interior kernel between them — the executed form of the
+///              paper's Fig. 4 comms/compute overlap.
+/// Both transports call the same pack kernels, so ghost contents (and all
+/// downstream results) are bitwise identical between modes.
 ///
 /// Wilson-type exchanges pack *spin-projected half spinors*: because
 /// (1 +- gamma_mu) commutes with the color multiply, the sender can project
 /// before the wire, halving spinor ghost traffic (12 instead of 24 reals
 /// per site) — QUDA's standard optimization, assumed by the byte model.
 
+#include <algorithm>
+#include <cassert>
 #include <optional>
 #include <vector>
 
+#include "comm/channel.h"
 #include "comm/counters.h"
 #include "comm/ghost.h"
+#include "comm/virtual_cluster.h"
 #include "fields/lattice_field.h"
 #include "lattice/neighbor_table.h"
 #include "lattice/partition.h"
@@ -45,6 +61,148 @@ struct WilsonProjectPacker {
   }
 };
 
+namespace detail {
+
+/// One rank's gathered faces for one partitioned dimension: dense
+/// depth*face_volume buffers in ghost-zone layout (offset l*fv + f).
+/// fwd holds the bottom slices, destined for the backward (-mu)
+/// neighbour's *forward* zone; bwd the top slices for the forward (+mu)
+/// neighbour's *backward* zone.  With a parity restriction only wanted
+/// sites are packed (and counted); the holes stay value-initialized and
+/// are never read by a parity-restricted stencil.
+template <typename GhostT>
+struct PackedFaces {
+  std::vector<GhostT> fwd;
+  std::vector<GhostT> bwd;
+  std::uint64_t fwd_sites = 0;
+  std::uint64_t bwd_sites = 0;
+};
+
+/// The gather kernel, shared by both transports so their payloads are
+/// bitwise identical.
+template <typename Packer, typename Site>
+PackedFaces<typename Packer::ghost_type> pack_rank_faces(
+    const LatticeGeometry& local, const NeighborTable& nt,
+    const LatticeField<Site>& body, int mu,
+    std::optional<Parity> source_parity) {
+  const FaceIndexer& face = nt.face(mu);
+  const std::int64_t fv = face.face_volume();
+  const int depth = nt.ghost_depth();
+  PackedFaces<typename Packer::ghost_type> p;
+  p.fwd.resize(static_cast<std::size_t>(depth * fv));
+  p.bwd.resize(static_cast<std::size_t>(depth * fv));
+  auto wanted = [&](const Coord& x) {
+    return !source_parity.has_value() ||
+           LatticeGeometry::parity(x) ==
+               (*source_parity == Parity::Even ? 0 : 1);
+  };
+  for (int l = 0; l < depth; ++l) {
+    for (std::int64_t f = 0; f < fv; ++f) {
+      const Coord bottom = face.face_coords(f, l);
+      if (wanted(bottom)) {
+        p.fwd[static_cast<std::size_t>(l * fv + f)] =
+            Packer::pack(body.at(local.eo_index(bottom)), mu, 0);
+        ++p.fwd_sites;
+      }
+      const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
+      if (wanted(top)) {
+        p.bwd[static_cast<std::size_t>(l * fv + f)] =
+            Packer::pack(body.at(local.eo_index(top)), mu, 1);
+        ++p.bwd_sites;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace detail
+
+/// One collective spinor-ghost exchange, split into its per-rank halves so
+/// rank tasks can compute between them: post_sends gathers rank r's faces
+/// and posts them on the channel mesh (non-blocking for payloads — the
+/// buffers are moved into the channels); wait_all blocks until both
+/// messages per partitioned dimension have arrived and scatters them into
+/// rank r's ghost zones.  Exactly one message flows per (rank, dim, dir)
+/// per exchange, so the SPSC channels never back up and the protocol is
+/// deadlock-free for any rank grid (grids with no partitioned dimension
+/// post and wait on nothing).  The ranks must run *concurrently* when
+/// num_ranks > 1 (run_ranks in Threads mode): a sequential rank loop
+/// would block in wait_all(0) on messages later ranks have not posted.
+template <typename Packer, typename Site>
+class AsyncGhostExchange {
+ public:
+  using GhostT = typename Packer::ghost_type;
+
+  AsyncGhostExchange(const Partitioning& part, const NeighborTable& nt,
+                     const std::vector<LatticeField<Site>>& locals,
+                     std::vector<GhostZones<GhostT>>& ghosts,
+                     std::optional<Parity> source_parity = std::nullopt)
+      : part_(part), nt_(nt), locals_(locals), ghosts_(ghosts),
+        source_parity_(source_parity), mesh_(part.num_ranks(), /*capacity=*/2),
+        send_deltas_(static_cast<std::size_t>(part.num_ranks())),
+        recv_bytes_(static_cast<std::size_t>(part.num_ranks()), 0) {}
+
+  /// Gather + post both faces of every partitioned dimension of rank r.
+  void post_sends(int r) {
+    const auto& body = locals_[static_cast<std::size_t>(r)];
+    auto& delta = send_deltas_[static_cast<std::size_t>(r)];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!nt_.partitioned(mu)) continue;
+      auto p = detail::pack_rank_faces<Packer>(part_.local(), nt_, body, mu,
+                                               source_parity_);
+      delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
+          (p.fwd_sites + p.bwd_sites) * sizeof(GhostT);
+      delta.messages += 2;
+      mesh_.at(part_.neighbor_rank(r, mu, -1), mu, 0)
+          .send({std::move(p.fwd), p.fwd_sites});
+      mesh_.at(part_.neighbor_rank(r, mu, +1), mu, 1)
+          .send({std::move(p.bwd), p.bwd_sites});
+    }
+  }
+
+  /// Block until rank r's ghosts arrived and scatter them into its zones.
+  void wait_all(int r) {
+    auto& zones = ghosts_[static_cast<std::size_t>(r)];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!nt_.partitioned(mu)) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        FaceMessage<GhostT> msg = mesh_.at(r, mu, dir).recv();
+        auto dst = zones.zone(mu, dir);
+        assert(msg.payload.size() == dst.size());
+        std::copy(msg.payload.begin(), msg.payload.end(), dst.begin());
+        recv_bytes_[static_cast<std::size_t>(r)] +=
+            msg.packed_sites * sizeof(GhostT);
+      }
+    }
+  }
+
+  /// Sender-side meters summed in rank order; counts one exchange.
+  ExchangeCounters total_sent() const {
+    ExchangeCounters delta;
+    for (const auto& d : send_deltas_) delta += d;
+    delta.exchanges = 1;
+    return delta;
+  }
+
+  /// Receiver-side payload bytes (must equal total_sent().total_bytes()
+  /// after every rank completed wait_all — asserted in tests).
+  std::uint64_t total_received_bytes() const {
+    std::uint64_t t = 0;
+    for (auto b : recv_bytes_) t += b;
+    return t;
+  }
+
+ private:
+  const Partitioning& part_;
+  const NeighborTable& nt_;
+  const std::vector<LatticeField<Site>>& locals_;
+  std::vector<GhostZones<GhostT>>& ghosts_;
+  std::optional<Parity> source_parity_;
+  ChannelMesh<GhostT> mesh_;
+  std::vector<ExchangeCounters> send_deltas_;
+  std::vector<std::uint64_t> recv_bytes_;
+};
+
 /// Exchanges spinor-type ghosts for all partitioned dimensions.
 /// \p locals and \p ghosts are indexed by rank; \p nt describes the shared
 /// local geometry.  Periodic in the rank grid (a rank may be its own
@@ -54,59 +212,54 @@ struct WilsonProjectPacker {
 /// When \p source_parity is set, only sites of that checkerboard are
 /// packed and counted — the even-odd preconditioned dslash reads only
 /// opposite-parity neighbours, so half the face payload travels (local
-/// extents are even, so local and global parity coincide).  The untouched
+/// extents are even, so local and global parity coincide).  The skipped
 /// ghost entries are never read by a parity-restricted stencil.
+///
+/// Dispatches on rank_mode(): concurrent rank tasks over the channel mesh
+/// in Threads mode, the direct rank loop in Seq mode (or when already
+/// inside a rank task).  Results are bitwise identical either way.
 template <typename Packer, typename Site>
 void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
                      const std::vector<LatticeField<Site>>& locals,
                      std::vector<GhostZones<typename Packer::ghost_type>>& ghosts,
                      ExchangeCounters* counters = nullptr,
                      std::optional<Parity> source_parity = std::nullopt) {
-  const LatticeGeometry& local = part.local();
-  const int depth = nt.ghost_depth();
+  using GhostT = typename Packer::ghost_type;
   ExchangeCounters delta;
-  for (int n = 0; n < part.num_ranks(); ++n) {
-    const auto& body = locals[static_cast<std::size_t>(n)];
-    for (int mu = 0; mu < kNDim; ++mu) {
-      if (!nt.partitioned(mu)) continue;
-      const FaceIndexer& face = nt.face(mu);
-      const std::int64_t fv = face.face_volume();
-      // Bottom slices -> backward neighbour's forward ghost (dir 0).
-      auto fwd_dst =
-          ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, -1))]
-              .zone(mu, 0);
-      // Top slices -> forward neighbour's backward ghost (dir 1).
-      auto bwd_dst =
-          ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, +1))]
-              .zone(mu, 1);
-      std::uint64_t packed = 0;
-      auto wanted = [&](const Coord& x) {
-        return !source_parity.has_value() ||
-               LatticeGeometry::parity(x) ==
-                   (*source_parity == Parity::Even ? 0 : 1);
-      };
-      for (int l = 0; l < depth; ++l) {
-        for (std::int64_t f = 0; f < fv; ++f) {
-          const Coord bottom = face.face_coords(f, l);
-          if (wanted(bottom)) {
-            fwd_dst[static_cast<std::size_t>(l * fv + f)] =
-                Packer::pack(body.at(local.eo_index(bottom)), mu, 0);
-            ++packed;
-          }
-          const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
-          if (wanted(top)) {
-            bwd_dst[static_cast<std::size_t>(l * fv + f)] =
-                Packer::pack(body.at(local.eo_index(top)), mu, 1);
-            ++packed;
-          }
-        }
+  if (rank_mode() == RankMode::Threads && part.num_ranks() > 1 &&
+      !in_rank_task()) {
+    AsyncGhostExchange<Packer, Site> ex(part, nt, locals, ghosts,
+                                        source_parity);
+    run_ranks(part.num_ranks(), [&](int r) {
+      ex.post_sends(r);
+      ex.wait_all(r);
+    });
+    delta = ex.total_sent();
+  } else {
+    const LatticeGeometry& local = part.local();
+    for (int n = 0; n < part.num_ranks(); ++n) {
+      const auto& body = locals[static_cast<std::size_t>(n)];
+      for (int mu = 0; mu < kNDim; ++mu) {
+        if (!nt.partitioned(mu)) continue;
+        auto p = detail::pack_rank_faces<Packer>(local, nt, body, mu,
+                                                 source_parity);
+        // Bottom slices -> backward neighbour's forward ghost (dir 0),
+        // top slices -> forward neighbour's backward ghost (dir 1).
+        auto fwd_dst =
+            ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, -1))]
+                .zone(mu, 0);
+        auto bwd_dst =
+            ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, +1))]
+                .zone(mu, 1);
+        std::copy(p.fwd.begin(), p.fwd.end(), fwd_dst.begin());
+        std::copy(p.bwd.begin(), p.bwd.end(), bwd_dst.begin());
+        delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
+            (p.fwd_sites + p.bwd_sites) * sizeof(GhostT);
+        delta.messages += 2;
       }
-      delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
-          packed * sizeof(typename Packer::ghost_type);
-      delta.messages += 2;
     }
+    delta.exchanges = 1;
   }
-  delta.exchanges = 1;
   if (counters != nullptr) *counters += delta;
   global_exchange_counters() += delta;
 }
@@ -114,7 +267,9 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
 /// Exchanges gauge-link ghosts.  Only the backward zones are populated and
 /// only with links pointing along the face dimension: the stencil needs
 /// U_mu(x - h*mu) for backward hops, while forward hops use rank-local
-/// links.  Sent once per solve (§6.1), so counted separately by callers.
+/// links.  Sent once per solve (§6.1), so counted separately by callers —
+/// and, being one-time setup on the constructing thread, always uses the
+/// direct sequential transport.
 /// \p depth may be smaller than the table's ghost depth when only the
 /// near layers are needed (fat links need one layer, long links three);
 /// unfilled layers are never addressed by the corresponding hop lookups.

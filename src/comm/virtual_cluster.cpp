@@ -1,0 +1,125 @@
+#include "comm/virtual_cluster.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel_for.h"
+
+namespace lqcd {
+
+namespace {
+
+constexpr int kModeUnset = -1;
+
+std::atomic<int> g_mode{kModeUnset};
+
+int resolve_mode_from_env() {
+  const char* env = std::getenv("LQCD_RANK_MODE");
+  if (env != nullptr) {
+    if (std::strcmp(env, "seq") == 0) return static_cast<int>(RankMode::Seq);
+    if (std::strcmp(env, "threads") == 0) {
+      return static_cast<int>(RankMode::Threads);
+    }
+  }
+  return static_cast<int>(RankMode::Threads);
+}
+
+thread_local int t_current_rank = -1;
+
+/// RAII rank-task marker: tags the thread with its rank id and enters the
+/// parallel_for serial region so nested site loops stay on this thread.
+class RankTaskScope {
+ public:
+  explicit RankTaskScope(int rank) : prev_(t_current_rank) {
+    t_current_rank = rank;
+  }
+  ~RankTaskScope() { t_current_rank = prev_; }
+  RankTaskScope(const RankTaskScope&) = delete;
+  RankTaskScope& operator=(const RankTaskScope&) = delete;
+
+ private:
+  int prev_;
+  SerialRegionGuard serial_;
+};
+
+}  // namespace
+
+RankMode rank_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m == kModeUnset) {
+    m = resolve_mode_from_env();
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<RankMode>(m);
+}
+
+void set_rank_mode(RankMode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+void init_rank_mode_from_env() {
+  g_mode.store(resolve_mode_from_env(), std::memory_order_relaxed);
+}
+
+const char* rank_mode_name(RankMode m) {
+  return m == RankMode::Seq ? "seq" : "threads";
+}
+
+bool in_rank_task() { return t_current_rank >= 0; }
+
+int current_rank() { return t_current_rank; }
+
+void run_ranks(int num_ranks, const std::function<void(int)>& body) {
+  run_ranks(num_ranks, body, rank_mode());
+}
+
+void run_ranks(int num_ranks, const std::function<void(int)>& body,
+               RankMode mode) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("run_ranks: num_ranks must be >= 1");
+  }
+  // A rank task spawning a nested cluster would deadlock channel pairing;
+  // degrade to sequential (likewise trivially for a single rank).  Nested
+  // calls keep the enclosing rank's identity — the body receives its own
+  // rank as the argument, and the thread stays the outer rank's task.
+  if (in_rank_task()) {
+    for (int r = 0; r < num_ranks; ++r) body(r);
+    return;
+  }
+  if (mode == RankMode::Seq || num_ranks == 1) {
+    for (int r = 0; r < num_ranks; ++r) {
+      RankTaskScope scope(r);
+      body(r);
+    }
+    return;
+  }
+
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  auto guarded = [&](int r) {
+    RankTaskScope scope(r);
+    try {
+      body(r);
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(err_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks - 1));
+  for (int r = 1; r < num_ranks; ++r) {
+    threads.emplace_back(guarded, r);
+  }
+  guarded(0);  // the caller is rank 0
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lqcd

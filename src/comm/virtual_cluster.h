@@ -1,0 +1,59 @@
+#pragma once
+/// \file virtual_cluster.h
+/// \brief The rank runtime of the virtual cluster: executes one task per
+/// virtual rank, either sequentially (the reference path the repo has
+/// always had) or genuinely concurrently with one thread per rank — the
+/// execution mode in which the Fig. 4 comms/compute overlap is *behaviour*
+/// rather than a discrete-event model.
+///
+/// Mode contract (`LQCD_RANK_MODE=seq|threads`, default threads):
+///  * `seq`     — ranks run one after another on the calling thread; ghost
+///                exchange is the direct buffer copy of comm/exchange.h.
+///  * `threads` — every rank runs as its own thread, communicating through
+///                the SPSC channels of comm/channel.h.  Within a rank task
+///                site loops run serially (the rank is the unit of
+///                parallelism, exactly like an MPI rank), marked via the
+///                parallel_for serial region so the worker pool and the
+///                autotuner are never entered concurrently.
+///
+/// Equivalence guarantee: both modes produce bitwise-identical fields.
+/// Rank tasks exchange identical ghost payloads (same pack kernels), each
+/// rank writes only its own outputs, and the per-site arithmetic order is
+/// fixed — so scheduling cannot perturb a single bit.  Tests assert this
+/// across rank counts and worker counts.
+
+#include <functional>
+
+namespace lqcd {
+
+enum class RankMode {
+  Seq,     ///< ranks execute sequentially on the calling thread
+  Threads  ///< one concurrent thread per rank, channel-based exchange
+};
+
+/// Current execution mode.  Resolved once from LQCD_RANK_MODE (values
+/// "seq" / "threads", default threads); overridable programmatically.
+RankMode rank_mode();
+void set_rank_mode(RankMode m);
+
+/// Re-reads LQCD_RANK_MODE (test hook; discards any override).
+void init_rank_mode_from_env();
+
+const char* rank_mode_name(RankMode m);
+
+/// True while the calling thread is executing a virtual-rank task.
+bool in_rank_task();
+
+/// Rank id of the current rank task, -1 outside one.
+int current_rank();
+
+/// Runs body(rank) for every rank in [0, num_ranks) under \p mode.
+/// In Threads mode the calling thread executes rank 0 and joins the rest;
+/// nested calls (body itself calling run_ranks) degrade to sequential so a
+/// rank task can never spawn a second cluster.  The first exception thrown
+/// by any rank is rethrown on the caller after all ranks joined.
+void run_ranks(int num_ranks, const std::function<void(int)>& body);
+void run_ranks(int num_ranks, const std::function<void(int)>& body,
+               RankMode mode);
+
+}  // namespace lqcd

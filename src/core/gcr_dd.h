@@ -17,8 +17,10 @@
 #include <optional>
 
 #include "dirac/even_odd.h"
+#include "dirac/partitioned_schur.h"
 #include "fields/precision.h"
 #include "lattice/block_mask.h"
+#include "lattice/partition.h"
 #include "solvers/gcr.h"
 #include "solvers/schwarz.h"
 
@@ -34,6 +36,12 @@ struct GcrDdParams {
   std::array<int, kNDim> block_grid{1, 1, 1, 2};  ///< Schwarz domains (= GPUs)
   bool half_preconditioner = true;  ///< run K in emulated half precision
   bool half_krylov = true;          ///< store the Krylov space in half
+
+  /// When set, the *outer* Schur operator runs through the virtual-cluster
+  /// partitioned dslash on this rank grid (ghost exchange + interior /
+  /// exterior overlap, honoring LQCD_RANK_MODE).  The Schwarz
+  /// preconditioner stays block-local (Dirichlet cuts need no comms).
+  std::optional<std::array<int, kNDim>> rank_grid;
 };
 
 /// GCR-DD solver for the Wilson-clover system M x = b on the full lattice.
@@ -50,8 +58,14 @@ class GcrDdWilsonSolver {
       clover_single_ = convert_clover<float>(*clover);
     }
     half_roundtrip(u_half_);
-    op_ = std::make_unique<WilsonCloverSchurOperator<float>>(
-        u_single_, clover_single_ ? &*clover_single_ : nullptr, params.mass);
+    if (params.rank_grid) {
+      op_part_ = std::make_unique<PartitionedWilsonCloverSchur<float>>(
+          Partitioning(u.geometry(), *params.rank_grid), u_single_,
+          clover_single_ ? &*clover_single_ : nullptr, params.mass);
+    } else {
+      op_ = std::make_unique<WilsonCloverSchurOperator<float>>(
+          u_single_, clover_single_ ? &*clover_single_ : nullptr, params.mass);
+    }
     op_dd_ = std::make_unique<WilsonCloverSchurOperator<float>>(
         params.half_preconditioner ? u_half_ : u_single_,
         clover_single_ ? &*clover_single_ : nullptr, params.mass, &mask_);
@@ -69,7 +83,11 @@ class GcrDdWilsonSolver {
   SolverStats solve(WilsonField<double>& x, const WilsonField<double>& b) {
     WilsonField<float> b_f = convert_field<float>(b);
     WilsonField<float> b_hat(b.geometry());
-    op_->prepare_source(b_hat, b_f);
+    if (op_part_) {
+      op_part_->prepare_source(b_hat, b_f);
+    } else {
+      op_->prepare_source(b_hat, b_f);
+    }
 
     WilsonField<float> x_f(b.geometry());
     set_zero(x_f);
@@ -84,17 +102,27 @@ class GcrDdWilsonSolver {
       low_store = [](WilsonField<float>& f) { half_roundtrip(f); };
     }
     SolverStats stats =
-        gcr_solve(*op_, x_f, b_hat, precond_.get(), gp, low_store);
+        gcr_solve(schur_operator(), x_f, b_hat, precond_.get(), gp, low_store);
     stats.inner_iterations = precond_->inner_steps();
 
-    op_->reconstruct_solution(x_f, b_f);
+    if (op_part_) {
+      op_part_->reconstruct_solution(x_f, b_f);
+    } else {
+      op_->reconstruct_solution(x_f, b_f);
+    }
     x = convert_field<double>(x_f);
     return stats;
   }
 
   const BlockMask& mask() const { return mask_; }
-  const WilsonCloverSchurOperator<float>& schur_operator() const {
+  const LinearOperator<WilsonField<float>>& schur_operator() const {
+    if (op_part_) return *op_part_;
     return *op_;
+  }
+  /// Non-null iff `rank_grid` was set: exposes the cluster operator's
+  /// traffic meters and partitioning for inspection.
+  const PartitionedWilsonCloverSchur<float>* partitioned_operator() const {
+    return op_part_.get();
   }
 
  private:
@@ -104,6 +132,7 @@ class GcrDdWilsonSolver {
   std::optional<CloverField<float>> clover_single_;
   BlockMask mask_;
   std::unique_ptr<WilsonCloverSchurOperator<float>> op_;
+  std::unique_ptr<PartitionedWilsonCloverSchur<float>> op_part_;
   std::unique_ptr<WilsonCloverSchurOperator<float>> op_dd_;
   std::unique_ptr<SchwarzPreconditioner<WilsonField<float>>> precond_;
 };

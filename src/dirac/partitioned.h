@@ -16,6 +16,15 @@
 /// Gauge (and fat/long) link ghosts are exchanged once at construction, as
 /// in the paper where "the gauge field ... must only be transfered once at
 /// the beginning of a solve".
+///
+/// Execution modes (comm/virtual_cluster.h): under `LQCD_RANK_MODE=threads`
+/// (the default) every rank runs as its own thread and the apply executes
+/// the Fig. 4 overlap schedule for real — gather faces, post the sends on
+/// the channel mesh, run the interior kernel *while the messages are in
+/// flight*, then wait for the ghosts and run the exterior kernels.  The
+/// measured per-rank phase times are accumulated in OverlapStats.  Under
+/// `seq` the ranks execute one after another through the reference
+/// exchange; both modes are bitwise identical (asserted in tests).
 
 #include <algorithm>
 #include <vector>
@@ -28,6 +37,7 @@
 #include "lattice/neighbor_table.h"
 #include "linalg/gamma.h"
 #include "tune/site_loop.h"
+#include "util/stopwatch.h"
 
 namespace lqcd {
 
@@ -37,6 +47,48 @@ struct PartitionedTraffic {
   ExchangeCounters gauge;   ///< one-time link ghost exchange
   std::int64_t applications = 0;
 };
+
+/// Measured wall time of each phase of the threaded execution path, summed
+/// over ranks and applications (one sample = one rank's one apply).  The
+/// overlap-efficiency metric is the fraction of the comm-facing interval
+/// the rank spent computing rather than stalled in wait_all: 1.0 means the
+/// interior kernel fully hid the message traffic (the ideal Fig. 4
+/// schedule); values near 0 mean the rank idled for its ghosts — the
+/// degradation regime of the strong-scaling figures.
+struct OverlapStats {
+  double post_s = 0;      ///< face gather + channel post
+  double interior_s = 0;  ///< interior kernel (overlapped with traffic)
+  double wait_s = 0;      ///< stalled in wait_all after the interior
+  double exterior_s = 0;  ///< exterior kernels after ghost arrival
+  std::int64_t rank_samples = 0;
+
+  double overlap_efficiency() const {
+    const double comm_window = interior_s + wait_s;
+    return comm_window > 0 ? interior_s / comm_window : 1.0;
+  }
+  void reset() { *this = OverlapStats{}; }
+};
+
+namespace detail {
+/// One rank's phase times for one apply.
+struct OverlapSample {
+  double post_s = 0;
+  double interior_s = 0;
+  double wait_s = 0;
+  double exterior_s = 0;
+};
+
+inline void accumulate(OverlapStats& stats,
+                       const std::vector<OverlapSample>& samples) {
+  for (const auto& s : samples) {
+    stats.post_s += s.post_s;
+    stats.interior_s += s.interior_s;
+    stats.wait_s += s.wait_s;
+    stats.exterior_s += s.exterior_s;
+    ++stats.rank_samples;
+  }
+}
+}  // namespace detail
 
 /// Partitioned Wilson-clover operator M = (4 + m + A) - D/2.
 template <typename Real>
@@ -82,26 +134,71 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
            std::optional<Parity> target, bool hop_only) const {
     traffic_.applications += 1;
     map_.scatter(in, in_local_);
-    if (comms_) {
-      std::optional<Parity> source;
-      if (target.has_value()) source = opposite(*target);
-      exchange_ghosts<WilsonProjectPacker<Real>>(
-          part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor, source);
-    }
-    for (int r = 0; r < part_.num_ranks(); ++r) {
-      interior_kernel(r, target, hop_only);
-    }
-    if (comms_) {
-      // Exterior kernels run per dimension, sequentially, matching the data
-      // dependency on corner sites described in §6.2.
-      for (int mu = 0; mu < kNDim; ++mu) {
-        if (!part_.partitioned(mu)) continue;
-        for (int r = 0; r < part_.num_ranks(); ++r) {
-          exterior_kernel(r, mu, target, hop_only);
+    std::optional<Parity> source;
+    if (target.has_value()) source = opposite(*target);
+    if (rank_mode() == RankMode::Threads && !in_rank_task()) {
+      run_overlapped(target, hop_only, source);
+    } else {
+      if (comms_) {
+        exchange_ghosts<WilsonProjectPacker<Real>>(
+            part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor, source);
+      }
+      for (int r = 0; r < part_.num_ranks(); ++r) {
+        interior_kernel(r, target, hop_only);
+      }
+      if (comms_) {
+        // Exterior kernels run per dimension, sequentially, matching the
+        // data dependency on corner sites described in §6.2.
+        for (int mu = 0; mu < kNDim; ++mu) {
+          if (!part_.partitioned(mu)) continue;
+          for (int r = 0; r < part_.num_ranks(); ++r) {
+            exterior_kernel(r, mu, target, hop_only);
+          }
         }
       }
     }
     map_.gather(out_local_, out);
+  }
+
+  /// The executed Fig. 4 schedule: concurrent rank tasks, each gathering
+  /// and posting its faces, computing the interior while the messages are
+  /// in flight, then waiting and applying the exterior kernels (per
+  /// dimension, in fixed mu order — the §6.2 corner-site dependency is
+  /// rank-local, so ranks never need a barrier between phases).
+  void run_overlapped(std::optional<Parity> target, bool hop_only,
+                      std::optional<Parity> source) const {
+    const int nr = part_.num_ranks();
+    std::vector<detail::OverlapSample> samples(static_cast<std::size_t>(nr));
+    if (comms_) {
+      AsyncGhostExchange<WilsonProjectPacker<Real>, WilsonSpinor<Real>> ex(
+          part_, nt_, in_local_, spinor_ghosts_, source);
+      run_ranks(nr, [&](int r) {
+        auto& sample = samples[static_cast<std::size_t>(r)];
+        Stopwatch sw;
+        ex.post_sends(r);
+        sample.post_s = sw.seconds();
+        interior_kernel(r, target, hop_only);
+        sample.interior_s = sw.seconds() - sample.post_s;
+        ex.wait_all(r);
+        sample.wait_s = sw.seconds() - sample.post_s - sample.interior_s;
+        for (int mu = 0; mu < kNDim; ++mu) {
+          if (!part_.partitioned(mu)) continue;
+          exterior_kernel(r, mu, target, hop_only);
+        }
+        sample.exterior_s =
+            sw.seconds() - sample.post_s - sample.interior_s - sample.wait_s;
+      });
+      const ExchangeCounters delta = ex.total_sent();
+      traffic_.spinor += delta;
+      global_exchange_counters() += delta;
+    } else {
+      run_ranks(nr, [&](int r) {
+        Stopwatch sw;
+        interior_kernel(r, target, hop_only);
+        samples[static_cast<std::size_t>(r)].interior_s = sw.seconds();
+      });
+    }
+    detail::accumulate(overlap_, samples);
   }
 
  public:
@@ -110,6 +207,9 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
 
   const Partitioning& partitioning() const { return part_; }
   const PartitionedTraffic& traffic() const { return traffic_; }
+  /// Phase times of the threaded path (empty when running seq).
+  const OverlapStats& overlap() const { return overlap_; }
+  void reset_overlap() const { overlap_.reset(); }
   bool comms_enabled() const { return comms_; }
 
  private:
@@ -241,6 +341,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
   mutable std::vector<WilsonField<Real>> out_local_;
   mutable std::vector<GhostZones<HalfSpinor<Real>>> spinor_ghosts_;
   mutable PartitionedTraffic traffic_;
+  mutable OverlapStats overlap_;
 };
 
 /// Partitioned improved staggered operator M = m + D/2 (fat + long links).
@@ -277,15 +378,19 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
     this->count_application();
     traffic_.applications += 1;
     map_.scatter(in, in_local_);
-    if (comms_) {
-      exchange_ghosts<IdentityPacker<ColorVector<Real>>>(
-          part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor);
-    }
-    for (int r = 0; r < part_.num_ranks(); ++r) interior_kernel(r);
-    if (comms_) {
-      for (int mu = 0; mu < kNDim; ++mu) {
-        if (!part_.partitioned(mu)) continue;
-        for (int r = 0; r < part_.num_ranks(); ++r) exterior_kernel(r, mu);
+    if (rank_mode() == RankMode::Threads && !in_rank_task()) {
+      run_overlapped();
+    } else {
+      if (comms_) {
+        exchange_ghosts<IdentityPacker<ColorVector<Real>>>(
+            part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor);
+      }
+      for (int r = 0; r < part_.num_ranks(); ++r) interior_kernel(r);
+      if (comms_) {
+        for (int mu = 0; mu < kNDim; ++mu) {
+          if (!part_.partitioned(mu)) continue;
+          for (int r = 0; r < part_.num_ranks(); ++r) exterior_kernel(r, mu);
+        }
       }
     }
     map_.gather(out_local_, out);
@@ -295,8 +400,46 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
 
   const Partitioning& partitioning() const { return part_; }
   const PartitionedTraffic& traffic() const { return traffic_; }
+  const OverlapStats& overlap() const { return overlap_; }
+  void reset_overlap() const { overlap_.reset(); }
 
  private:
+  /// Threaded rank tasks with the post/interior/wait/exterior overlap
+  /// order (see PartitionedWilsonClover::run_overlapped).
+  void run_overlapped() const {
+    const int nr = part_.num_ranks();
+    std::vector<detail::OverlapSample> samples(static_cast<std::size_t>(nr));
+    if (comms_) {
+      AsyncGhostExchange<IdentityPacker<ColorVector<Real>>, ColorVector<Real>>
+          ex(part_, nt_, in_local_, spinor_ghosts_);
+      run_ranks(nr, [&](int r) {
+        auto& sample = samples[static_cast<std::size_t>(r)];
+        Stopwatch sw;
+        ex.post_sends(r);
+        sample.post_s = sw.seconds();
+        interior_kernel(r);
+        sample.interior_s = sw.seconds() - sample.post_s;
+        ex.wait_all(r);
+        sample.wait_s = sw.seconds() - sample.post_s - sample.interior_s;
+        for (int mu = 0; mu < kNDim; ++mu) {
+          if (part_.partitioned(mu)) exterior_kernel(r, mu);
+        }
+        sample.exterior_s =
+            sw.seconds() - sample.post_s - sample.interior_s - sample.wait_s;
+      });
+      const ExchangeCounters delta = ex.total_sent();
+      traffic_.spinor += delta;
+      global_exchange_counters() += delta;
+    } else {
+      run_ranks(nr, [&](int r) {
+        Stopwatch sw;
+        interior_kernel(r);
+        samples[static_cast<std::size_t>(r)].interior_s = sw.seconds();
+      });
+    }
+    detail::accumulate(overlap_, samples);
+  }
+
   /// One signed hop contribution if its source is local (interior) or in
   /// the mu ghost (exterior); returns whether it was a ghost term.
   void interior_kernel(int r) const {
@@ -395,6 +538,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
   mutable std::vector<StaggeredField<Real>> out_local_;
   mutable std::vector<GhostZones<ColorVector<Real>>> spinor_ghosts_;
   mutable PartitionedTraffic traffic_;
+  mutable OverlapStats overlap_;
 };
 
 }  // namespace lqcd

@@ -165,6 +165,7 @@ SolverStats gcr_solve(const LinearOperator<Field>& a, Field& x, const Field& b,
     ++stats.iterations;
 
     const double rhat_norm = std::sqrt(norm2(rhat));
+    stats.residual_history.push_back(rhat_norm);
     if (log_enabled(LogLevel::Debug)) {
       log_debug("gcr: iter " + std::to_string(stats.iterations) +
                 " |rhat| = " + std::to_string(rhat_norm));

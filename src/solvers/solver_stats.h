@@ -2,6 +2,8 @@
 /// \file solver_stats.h
 /// \brief Common result record of every Krylov solver in the library.
 
+#include <vector>
+
 namespace lqcd {
 
 struct SolverStats {
@@ -14,6 +16,11 @@ struct SolverStats {
   /// Inner-solver work for nested methods (preconditioner MR steps,
   /// low-precision inner iterations).
   int inner_iterations = 0;
+
+  /// Per-iteration iterated-residual norms |rhat_k| (when the solver
+  /// records them).  Used by the determinism regressions to assert the
+  /// entire convergence trajectory is bitwise reproducible.
+  std::vector<double> residual_history;
 };
 
 }  // namespace lqcd

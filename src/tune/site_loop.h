@@ -114,6 +114,14 @@ template <typename Site, typename Fn>
 void tuned_site_loop(const char* kernel, std::string aux, std::span<Site> out,
                      std::int64_t n, Fn&& fn) {
   if (n <= 0) return;
+  if (serial_region_active()) {
+    // Inside a virtual-rank task the rank itself is the unit of
+    // parallelism; run the loop inline.  Tuning is skipped entirely: a
+    // timing sweep on an oversubscribed rank thread would record noise,
+    // and the result is bitwise identical at any granularity anyway.
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   if (!tuning_enabled()) {
     global_tune_cache().note_bypass();
     parallel_for(n, fn);

@@ -13,6 +13,8 @@ namespace {
 
 std::atomic<int> g_workers{0};  // 0 = not yet resolved
 
+thread_local bool t_serial_region = false;
+
 int resolve_default_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -153,6 +155,14 @@ void set_worker_count(int n) {
   g_workers.store(n < 1 ? 1 : n, std::memory_order_relaxed);
 }
 
+bool serial_region_active() { return t_serial_region; }
+
+SerialRegionGuard::SerialRegionGuard() : prev_(t_serial_region) {
+  t_serial_region = true;
+}
+
+SerialRegionGuard::~SerialRegionGuard() { t_serial_region = prev_; }
+
 namespace detail {
 
 int chunk_count_for(std::int64_t n) {
@@ -167,7 +177,7 @@ int chunk_count_for(std::int64_t n) {
 void run_chunked(std::int64_t n, int chunks,
                  const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
   if (n <= 0) return;
-  if (worker_count() == 1 || chunks == 1) {
+  if (t_serial_region || worker_count() == 1 || chunks == 1) {
     // Serial fast path: identical chunk decomposition, no pool traffic.
     const std::int64_t per = (n + chunks - 1) / chunks;
     for (int c = 0; c < chunks; ++c) {

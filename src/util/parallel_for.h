@@ -32,6 +32,27 @@ int worker_count();
 /// parallel_for call; existing workers are recycled or respawned.
 void set_worker_count(int n);
 
+/// True while the calling thread is inside a serial region (see
+/// SerialRegionGuard): every parallel_for/parallel_reduce on this thread
+/// runs inline on the caller, never entering the shared worker pool.
+bool serial_region_active();
+
+/// RAII marker making the current thread a serial region.  The virtual
+/// cluster wraps each rank task in one: ranks are themselves the unit of
+/// parallelism (like MPI ranks), and the worker pool accepts only one job
+/// at a time, so concurrent rank tasks must not fan out to it.  Results
+/// are unchanged — the chunk decomposition is iteration-order identical.
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 namespace detail {
 /// Runs fn(chunk_index, begin, end) for a static partition of [0, n) into
 /// `chunks` contiguous ranges, distributed over the pool.

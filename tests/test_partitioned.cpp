@@ -5,6 +5,10 @@
 // face-byte formulas used by the performance model.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <thread>
+
+#include "comm/virtual_cluster.h"
 #include "dirac/even_odd.h"
 #include "dirac/partitioned.h"
 #include "dirac/partitioned_schur.h"
@@ -15,6 +19,7 @@
 #include "gauge/configure.h"
 #include "gauge/staggered_links.h"
 #include "perfmodel/stencil.h"
+#include "util/parallel_for.h"
 
 namespace lqcd {
 namespace {
@@ -242,6 +247,127 @@ TEST(PartitionedSchur, ParityExchangeHalvesTraffic) {
   // But across twice as many messages (two parity rounds).
   EXPECT_EQ(schur.traffic().spinor.messages,
             2 * full.traffic().spinor.messages);
+}
+
+/// Runs the rank grids {1,1,1,1} .. {2,2,1,2} (ranks 1,2,4,8) under both
+/// execution modes and both worker counts, asserting bitwise identity —
+/// the equivalence guarantee of comm/virtual_cluster.h.
+class RankModeDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_rank_mode(RankMode::Threads);
+    set_worker_count(1);
+  }
+
+  static std::vector<Grid> rank_grids() {
+    return {{1, 1, 1, 1}, {1, 1, 1, 2}, {1, 1, 2, 2}, {2, 2, 1, 2}};
+  }
+
+  static std::vector<int> worker_counts() {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    if (hw == 1) return {1, 4};  // still exercise the pool on 1-core hosts
+    return {1, hw};
+  }
+
+  template <typename Site>
+  static void expect_bitwise_equal(const LatticeField<Site>& a,
+                                   const LatticeField<Site>& b,
+                                   const char* what) {
+    auto sa = a.sites();
+    auto sb = b.sites();
+    ASSERT_EQ(sa.size(), sb.size());
+    EXPECT_EQ(std::memcmp(sa.data(), sb.data(), sa.size_bytes()), 0) << what;
+  }
+};
+
+TEST_F(RankModeDeterminismTest, WilsonApplyBitwiseAcrossModesAndWorkers) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 91);
+  const CloverField<double> a = build_clover_field(u, 1.2);
+  const WilsonField<double> in = gaussian_wilson_source(g, 92);
+
+  for (const Grid& grid : rank_grids()) {
+    Partitioning part(g, grid);
+    PartitionedWilsonClover<double> op(part, u, &a, -0.15);
+
+    set_rank_mode(RankMode::Seq);
+    set_worker_count(1);
+    WilsonField<double> ref(g);
+    op.apply(ref, in);
+    WilsonField<double> ref_hop(g);
+    op.apply_hop(ref_hop, in, Parity::Even);
+
+    for (RankMode m : {RankMode::Seq, RankMode::Threads}) {
+      for (int w : worker_counts()) {
+        set_rank_mode(m);
+        set_worker_count(w);
+        WilsonField<double> got(g);
+        op.apply(got, in);
+        expect_bitwise_equal(ref, got, "wilson apply");
+        WilsonField<double> got_hop(g);
+        op.apply_hop(got_hop, in, Parity::Even);
+        expect_bitwise_equal(ref_hop, got_hop, "wilson apply_hop");
+      }
+    }
+  }
+}
+
+TEST_F(RankModeDeterminismTest, StaggeredApplyBitwiseAcrossModesAndWorkers) {
+  // Larger lattice: the asqtad stencil reaches 3 sites, so partitioned
+  // local extents must stay >= 4.
+  const LatticeGeometry g({4, 8, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 93);
+  const AsqtadLinks links = build_asqtad_links(u);
+  const StaggeredField<double> in = gaussian_staggered_source(g, 94);
+
+  const std::vector<Grid> grids{
+      {1, 1, 1, 1}, {1, 1, 1, 2}, {1, 1, 2, 2}, {1, 2, 2, 2}};
+  for (const Grid& grid : grids) {
+    Partitioning part(g, grid);
+    PartitionedStaggered<double> op(part, links.fat, links.lng, 0.03);
+
+    set_rank_mode(RankMode::Seq);
+    set_worker_count(1);
+    StaggeredField<double> ref(g);
+    op.apply(ref, in);
+
+    for (RankMode m : {RankMode::Seq, RankMode::Threads}) {
+      for (int w : worker_counts()) {
+        set_rank_mode(m);
+        set_worker_count(w);
+        StaggeredField<double> got(g);
+        op.apply(got, in);
+        expect_bitwise_equal(ref, got, "staggered apply");
+      }
+    }
+  }
+}
+
+TEST_F(RankModeDeterminismTest, ThreadsModeReportsOverlapPhases) {
+  // In the executed-overlap path every rank samples its post / interior /
+  // wait / exterior phases; the efficiency metric must be well-defined.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 95);
+  Partitioning part(g, {1, 1, 2, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, 0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 96);
+  WilsonField<double> out(g);
+
+  set_rank_mode(RankMode::Threads);
+  op.reset_overlap();
+  op.apply(out, in);
+  const OverlapStats& ov = op.overlap();
+  EXPECT_EQ(ov.rank_samples, part.num_ranks());
+  EXPECT_GT(ov.interior_s, 0.0);
+  EXPECT_GE(ov.overlap_efficiency(), 0.0);
+  EXPECT_LE(ov.overlap_efficiency(), 1.0);
+
+  // The sequential path does not sample overlap phases.
+  set_rank_mode(RankMode::Seq);
+  op.reset_overlap();
+  op.apply(out, in);
+  EXPECT_EQ(op.overlap().rank_samples, 0);
 }
 
 TEST(Partitioned, GaugeGhostBytesCountedOnce) {

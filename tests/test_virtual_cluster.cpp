@@ -1,0 +1,367 @@
+// The concurrent virtual cluster: channel semantics (FIFO, backpressure),
+// the rank barrier under oversubscription, deadlock-freedom of the channel
+// exchange protocol, byte accounting against the analytic face formulas,
+// and the lossless atomic global counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/domain_map.h"
+#include "comm/exchange.h"
+#include "comm/virtual_cluster.h"
+#include "gauge/configure.h"
+
+namespace lqcd {
+namespace {
+
+/// Restores the rank mode on scope exit so tests cannot leak a mode into
+/// later tests in the same binary.
+class ScopedRankMode {
+ public:
+  explicit ScopedRankMode(RankMode m) : prev_(rank_mode()) { set_rank_mode(m); }
+  ~ScopedRankMode() { set_rank_mode(prev_); }
+
+ private:
+  RankMode prev_;
+};
+
+TEST(Channel, FifoOrderAndSizes) {
+  Channel<int> ch(8);
+  EXPECT_EQ(ch.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) ch.send(i);
+  EXPECT_EQ(ch.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ch.recv(), i);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, TrySendFullAndTryRecvEmpty) {
+  Channel<int> ch(2);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  int v = 1;
+  EXPECT_TRUE(ch.try_send(v));
+  v = 2;
+  EXPECT_TRUE(ch.try_send(v));
+  v = 3;
+  EXPECT_FALSE(ch.try_send(v));  // full: value stays with the caller
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(ch.recv(), 1);
+  EXPECT_TRUE(ch.try_send(v));
+  EXPECT_EQ(ch.recv(), 2);
+  EXPECT_EQ(ch.recv(), 3);
+}
+
+TEST(Channel, BackpressureUnblocksAfterRecv) {
+  // A producer filling a capacity-1 channel must block on the second send
+  // and make progress once the consumer drains — the bounded-buffer
+  // handshake the rank protocol relies on.
+  Channel<int> ch(1);
+  std::atomic<int> sent{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      ch.send(i);
+      sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ch.recv(), i);
+  producer.join();
+  EXPECT_EQ(sent.load(), 100);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, ManyValuesThroughSmallCapacity) {
+  Channel<std::vector<int>> ch(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 500; ++i) ch.send(std::vector<int>{i, i + 1});
+  });
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<int> v = ch.recv();
+    ASSERT_EQ(v[0], i);
+    ASSERT_EQ(v[1], i + 1);
+  }
+  producer.join();
+}
+
+TEST(RankBarrier, PhasesStayInLockstepWhenOversubscribed) {
+  // Far more threads than this machine has cores: the barrier must still
+  // separate phases exactly — no thread may enter phase p+1 while another
+  // is still in phase p.
+  const int parties = 32;
+  const int phases = 25;
+  RankBarrier barrier(parties);
+  EXPECT_EQ(barrier.parties(), parties);
+  std::vector<std::atomic<int>> in_phase(static_cast<std::size_t>(phases));
+  std::atomic<bool> violation{false};
+  auto body = [&] {
+    for (int p = 0; p < phases; ++p) {
+      in_phase[static_cast<std::size_t>(p)].fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier every party must have checked into phase p.
+      if (in_phase[static_cast<std::size_t>(p)].load() != parties) {
+        violation.store(true);
+      }
+      barrier.arrive_and_wait();
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 1; t < parties; ++t) threads.emplace_back(body);
+  body();
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  for (const auto& c : in_phase) EXPECT_EQ(c.load(), parties);
+}
+
+TEST(RunRanks, ExecutesEveryRankOnceWithIdentity) {
+  for (RankMode m : {RankMode::Seq, RankMode::Threads}) {
+    const int n = 8;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    std::atomic<bool> id_ok{true};
+    run_ranks(
+        n,
+        [&](int r) {
+          hits[static_cast<std::size_t>(r)].fetch_add(1);
+          if (current_rank() != r || !in_rank_task()) id_ok.store(false);
+        },
+        m);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_TRUE(id_ok.load());
+  }
+  EXPECT_FALSE(in_rank_task());
+  EXPECT_EQ(current_rank(), -1);
+}
+
+TEST(RunRanks, NestedClusterDegradesToSequential) {
+  // A rank task spawning a second cluster must not deadlock or spawn
+  // threads: it degrades to an in-place sequential loop.
+  ScopedRankMode scoped(RankMode::Threads);
+  std::atomic<int> inner_total{0};
+  run_ranks(4, [&](int outer) {
+    run_ranks(3, [&](int inner) {
+      EXPECT_EQ(current_rank(), outer);  // nested ids do not clobber
+      inner_total.fetch_add(inner + 1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * (1 + 2 + 3));
+}
+
+TEST(RunRanks, PropagatesFirstException) {
+  EXPECT_THROW(run_ranks(0, [](int) {}), std::invalid_argument);
+  EXPECT_THROW(
+      run_ranks(
+          6, [](int r) { if (r == 3) throw std::runtime_error("rank 3"); },
+          RankMode::Threads),
+      std::runtime_error);
+  // The cluster must be reusable after an exceptional run.
+  std::atomic<int> hits{0};
+  run_ranks(6, [&](int) { hits.fetch_add(1); }, RankMode::Threads);
+  EXPECT_EQ(hits.load(), 6);
+}
+
+TEST(RankModeEnv, ParsesSeqThreadsAndDefault) {
+  const char* saved = std::getenv("LQCD_RANK_MODE");
+  const std::string saved_copy = saved ? saved : "";
+
+  ::setenv("LQCD_RANK_MODE", "seq", 1);
+  init_rank_mode_from_env();
+  EXPECT_EQ(rank_mode(), RankMode::Seq);
+
+  ::setenv("LQCD_RANK_MODE", "threads", 1);
+  init_rank_mode_from_env();
+  EXPECT_EQ(rank_mode(), RankMode::Threads);
+
+  ::unsetenv("LQCD_RANK_MODE");
+  init_rank_mode_from_env();
+  EXPECT_EQ(rank_mode(), RankMode::Threads);  // default is the executed path
+
+  if (saved) {
+    ::setenv("LQCD_RANK_MODE", saved_copy.c_str(), 1);
+  }
+  init_rank_mode_from_env();
+  EXPECT_STREQ(rank_mode_name(RankMode::Seq), "seq");
+  EXPECT_STREQ(rank_mode_name(RankMode::Threads), "threads");
+}
+
+using Grid = std::array<int, 4>;
+
+class ClusterExchangeTest : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(ClusterExchangeTest, ThreadsModeCompletesAndMatchesSeqBitwise) {
+  // Deadlock-freedom + equivalence: the channel transport must terminate
+  // on every grid (including ones with no partitioned dimension, where no
+  // message flows at all) and fill ghost zones bitwise identical to the
+  // sequential reference transport.
+  Partitioning part(LatticeGeometry({4, 4, 4, 8}), GetParam());
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  StaggeredField<double> global = gaussian_staggered_source(part.global(), 17);
+  std::vector<StaggeredField<double>> locals;
+  map.scatter(global, locals);
+
+  auto run = [&](RankMode m) {
+    ScopedRankMode scoped(m);
+    std::vector<GhostZones<ColorVector<double>>> ghosts(
+        static_cast<std::size_t>(part.num_ranks()),
+        GhostZones<ColorVector<double>>(nt));
+    exchange_ghosts<IdentityPacker<ColorVector<double>>>(part, nt, locals,
+                                                         ghosts, nullptr);
+    return ghosts;
+  };
+  const auto seq = run(RankMode::Seq);
+  const auto thr = run(RankMode::Threads);
+
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!part.partitioned(mu)) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        auto a = seq[static_cast<std::size_t>(r)].zone(mu, dir);
+        auto b = thr[static_cast<std::size_t>(r)].zone(mu, dir);
+        ASSERT_EQ(a.size(), b.size());
+        ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0)
+            << "rank " << r << " mu " << mu << " dir " << dir;
+      }
+    }
+  }
+}
+
+TEST_P(ClusterExchangeTest, SendRecvBytesMatchAnalyticFaceFormula) {
+  Partitioning part(LatticeGeometry({4, 4, 4, 8}), GetParam());
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  WilsonField<double> global = gaussian_wilson_source(part.global(), 23);
+  std::vector<WilsonField<double>> locals;
+  map.scatter(global, locals);
+  std::vector<GhostZones<HalfSpinor<double>>> ghosts(
+      static_cast<std::size_t>(part.num_ranks()),
+      GhostZones<HalfSpinor<double>>(nt));
+
+  // The split-phase exchange needs concurrent ranks (a sequential rank
+  // loop would block in wait_all on messages later ranks have not posted),
+  // so request the threaded runtime explicitly.
+  AsyncGhostExchange<WilsonProjectPacker<double>, WilsonSpinor<double>> ex(
+      part, nt, locals, ghosts);
+  run_ranks(
+      part.num_ranks(),
+      [&](int r) {
+        ex.post_sends(r);
+        ex.wait_all(r);
+      },
+      RankMode::Threads);
+
+  const ExchangeCounters sent = ex.total_sent();
+  std::uint64_t expect_total = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    std::uint64_t expect = 0;
+    if (part.partitioned(mu)) {
+      expect = 2ull * static_cast<std::uint64_t>(part.num_ranks()) *
+               static_cast<std::uint64_t>(nt.ghost_depth()) *
+               static_cast<std::uint64_t>(nt.face_volume(mu)) *
+               sizeof(HalfSpinor<double>);
+    }
+    EXPECT_EQ(sent.bytes_by_dim[static_cast<std::size_t>(mu)], expect)
+        << "mu=" << mu;
+    expect_total += expect;
+  }
+  // Every byte posted was received (two-sided completeness).
+  EXPECT_EQ(ex.total_received_bytes(), expect_total);
+  EXPECT_EQ(sent.total_bytes(), expect_total);
+
+  // Parity restriction halves the payload exactly (local extents even).
+  std::vector<GhostZones<HalfSpinor<double>>> ghosts_e(
+      static_cast<std::size_t>(part.num_ranks()),
+      GhostZones<HalfSpinor<double>>(nt));
+  AsyncGhostExchange<WilsonProjectPacker<double>, WilsonSpinor<double>> ex_e(
+      part, nt, locals, ghosts_e, Parity::Even);
+  run_ranks(
+      part.num_ranks(),
+      [&](int r) {
+        ex_e.post_sends(r);
+        ex_e.wait_all(r);
+      },
+      RankMode::Threads);
+  EXPECT_EQ(ex_e.total_sent().total_bytes(), expect_total / 2);
+  EXPECT_EQ(ex_e.total_received_bytes(), expect_total / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ClusterExchangeTest,
+                         ::testing::Values(Grid{1, 1, 1, 1}, Grid{1, 1, 1, 2},
+                                           Grid{1, 1, 2, 2}, Grid{2, 1, 1, 2},
+                                           Grid{2, 2, 2, 2}, Grid{1, 1, 1, 4}));
+
+TEST(GlobalCounters, ConcurrentAccumulationLosesNothing) {
+  // Satellite: the racy read-modify-write of the old plain-struct global
+  // is gone — many threads folding deltas concurrently must account for
+  // every single count.
+  const ExchangeCounters before = exchange_counters_snapshot();
+  const int threads = 16;
+  const int reps = 2000;
+  ExchangeCounters delta;
+  delta.bytes_by_dim = {1, 2, 3, 4};
+  delta.messages = 5;
+  delta.exchanges = 1;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < reps; ++i) global_exchange_counters() += delta;
+    });
+  }
+  for (auto& t : pool) t.join();
+  const ExchangeCounters after = exchange_counters_snapshot();
+  const std::uint64_t n = static_cast<std::uint64_t>(threads) * reps;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    EXPECT_EQ(after.bytes_by_dim[static_cast<std::size_t>(mu)] -
+                  before.bytes_by_dim[static_cast<std::size_t>(mu)],
+              n * delta.bytes_by_dim[static_cast<std::size_t>(mu)]);
+  }
+  EXPECT_EQ(after.messages - before.messages, n * 5);
+  EXPECT_EQ(after.exchanges - before.exchanges, n);
+}
+
+TEST(GlobalCounters, MeteredExchangesFromConcurrentThreadsAllCounted) {
+  // Real exchanges (not synthetic deltas) from several threads at once:
+  // the global meter must equal the sum of the per-call local meters.
+  Partitioning part(LatticeGeometry({4, 4, 4, 8}), {1, 1, 1, 2});
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  StaggeredField<double> global = gaussian_staggered_source(part.global(), 31);
+  std::vector<StaggeredField<double>> locals;
+  map.scatter(global, locals);
+
+  reset_exchange_counters();
+  const int threads = 8;
+  const int reps = 5;
+  std::vector<ExchangeCounters> local_totals(static_cast<std::size_t>(threads));
+  {
+    ScopedRankMode scoped(RankMode::Seq);  // keep each exchange single-thread
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        std::vector<GhostZones<ColorVector<double>>> ghosts(
+            static_cast<std::size_t>(part.num_ranks()),
+            GhostZones<ColorVector<double>>(nt));
+        for (int i = 0; i < reps; ++i) {
+          exchange_ghosts<IdentityPacker<ColorVector<double>>>(
+              part, nt, locals, ghosts,
+              &local_totals[static_cast<std::size_t>(t)]);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  ExchangeCounters sum;
+  for (const auto& c : local_totals) sum += c;
+  const ExchangeCounters global_after = exchange_counters_snapshot();
+  EXPECT_EQ(global_after.total_bytes(), sum.total_bytes());
+  EXPECT_EQ(global_after.messages, sum.messages);
+  EXPECT_EQ(global_after.exchanges, sum.exchanges);
+  EXPECT_EQ(global_after.exchanges,
+            static_cast<std::uint64_t>(threads) * reps);
+}
+
+}  // namespace
+}  // namespace lqcd
