@@ -18,7 +18,8 @@
 using namespace lqcd;
 using namespace lqcd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  lqcd::bench::BenchObs obs(argc, argv);
   // Measure iteration behaviour on a scaled lattice.
   const LatticeGeometry scaled({4, 4, 4, 32});
   const GaugeField<double> u = make_config(scaled, 5.9, 3, 3313);

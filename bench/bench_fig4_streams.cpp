@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
 #include "comm/virtual_cluster.h"
 #include "dirac/partitioned.h"
 #include "gauge/configure.h"
@@ -22,6 +23,7 @@
 
 int main(int argc, char** argv) {
   using namespace lqcd;
+  bench::BenchObs obs(argc, argv);
   const CliArgs args(argc, argv);
   const int gpus = static_cast<int>(args.get_int("gpus", 256));
 

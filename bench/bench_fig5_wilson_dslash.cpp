@@ -10,7 +10,8 @@
 #include "bench/common.h"
 #include "perfmodel/dslash_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lqcd::bench::BenchObs obs(argc, argv);
   using namespace lqcd;
   using namespace lqcd::bench;
 

@@ -87,6 +87,7 @@ std::vector<SweepPoint> run_sweep(int scaled_mr_steps,
 }  // namespace
 
 int main(int argc, char** argv) {
+  lqcd::bench::BenchObs obs(argc, argv);
   const CliArgs args(argc, argv);
 
   std::printf("== Fig. 7: sustained solver performance, Wilson-clover "

@@ -15,7 +15,8 @@
 using namespace lqcd;
 using namespace lqcd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  lqcd::bench::BenchObs obs(argc, argv);
   const LatticeGeometry scaled = wilson_measurement_lattice();
   const double mass = kWilsonMeasurementMass;
   const double tol = kWilsonMeasurementTol;

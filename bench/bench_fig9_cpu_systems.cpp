@@ -7,9 +7,11 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
 #include "perfmodel/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lqcd::bench::BenchObs obs(argc, argv);
   using namespace lqcd;
   const double sites = 32.0 * 32.0 * 32.0 * 256.0;
 

@@ -31,7 +31,8 @@
 using namespace lqcd;
 using namespace lqcd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  lqcd::bench::BenchObs obs(argc, argv);
   const LatticeGeometry g({8, 8, 8, 16});
   const GaugeField<double> u = make_config(g, 5.9, 3, 4242);
   const CloverField<double> clover = build_clover_field(u, 1.0);

@@ -11,6 +11,8 @@
 /// from the calibrated Edge performance model.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/gcr_dd.h"
 #include "core/mixed_bicgstab.h"
@@ -18,9 +20,50 @@
 #include "gauge/configure.h"
 #include "gauge/heatbath.h"
 #include "gauge/observables.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perfmodel/solver_model.h"
 
 namespace lqcd::bench {
+
+/// Observability bracket for the figure benches: construct at the top of
+/// main with (argc, argv).  Parses `--trace <file>` (enabling the src/obs
+/// tracer, same contract as `LQCD_TRACE=<file>`); at destruction prints the
+/// obs metrics report and, when a trace path was given, writes the Chrome
+/// trace-event JSON (view in chrome://tracing or https://ui.perfetto.dev —
+/// one track per virtual rank).
+class BenchObs {
+ public:
+  BenchObs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_file_ = argv[++i];
+      }
+    }
+    if (!trace_file_.empty()) {
+      set_trace_path(trace_file_);
+      set_trace_enabled(true);
+    }
+  }
+
+  ~BenchObs() {
+    print_metrics_report(stdout);
+    if (trace_file_.empty()) return;
+    if (write_trace(trace_file_)) {
+      std::printf("trace written to %s (%zu spans)\n", trace_file_.c_str(),
+                  trace_event_count());
+    } else {
+      std::printf("WARNING: failed to write trace to %s\n",
+                  trace_file_.c_str());
+    }
+  }
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+ private:
+  std::string trace_file_;
+};
 
 /// A thermalized quenched configuration (deterministic in the seed).
 inline GaugeField<double> make_config(const LatticeGeometry& g, double beta,

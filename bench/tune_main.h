@@ -7,10 +7,16 @@
 ///               lqcd_tunecache.tsv, overridable via LQCD_TUNE_CACHE); a
 ///               second run loads it and must report zero tuning sessions.
 ///   --no-tune   force default launch parameters (same as LQCD_TUNE=0).
+///   --trace <file>  collect obs spans (src/obs) and write a Chrome
+///               trace-event JSON to <file> at exit — open it in
+///               chrome://tracing or Perfetto to see one track per virtual
+///               rank with the post/interior/wait/exterior Fig. 4 phases.
+///               (`LQCD_TRACE=<file>` does the same for any binary.)
 ///
 /// After the benchmarks run it prints the tunecache scoreboard —
-/// hits/misses/bypasses, the tuned-vs-default time per kernel — and the
-/// ghost-exchange traffic metered by comm counters.
+/// hits/misses/bypasses, the tuned-vs-default time per kernel — the
+/// ghost-exchange traffic metered by comm counters, and the obs metrics
+/// report (obs/metrics.h).
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +26,8 @@
 #include <vector>
 
 #include "comm/counters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tune/tune_cache.h"
 
 namespace lqcd::bench {
@@ -27,15 +35,22 @@ namespace lqcd::bench {
 inline int tuned_bench_main(int argc, char** argv) {
   bool tune = false;
   bool no_tune = false;
+  std::string trace_file;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tune") == 0) {
       tune = true;
     } else if (std::strcmp(argv[i], "--no-tune") == 0) {
       no_tune = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_file = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (!trace_file.empty()) {
+    set_trace_path(trace_file);
+    set_trace_enabled(true);
   }
   if (no_tune) {
     set_tuning_enabled(false);
@@ -89,6 +104,17 @@ inline int tuned_bench_main(int argc, char** argv) {
     } else {
       std::printf("WARNING: failed to save tunecache to %s\n",
                   tune_cache_path().c_str());
+    }
+  }
+  print_metrics_report(stdout);
+  if (!trace_file.empty()) {
+    if (write_trace(trace_file)) {
+      std::printf("trace written to %s (%zu spans) — open in "
+                  "chrome://tracing or https://ui.perfetto.dev\n",
+                  trace_file.c_str(), trace_event_count());
+    } else {
+      std::printf("WARNING: failed to write trace to %s\n",
+                  trace_file.c_str());
     }
   }
   return 0;

@@ -3,6 +3,7 @@
 // headers against the common instantiations.
 #include "comm/domain_map.h"
 #include "comm/exchange.h"
+#include "obs/metrics.h"
 
 namespace lqcd {
 namespace {
@@ -36,5 +37,25 @@ ExchangeCounters exchange_counters_snapshot() {
 }
 
 void reset_exchange_counters() { global_exchange_counters().reset(); }
+
+void account_exchange(const ExchangeCounters& delta) {
+  global_exchange_counters() += delta;
+  // Metric references are registered once and cached: the exchange path is
+  // called per apply, and the registry lookup takes a mutex.
+  static_assert(kNDim == 4, "per-dimension metric keys assume 4 dimensions");
+  static Counter* bytes_by_dim[kNDim] = {
+      &metric_counter(metric_key("comm.exchange.bytes", {{"mu", "0"}})),
+      &metric_counter(metric_key("comm.exchange.bytes", {{"mu", "1"}})),
+      &metric_counter(metric_key("comm.exchange.bytes", {{"mu", "2"}})),
+      &metric_counter(metric_key("comm.exchange.bytes", {{"mu", "3"}}))};
+  static Counter& messages = metric_counter("comm.exchange.messages");
+  static Counter& exchanges = metric_counter("comm.exchange.count");
+  for (int mu = 0; mu < kNDim; ++mu) {
+    bytes_by_dim[static_cast<std::size_t>(mu)]->add(
+        delta.bytes_by_dim[static_cast<std::size_t>(mu)]);
+  }
+  messages.add(delta.messages);
+  exchanges.add(delta.exchanges);
+}
 
 }  // namespace lqcd

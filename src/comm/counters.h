@@ -102,4 +102,11 @@ ExchangeCounters exchange_counters_snapshot();
 /// Zeroes the global counters (per-operator counters are unaffected).
 void reset_exchange_counters();
 
+/// The single metering funnel every transport reports through: folds
+/// \p delta into the process-global counters above AND mirrors it into the
+/// obs metrics registry (`comm.exchange.bytes{mu=N}`,
+/// `comm.exchange.messages`, `comm.exchange.count` — see obs/metrics.h), so
+/// one snapshot API covers the exchange silo.  Defined in comm.cpp.
+void account_exchange(const ExchangeCounters& delta);
+
 }  // namespace lqcd

@@ -261,7 +261,7 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
     delta.exchanges = 1;
   }
   if (counters != nullptr) *counters += delta;
-  global_exchange_counters() += delta;
+  account_exchange(delta);
 }
 
 /// Exchanges gauge-link ghosts.  Only the backward zones are populated and
@@ -306,7 +306,7 @@ void exchange_gauge_ghosts(const Partitioning& part, const NeighborTable& nt,
   }
   delta.exchanges = 1;
   if (counters != nullptr) *counters += delta;
-  global_exchange_counters() += delta;
+  account_exchange(delta);
 }
 
 }  // namespace lqcd

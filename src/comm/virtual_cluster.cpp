@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/parallel_for.h"
 
 namespace lqcd {
@@ -32,19 +33,26 @@ int resolve_mode_from_env() {
 
 thread_local int t_current_rank = -1;
 
-/// RAII rank-task marker: tags the thread with its rank id and enters the
-/// parallel_for serial region so nested site loops stay on this thread.
+/// RAII rank-task marker: tags the thread with its rank id, enters the
+/// parallel_for serial region so nested site loops stay on this thread,
+/// and routes the thread's trace spans onto the rank's track — so seq and
+/// threads mode attribute spans identically (one track per virtual rank).
 class RankTaskScope {
  public:
   explicit RankTaskScope(int rank) : prev_(t_current_rank) {
     t_current_rank = rank;
+    prev_track_ = set_trace_track(rank);
   }
-  ~RankTaskScope() { t_current_rank = prev_; }
+  ~RankTaskScope() {
+    set_trace_track(prev_track_);
+    t_current_rank = prev_;
+  }
   RankTaskScope(const RankTaskScope&) = delete;
   RankTaskScope& operator=(const RankTaskScope&) = delete;
 
  private:
   int prev_;
+  int prev_track_;
   SerialRegionGuard serial_;
 };
 
@@ -95,6 +103,7 @@ void run_ranks(int num_ranks, const std::function<void(int)>& body,
   if (mode == RankMode::Seq || num_ranks == 1) {
     for (int r = 0; r < num_ranks; ++r) {
       RankTaskScope scope(r);
+      ScopedSpan span("rank.task");
       body(r);
     }
     return;
@@ -104,6 +113,7 @@ void run_ranks(int num_ranks, const std::function<void(int)>& body,
   std::exception_ptr first_error;
   auto guarded = [&](int r) {
     RankTaskScope scope(r);
+    ScopedSpan span("rank.task");
     try {
       body(r);
     } catch (...) {

@@ -36,6 +36,8 @@
 #include "fields/clover.h"
 #include "lattice/neighbor_table.h"
 #include "linalg/gamma.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tune/site_loop.h"
 #include "util/stopwatch.h"
 
@@ -80,12 +82,26 @@ struct OverlapSample {
 
 inline void accumulate(OverlapStats& stats,
                        const std::vector<OverlapSample>& samples) {
+  // Per-operator stats plus the process-global metrics mirror — the obs
+  // snapshot shows the same phase split one registry away (keys
+  // dslash.overlap.*, see obs/metrics.h).  Called after the rank join, so
+  // the tallies here need no synchronization of their own.
+  static Gauge& m_post = metric_gauge("dslash.overlap.post_s");
+  static Gauge& m_interior = metric_gauge("dslash.overlap.interior_s");
+  static Gauge& m_wait = metric_gauge("dslash.overlap.wait_s");
+  static Gauge& m_exterior = metric_gauge("dslash.overlap.exterior_s");
+  static Counter& m_samples = metric_counter("dslash.overlap.rank_samples");
   for (const auto& s : samples) {
     stats.post_s += s.post_s;
     stats.interior_s += s.interior_s;
     stats.wait_s += s.wait_s;
     stats.exterior_s += s.exterior_s;
     ++stats.rank_samples;
+    m_post.add(s.post_s);
+    m_interior.add(s.interior_s);
+    m_wait.add(s.wait_s);
+    m_exterior.add(s.exterior_s);
+    m_samples.add(1);
   }
 }
 }  // namespace detail
@@ -140,6 +156,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       run_overlapped(target, hop_only, source);
     } else {
       if (comms_) {
+        ScopedSpan span("dslash.exchange");
         exchange_ghosts<WilsonProjectPacker<Real>>(
             part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor, source);
       }
@@ -175,25 +192,38 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       run_ranks(nr, [&](int r) {
         auto& sample = samples[static_cast<std::size_t>(r)];
         Stopwatch sw;
-        ex.post_sends(r);
+        {
+          ScopedSpan span("dslash.post");
+          ex.post_sends(r);
+        }
         sample.post_s = sw.seconds();
-        interior_kernel(r, target, hop_only);
+        {
+          ScopedSpan span("dslash.interior");
+          interior_kernel(r, target, hop_only);
+        }
         sample.interior_s = sw.seconds() - sample.post_s;
-        ex.wait_all(r);
+        {
+          ScopedSpan span("dslash.wait");
+          ex.wait_all(r);
+        }
         sample.wait_s = sw.seconds() - sample.post_s - sample.interior_s;
-        for (int mu = 0; mu < kNDim; ++mu) {
-          if (!part_.partitioned(mu)) continue;
-          exterior_kernel(r, mu, target, hop_only);
+        {
+          ScopedSpan span("dslash.exterior");
+          for (int mu = 0; mu < kNDim; ++mu) {
+            if (!part_.partitioned(mu)) continue;
+            exterior_kernel(r, mu, target, hop_only);
+          }
         }
         sample.exterior_s =
             sw.seconds() - sample.post_s - sample.interior_s - sample.wait_s;
       });
       const ExchangeCounters delta = ex.total_sent();
       traffic_.spinor += delta;
-      global_exchange_counters() += delta;
+      account_exchange(delta);
     } else {
       run_ranks(nr, [&](int r) {
         Stopwatch sw;
+        ScopedSpan span("dslash.interior");
         interior_kernel(r, target, hop_only);
         samples[static_cast<std::size_t>(r)].interior_s = sw.seconds();
       });
@@ -382,6 +412,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
       run_overlapped();
     } else {
       if (comms_) {
+        ScopedSpan span("dslash.exchange");
         exchange_ghosts<IdentityPacker<ColorVector<Real>>>(
             part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor);
       }
@@ -415,24 +446,37 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
       run_ranks(nr, [&](int r) {
         auto& sample = samples[static_cast<std::size_t>(r)];
         Stopwatch sw;
-        ex.post_sends(r);
+        {
+          ScopedSpan span("dslash.post");
+          ex.post_sends(r);
+        }
         sample.post_s = sw.seconds();
-        interior_kernel(r);
+        {
+          ScopedSpan span("dslash.interior");
+          interior_kernel(r);
+        }
         sample.interior_s = sw.seconds() - sample.post_s;
-        ex.wait_all(r);
+        {
+          ScopedSpan span("dslash.wait");
+          ex.wait_all(r);
+        }
         sample.wait_s = sw.seconds() - sample.post_s - sample.interior_s;
-        for (int mu = 0; mu < kNDim; ++mu) {
-          if (part_.partitioned(mu)) exterior_kernel(r, mu);
+        {
+          ScopedSpan span("dslash.exterior");
+          for (int mu = 0; mu < kNDim; ++mu) {
+            if (part_.partitioned(mu)) exterior_kernel(r, mu);
+          }
         }
         sample.exterior_s =
             sw.seconds() - sample.post_s - sample.interior_s - sample.wait_s;
       });
       const ExchangeCounters delta = ex.total_sent();
       traffic_.spinor += delta;
-      global_exchange_counters() += delta;
+      account_exchange(delta);
     } else {
       run_ranks(nr, [&](int r) {
         Stopwatch sw;
+        ScopedSpan span("dslash.interior");
         interior_kernel(r);
         samples[static_cast<std::size_t>(r)].interior_s = sw.seconds();
       });

@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace lqcd {
+
+namespace {
+
+/// Registered metrics live behind unique_ptr so references handed out by
+/// metric_counter()/metric_gauge() survive map rehash/rebalance, and the
+/// registry itself is leaked so atexit reporters can still read it.
+struct MetricsRegistry {
+  std::mutex m;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+};
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+}  // namespace
+
+std::string metric_key(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k + "=" + v;
+  }
+  key += '}';
+  return key;
+}
+
+Counter& metric_counter(const std::string& key) {
+  MetricsRegistry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  if (r.gauges.count(key) != 0) {
+    throw std::logic_error("metric '" + key +
+                           "' is registered as a gauge, not a counter");
+  }
+  auto& slot = r.counters[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& metric_gauge(const std::string& key) {
+  MetricsRegistry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  if (r.counters.count(key) != 0) {
+    throw std::logic_error("metric '" + key +
+                           "' is registered as a counter, not a gauge");
+  }
+  auto& slot = r.gauges[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsRegistry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  MetricsSnapshot s;
+  for (const auto& [key, c] : r.counters) s.counters[key] = c->value();
+  for (const auto& [key, g] : r.gauges) s.gauges[key] = g->value();
+  return s;
+}
+
+void reset_metrics() {
+  MetricsRegistry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  for (const auto& [key, c] : r.counters) c->reset();
+  for (const auto& [key, g] : r.gauges) g->reset();
+}
+
+void print_metrics_report(std::FILE* out) {
+  const MetricsSnapshot s = metrics_snapshot();
+  std::fprintf(out, "\n== metrics ==\n");
+  bool any = false;
+  for (const auto& [key, v] : s.counters) {
+    if (v == 0) continue;
+    any = true;
+    std::fprintf(out, "%-40s %20llu\n", key.c_str(),
+                 static_cast<unsigned long long>(v));
+  }
+  for (const auto& [key, v] : s.gauges) {
+    if (v == 0.0) continue;
+    any = true;
+    std::fprintf(out, "%-40s %20.6f\n", key.c_str(), v);
+  }
+  if (!any) std::fprintf(out, "(no metrics recorded)\n");
+}
+
+}  // namespace lqcd

@@ -1,0 +1,100 @@
+#pragma once
+/// \file metrics.h
+/// \brief Process-global metrics registry: named counters (monotonic
+/// unsigned tallies) and gauges (accumulated doubles) with labeled keys,
+/// unifying the per-subsystem stats silos (ExchangeCounters, OverlapStats,
+/// SolverStats, TuneCacheStats) behind one snapshot/reset API.
+///
+/// Naming scheme (`subsystem.noun[.unit]{label=value,...}`):
+///  * `comm.exchange.bytes{mu=0}` — ghost payload bytes per dimension
+///  * `comm.exchange.messages`, `comm.exchange.count`
+///  * `dslash.overlap.post_s` / `.interior_s` / `.wait_s` / `.exterior_s`,
+///    `dslash.overlap.rank_samples` — the Fig. 4 phase times
+///  * `solver.gcr.iterations` / `.matvecs` / `.restarts` / `.solves`
+///  * `solver.schwarz.mr_steps` — preconditioner work
+///  * `tune.hits` / `tune.misses` / `tune.bypassed` / `tune.stale`
+///
+/// Concurrency: registration (first use of a key) takes a mutex;
+/// increments are relaxed atomics on stable storage, so concurrent virtual
+/// ranks meter losslessly — same discipline as GlobalExchangeCounters.
+/// References returned by metric_counter()/metric_gauge() stay valid for
+/// the process lifetime; hot paths should look a metric up once and keep
+/// the reference.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lqcd {
+
+/// Monotonic event tally.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Accumulated double (phase seconds, efficiency numerators...).  add() is
+/// a CAS loop — lossless under concurrent writers, like Counter.
+class Gauge {
+ public:
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void set(double d) { v_.store(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Serializes name + labels into the canonical key form
+/// `name{k1=v1,k2=v2}` (labels in the order given; empty -> bare name).
+std::string metric_key(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// The counter/gauge registered under \p key (created zero on first use).
+/// A key registered as a counter cannot be re-registered as a gauge (and
+/// vice versa): throws std::logic_error on a kind mismatch.
+Counter& metric_counter(const std::string& key);
+Gauge& metric_gauge(const std::string& key);
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+
+  std::uint64_t counter(const std::string& key) const {
+    auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+  }
+  double gauge(const std::string& key) const {
+    auto it = gauges.find(key);
+    return it == gauges.end() ? 0.0 : it->second;
+  }
+};
+
+MetricsSnapshot metrics_snapshot();
+
+/// Zeroes every registered metric (registrations persist).
+void reset_metrics();
+
+/// Prints a `== metrics ==` report of all non-zero metrics to \p out
+/// (benches call this at exit; zero-valued metrics are elided so the
+/// report only shows the subsystems the run actually exercised).
+void print_metrics_report(std::FILE* out);
+
+}  // namespace lqcd

@@ -1,0 +1,255 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lqcd {
+
+namespace {
+
+using trace_clock = std::chrono::steady_clock;
+
+/// Shared epoch so spans from every thread land on one timeline.
+trace_clock::time_point trace_epoch() {
+  static const trace_clock::time_point epoch = trace_clock::now();
+  return epoch;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(trace_clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+/// One thread's span storage.  Appended only by the owning thread; read by
+/// collection calls under the registry mutex after the owner went quiet.
+/// Held by shared_ptr so a buffer outlives its (possibly joined) thread.
+struct ThreadBuffer {
+  std::vector<SpanEvent> spans;
+  int fallback_track = 0;  ///< kFallbackTrackBase + registration slot
+  int depth = 0;           ///< live nesting depth (owner thread only)
+};
+
+struct Registry {
+  std::mutex m;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during atexit
+  return *r;
+}
+
+constexpr int kEnabledUnset = -1;
+std::atomic<int> g_enabled{kEnabledUnset};
+
+std::mutex g_path_mutex;
+std::string& path_storage() {
+  static std::string* p = new std::string;
+  return *p;
+}
+
+std::atomic<bool> g_atexit_registered{false};
+
+void atexit_writer() {
+  const std::string path = trace_path();
+  if (path.empty() || !trace_enabled()) return;
+  if (!write_trace(path)) {
+    std::fprintf(stderr, "[lqcd:warn] failed to write trace to %s\n",
+                 path.c_str());
+  }
+}
+
+void register_atexit_writer() {
+  if (!g_atexit_registered.exchange(true)) std::atexit(atexit_writer);
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local int t_track = -1;
+
+ThreadBuffer& local_buffer() {
+  if (!t_buffer) {
+    t_buffer = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::unique_lock<std::mutex> lock(r.m);
+    t_buffer->fallback_track =
+        kFallbackTrackBase + static_cast<int>(r.buffers.size());
+    r.buffers.push_back(t_buffer);
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  int e = g_enabled.load(std::memory_order_relaxed);
+  if (e == kEnabledUnset) {
+    init_trace_from_env();
+    e = g_enabled.load(std::memory_order_relaxed);
+  }
+  return e != 0;
+}
+
+void set_trace_enabled(bool enabled) {
+  trace_epoch();  // pin the epoch no later than the first enable
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void init_trace_from_env() {
+  const char* env = std::getenv("LQCD_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    set_trace_path(env);
+    register_atexit_writer();
+    set_trace_enabled(true);
+  } else {
+    set_trace_enabled(false);
+  }
+}
+
+std::string trace_path() {
+  std::unique_lock<std::mutex> lock(g_path_mutex);
+  return path_storage();
+}
+
+void set_trace_path(const std::string& path) {
+  std::unique_lock<std::mutex> lock(g_path_mutex);
+  path_storage() = path;
+}
+
+int set_trace_track(int track) {
+  const int prev = t_track;
+  t_track = track;
+  return prev;
+}
+
+int trace_track() { return t_track; }
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!trace_enabled()) {
+    name_ = nullptr;
+    return;
+  }
+  name_ = name;
+  depth_ = local_buffer().depth++;
+  begin_us_ = now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const double end = now_us();
+  ThreadBuffer& buf = local_buffer();
+  --buf.depth;
+  buf.spans.push_back(SpanEvent{
+      name_, begin_us_, end - begin_us_,
+      t_track >= 0 ? t_track : buf.fallback_track, depth_});
+}
+
+std::vector<SpanEvent> trace_events() {
+  Registry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  std::vector<SpanEvent> all;
+  for (const auto& buf : r.buffers) {
+    all.insert(all.end(), buf->spans.begin(), buf->spans.end());
+  }
+  return all;
+}
+
+std::size_t trace_event_count() {
+  Registry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  std::size_t n = 0;
+  for (const auto& buf : r.buffers) n += buf->spans.size();
+  return n;
+}
+
+void reset_trace() {
+  Registry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  for (const auto& buf : r.buffers) buf->spans.clear();
+}
+
+namespace {
+
+/// Escapes a string for a JSON string literal (span names are literals and
+/// normally clean, but the writer must never emit invalid JSON).
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof hex, "\\u%04x", c);
+      out += hex;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char num[40];
+  std::snprintf(num, sizeof num, "%.3f", v);
+  out += num;
+}
+
+}  // namespace
+
+std::string trace_json() {
+  const std::vector<SpanEvent> events = trace_events();
+
+  // Collect the tracks present so each gets a thread_name metadata record.
+  std::vector<int> tracks;
+  for (const SpanEvent& e : events) {
+    bool seen = false;
+    for (int t : tracks) seen = seen || t == e.track;
+    if (!seen) tracks.push_back(e.track);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (int t : tracks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (t >= kFallbackTrackBase) {
+      out += "thread " + std::to_string(t - kFallbackTrackBase);
+    } else {
+      out += "rank " + std::to_string(t);
+    }
+    out += "\"}}";
+  }
+  for (const SpanEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(e.track) +
+           ",\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"lqcd\",\"ts\":";
+    append_double(out, e.begin_us);
+    out += ",\"dur\":";
+    append_double(out, e.dur_us);
+    out += ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = trace_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written == json.size()) return false;
+  return ok;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,112 @@
+#pragma once
+/// \file trace.h
+/// \brief Low-overhead scoped-span tracer exporting Chrome trace-event JSON
+/// (open the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// The tracer exists to make the paper's Fig. 4 schedule *visible*: every
+/// virtual rank is one track, and the post / interior / wait / exterior
+/// spans of a partitioned dslash apply render as the overlapped timeline
+/// the strong-scaling analysis reasons about.
+///
+/// Environment contract:
+///  * `LQCD_TRACE=<path>` — tracing enabled for the whole process; the
+///    collected spans are written to `<path>` at normal process exit
+///    (std::atexit).  Any binary linking lqcd_obs honors it — benches,
+///    tests, examples — no per-binary wiring needed.
+///  * unset — tracing disabled: a ScopedSpan costs one relaxed atomic load
+///    and no memory traffic (regression-tested in tests/test_obs.cpp).
+///
+/// Design (compiled-in, branch-cheap):
+///  * spans are recorded into *per-thread* buffers owned exclusively by the
+///    recording thread — the hot path takes no lock and touches no shared
+///    cache line; a mutex guards only first-use thread registration;
+///  * span names must be string literals (static storage duration): the
+///    record stores the pointer, never copies;
+///  * track attribution: inside a virtual-rank task (run_ranks) the span
+///    lands on track `rank` — the RankTaskScope publishes the rank id via
+///    set_trace_track() — so seq and threads mode label identically;
+///    threads outside any rank task get per-thread fallback tracks;
+///  * collection points (write_trace / trace_events / reset_trace) require
+///    quiescence: call them only when no thread is actively recording (in
+///    practice: after run_ranks joined, which every caller satisfies).
+///
+/// Tracing never perturbs numerics: spans only read the clock, so results
+/// are bitwise identical with tracing on or off (asserted in test_obs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lqcd {
+
+/// One completed span ("X" event in the trace-event format).
+struct SpanEvent {
+  const char* name;  ///< static-storage string (literal)
+  double begin_us;   ///< microseconds since the process trace epoch
+  double dur_us;     ///< span duration in microseconds
+  int track;         ///< virtual rank id, or kFallbackTrackBase + thread slot
+  int depth;         ///< nesting depth on the recording thread (0 = outermost)
+};
+
+/// Tracks >= this value are per-thread fallbacks (no rank task active).
+inline constexpr int kFallbackTrackBase = 1000;
+
+/// True when spans are being collected.  One relaxed atomic load.
+bool trace_enabled();
+
+/// Programmatic enable/disable (tests, bench --trace).  Enabling does not
+/// clear previously collected spans; pair with reset_trace() for a fresh
+/// collection.
+void set_trace_enabled(bool enabled);
+
+/// Re-reads LQCD_TRACE (path + enable + atexit writer); discards any
+/// programmatic override.  Called lazily on first trace_enabled() query.
+void init_trace_from_env();
+
+/// Path the atexit writer will use ("" = none registered).
+std::string trace_path();
+void set_trace_path(const std::string& path);
+
+/// Publishes the virtual-rank track id for spans recorded by the calling
+/// thread (-1 = no rank: fall back to the per-thread track).  Returns the
+/// previous value so scopes can nest/restore.
+int set_trace_track(int track);
+int trace_track();
+
+/// RAII span: records [construction, destruction) into the calling
+/// thread's buffer when tracing is enabled.  \p name must be a string
+/// literal (the pointer is stored).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;   // nullptr <=> tracing was disabled at entry
+  double begin_us_ = 0;
+  int depth_ = 0;
+};
+
+/// All spans collected so far, in per-thread registration order (span order
+/// within a thread is chronological).  Requires quiescence (see file
+/// comment).
+std::vector<SpanEvent> trace_events();
+
+/// Number of spans collected so far (quiescence required).
+std::size_t trace_event_count();
+
+/// Drops all collected spans (buffers stay registered; quiescence
+/// required).
+void reset_trace();
+
+/// Serializes the collected spans as Chrome trace-event JSON: one complete
+/// ("X") event per span on pid 0, tid = track, plus thread_name metadata
+/// ("rank N" / "thread N") so Perfetto labels the tracks.
+std::string trace_json();
+
+/// Writes trace_json() to \p path.  Returns false on I/O failure.
+bool write_trace(const std::string& path);
+
+}  // namespace lqcd

@@ -14,6 +14,8 @@
 #include <functional>
 
 #include "dirac/operator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solvers/mr.h"
 
 namespace lqcd {
@@ -30,18 +32,27 @@ class SchwarzPreconditioner : public LinearOperator<Field> {
         low_store_(std::move(low_store)) {}
 
   void apply(Field& out, const Field& in) const override {
+    ScopedSpan span("schwarz.apply");
     set_zero(out);
     Field rhs(op_->geometry());
     copy(rhs, in);
     if (low_store_) low_store_(rhs);
     const SolverStats s = mr_solve(*op_, out, rhs, mr_, mask_, low_store_);
     inner_steps_ += s.iterations;
+    metric_counter("solver.schwarz.mr_steps")
+        .add(static_cast<std::uint64_t>(s.iterations));
   }
 
   const LatticeGeometry& geometry() const override { return op_->geometry(); }
 
-  /// Total MR steps spent inside the preconditioner so far.
+  /// Total MR steps spent inside the preconditioner since construction or
+  /// the last reset_inner_steps().  Cumulative across applies: callers
+  /// reporting per-solve work (GcrDdWilsonSolver) must difference or reset
+  /// around each solve — see the regression in tests/test_gcr_dd.cpp.
   int inner_steps() const { return inner_steps_; }
+
+  /// Zeroes the MR-step tally (start of a metered region).
+  void reset_inner_steps() const { inner_steps_ = 0; }
 
  private:
   const LinearOperator<Field>* op_;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/parallel_for.h"
 #include "util/stopwatch.h"
@@ -52,6 +54,7 @@ TuneResult tune_launch(Tunable& t, const TuneOptions& opts) {
 
   if (!tuning_enabled()) {
     cache.note_bypass();
+    metric_counter("tune.bypassed").add();
     t.apply_candidate(0);
     TuneResult res;
     res.param = t.candidate_param(0);
@@ -60,10 +63,14 @@ TuneResult tune_launch(Tunable& t, const TuneOptions& opts) {
 
   const TuneKey key = make_key(t);
   if (auto cached = cache.lookup(key)) {
-    if (t.apply_param(cached->param)) return *cached;
+    if (t.apply_param(cached->param)) {
+      metric_counter("tune.hits").add();
+      return *cached;
+    }
     // Stale row (candidate set changed since it was written): drop and
     // fall through to a fresh tuning session.
     cache.invalidate(key);
+    metric_counter("tune.stale").add();
   }
 
   std::function<double()> now = opts.clock;
@@ -72,6 +79,8 @@ TuneResult tune_launch(Tunable& t, const TuneOptions& opts) {
     now = [sw] { return sw->seconds(); };
   }
 
+  ScopedSpan span("tune.session");
+  metric_counter("tune.misses").add();
   t.pre_tune();
   int best_c = 0;
   double best_s = std::numeric_limits<double>::infinity();

@@ -15,6 +15,23 @@ std::atomic<int> g_workers{0};  // 0 = not yet resolved
 
 thread_local bool t_serial_region = false;
 
+/// True while this thread is executing chunks of a pool job (the run()
+/// caller and the pool workers alike).  A parallel_for issued from inside
+/// a job body must run inline: the pool holds one job at a time and the
+/// caller already holds the run mutex, so re-entering would deadlock.
+thread_local bool t_in_pool_job = false;
+
+class PoolJobGuard {
+ public:
+  PoolJobGuard() : prev_(t_in_pool_job) { t_in_pool_job = true; }
+  ~PoolJobGuard() { t_in_pool_job = prev_; }
+  PoolJobGuard(const PoolJobGuard&) = delete;
+  PoolJobGuard& operator=(const PoolJobGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 int resolve_default_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -71,6 +88,7 @@ class Pool {
   /// the job fields are stable for the duration (run() guarantees this via
   /// the active_ barrier).
   void drain() {
+    PoolJobGuard in_job;
     const auto* fn = job_fn_;
     const std::int64_t n = job_n_;
     const int chunks = job_chunks_;
@@ -127,11 +145,19 @@ class Pool {
   int done_chunks_ = 0;  // guarded by m_
 };
 
-std::mutex g_pool_mutex;
+/// Serializes top-level pool jobs AND pool rebuilds.  The Pool has a
+/// single job slot (job_fn_/job_n_/job_chunks_), so two concurrent
+/// top-level parallel_for calls from different non-pool threads must take
+/// turns; and because pool() runs only under this same mutex, a
+/// set_worker_count() from another thread can never destroy-and-rebuild
+/// the Pool out from under an in-flight run() — the rebuild happens at the
+/// next job, after the current one fully drained (races regression-tested
+/// under TSan in tests/test_parallel.cpp).
+std::mutex g_run_mutex;
 std::unique_ptr<Pool> g_pool;
 
+/// Caller must hold g_run_mutex.
 Pool& pool() {
-  std::unique_lock<std::mutex> lock(g_pool_mutex);
   const int want = worker_count();
   if (!g_pool || g_pool->workers() != want) {
     g_pool.reset();  // join old workers before spawning new ones
@@ -177,8 +203,9 @@ int chunk_count_for(std::int64_t n) {
 void run_chunked(std::int64_t n, int chunks,
                  const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
   if (n <= 0) return;
-  if (t_serial_region || worker_count() == 1 || chunks == 1) {
+  if (t_serial_region || t_in_pool_job || worker_count() == 1 || chunks == 1) {
     // Serial fast path: identical chunk decomposition, no pool traffic.
+    // Nested calls (t_in_pool_job) must take it — see PoolJobGuard.
     const std::int64_t per = (n + chunks - 1) / chunks;
     for (int c = 0; c < chunks; ++c) {
       const std::int64_t b = static_cast<std::int64_t>(c) * per;
@@ -187,6 +214,7 @@ void run_chunked(std::int64_t n, int chunks,
     }
     return;
   }
+  std::unique_lock<std::mutex> lock(g_run_mutex);
   pool().run(chunks, fn, n);
 }
 

@@ -39,9 +39,11 @@ bool serial_region_active();
 
 /// RAII marker making the current thread a serial region.  The virtual
 /// cluster wraps each rank task in one: ranks are themselves the unit of
-/// parallelism (like MPI ranks), and the worker pool accepts only one job
-/// at a time, so concurrent rank tasks must not fan out to it.  Results
-/// are unchanged — the chunk decomposition is iteration-order identical.
+/// parallelism (like MPI ranks), so rank tasks must not fan out to the
+/// shared worker pool (top-level jobs from other threads are serialized by
+/// a run mutex, but a rank task queuing behind them would destroy the
+/// overlap schedule).  Results are unchanged — the chunk decomposition is
+/// iteration-order identical.
 class SerialRegionGuard {
  public:
   SerialRegionGuard();

@@ -175,6 +175,33 @@ TEST(GcrDd, CountsPreconditionerWork) {
   EXPECT_GE(stats.inner_iterations, 6 * stats.iterations);
 }
 
+TEST(GcrDd, ReusedSolverReportsPerSolveInnerIterations) {
+  // Regression: the Schwarz preconditioner's MR-step tally is cumulative
+  // across applies, and solve() used to report it verbatim — so a reused
+  // solver's second solve claimed roughly double the preconditioner work.
+  // Identical back-to-back solves must report identical per-solve counts.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 137);
+  const WilsonField<double> b = gaussian_wilson_source(g, 138);
+  GcrDdParams p;
+  p.mass = 0.1;
+  p.tol = 1e-4;
+  p.block_grid = {1, 1, 1, 2};
+  p.mr.steps = 6;
+  GcrDdWilsonSolver solver(u, nullptr, p);
+
+  WilsonField<double> x1(g), x2(g);
+  const SolverStats first = solver.solve(x1, b);
+  const SolverStats second = solver.solve(x2, b);
+  EXPECT_TRUE(first.converged);
+  EXPECT_TRUE(second.converged);
+  ASSERT_GT(first.inner_iterations, 0);
+  // Same system, same zero initial guess: the trajectories are identical,
+  // so so must be the reported preconditioner work.
+  EXPECT_EQ(second.iterations, first.iterations);
+  EXPECT_EQ(second.inner_iterations, first.inner_iterations);
+}
+
 TEST(GcrDd, PartitionedOuterOperatorConverges) {
   // rank_grid routes the outer Schur operator through the virtual-cluster
   // partitioned dslash; the solve must still converge to the same target.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "dirac/wilson_kernel.h"
@@ -93,6 +94,79 @@ TEST_F(ParallelTest, RepeatedJobsOnSamePool) {
     const double expect = 257.0 * round + 256.0 * 257.0 / 2.0;
     ASSERT_EQ(v, expect);
   }
+}
+
+TEST_F(ParallelTest, ConcurrentTopLevelJobsCoverEveryIndex) {
+  // Regression (TSan-covered, see the tsan preset): the pool has a single
+  // job slot, so two top-level parallel_for calls from different non-pool
+  // threads used to publish into it unserialized — torn job state, lost or
+  // double-run chunks.  With the run mutex each caller's job must cover
+  // its own index set exactly once.
+  set_worker_count(4);
+  constexpr int kCallers = 4;
+  constexpr int kN = 2000;
+  constexpr int kRounds = 20;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&hits, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        parallel_for(kN, [&hits, t](std::int64_t i) {
+          hits[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]
+              .fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int t = 0; t < kCallers; ++t) {
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]
+                    .load(),
+                kRounds)
+          << "caller " << t << " index " << i;
+    }
+  }
+}
+
+TEST_F(ParallelTest, WorkerCountChurnDuringJobsIsSafe) {
+  // Regression (TSan-covered): pool() used to rebuild the Pool whenever the
+  // requested worker count changed, even while another thread's run() was
+  // in flight — destroying the pool under a live job.  Rebuilds now happen
+  // only between jobs, under the same run mutex.
+  set_worker_count(3);
+  std::atomic<bool> stop{false};
+  std::thread churn([&stop] {
+    int w = 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      set_worker_count(w);
+      w = (w % 5) + 2;  // cycle 2..6
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    const double v = parallel_reduce<double>(
+        513, [](std::int64_t i) { return static_cast<double>(i); });
+    ASSERT_EQ(v, 512.0 * 513.0 / 2.0);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  churn.join();
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A parallel_for issued from inside a pool job must take the serial path
+  // (the caller holds the run mutex): nested fan-out would self-deadlock.
+  set_worker_count(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(64, [&total](std::int64_t) {
+    std::int64_t local = 0;
+    parallel_for(100, [&local](std::int64_t i) { local += i; });
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 64 * (99 * 100 / 2));
 }
 
 TEST_F(ParallelTest, WorkerCountClamped) {

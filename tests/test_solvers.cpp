@@ -102,6 +102,27 @@ TEST(Solvers, GcrDeltaTriggersEarlyRestart) {
   EXPECT_GT(stats.restarts, 1);
 }
 
+TEST(Solvers, GcrConvergedCycleSkipsRedundantRestart) {
+  // Regression: a cycle that ends because the iterated residual met the
+  // target used to run a full restart anyway — one duplicated matvec on a
+  // residual the epilogue recomputes, and a phantom entry in
+  // stats.restarts.  With a basis large enough for a single cycle and the
+  // delta test off, the exact accounting is pinned down: one initial
+  // residual matvec, one per iteration, one final check — and no restarts.
+  WilsonSystem sys;
+  WilsonField<double> x(sys.g);
+  set_zero(x);
+  GcrParams p;
+  p.tol = 1e-9;
+  p.kmax = 1000;  // never fills within max_iter
+  p.delta = 0.0;  // no early restart
+  const SolverStats stats = gcr_solve(sys.m, x, sys.b, nullptr, p);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.restarts, 0);
+  EXPECT_EQ(stats.matvecs, stats.iterations + 2);
+  EXPECT_LT(sys.residual(x), 1e-8);
+}
+
 TEST(Solvers, GcrWithInitialGuess) {
   WilsonSystem sys;
   // Start from a partially converged solution.
