@@ -12,6 +12,11 @@
 ///               chrome://tracing or Perfetto to see one track per virtual
 ///               rank with the post/interior/wait/exterior Fig. 4 phases.
 ///               (`LQCD_TRACE=<file>` does the same for any binary.)
+///   --faults <spec>  install a fault-injection plan (fault/fault.h spec
+///               grammar, e.g. "seed=3,drop=0.05,flip=0.02") so the bench
+///               exercises the envelope/retry path; the metrics report
+///               shows fault.injected{kind=...} and comm.retries.
+///               (`LQCD_FAULTS=<spec>` does the same for any binary.)
 ///
 /// After the benchmarks run it prints the tunecache scoreboard —
 /// hits/misses/bypasses, the tuned-vs-default time per kernel — the
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "comm/counters.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tune/tune_cache.h"
@@ -36,6 +42,7 @@ inline int tuned_bench_main(int argc, char** argv) {
   bool tune = false;
   bool no_tune = false;
   std::string trace_file;
+  std::string faults_spec;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tune") == 0) {
@@ -44,6 +51,8 @@ inline int tuned_bench_main(int argc, char** argv) {
       no_tune = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults_spec = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -51,6 +60,9 @@ inline int tuned_bench_main(int argc, char** argv) {
   if (!trace_file.empty()) {
     set_trace_path(trace_file);
     set_trace_enabled(true);
+  }
+  if (!faults_spec.empty()) {
+    set_fault_plan(parse_fault_spec(faults_spec));  // throws on a bad spec
   }
   if (no_tune) {
     set_tuning_enabled(false);

@@ -13,17 +13,40 @@
 /// Blocking uses mutex + condition variable rather than spinning so an
 /// oversubscribed rank grid (more ranks than cores — the normal case for
 /// the virtual cluster) makes progress and stays ThreadSanitizer-clean.
+///
+/// Failure semantics: no blocking wait can hang forever.
+///  * close() marks the channel down; pending messages still drain, then
+///    operations surface CommError(Closed) (recv_for reports
+///    ChanStatus::Closed).  The destructor closes, so tearing down a mesh
+///    wakes any straggler.
+///  * recv_for()/send_for() bound the wait with a deadline and report
+///    ChanStatus::Timeout instead of blocking on an absent peer.
+///  * Every blocking wait registers with the enclosing run_ranks cluster
+///    (CvClusterWaiter); when a peer rank task throws, the wait wakes and
+///    surfaces CommError(Aborted) so the cluster joins instead of
+///    deadlocking on the dead rank.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "comm/error.h"
+#include "comm/virtual_cluster.h"
 #include "lattice/geometry.h"
 
 namespace lqcd {
+
+/// Outcome of a deadline-bounded channel operation.
+enum class ChanStatus {
+  Ok,       ///< value transferred
+  Timeout,  ///< deadline expired
+  Closed,   ///< channel closed (and, for recv, drained)
+};
 
 /// Bounded FIFO channel carrying values of type T.
 template <typename T>
@@ -35,19 +58,74 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  /// Close-on-destruction: any waiter still parked here wakes with a
+  /// closed-channel status instead of blocking on a dead endpoint.
+  ~Channel() { close(); }
+
+  /// Marks the channel down and wakes all waiters.  Pending messages remain
+  /// receivable (drain-then-fail); further sends throw CommError(Closed).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return closed_;
+  }
+
   /// Blocking send: waits while the channel is full (backpressure).
+  /// Throws CommError on a closed channel or an aborted cluster.
   void send(T v) {
-    std::unique_lock<std::mutex> lock(m_);
-    not_full_.wait(lock, [this] { return q_.size() < cap_; });
-    q_.push_back(std::move(v));
-    lock.unlock();
-    not_empty_.notify_one();
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        throw_if_down();
+        if (q_.size() < cap_) {
+          q_.push_back(std::move(v));
+          lock.unlock();
+          not_empty_.notify_one();
+          return;
+        }
+      }
+      park_until(not_full_, [this] { return q_.size() < cap_; });
+    }
+  }
+
+  /// Deadline-bounded send; reports Timeout instead of blocking forever.
+  /// On Ok the value is consumed; otherwise it is left in \p v.
+  ChanStatus send_for(T& v, std::chrono::microseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        if (closed_) return ChanStatus::Closed;
+        throw_if_aborted();
+        if (q_.size() < cap_) {
+          q_.push_back(std::move(v));
+          lock.unlock();
+          not_empty_.notify_one();
+          return ChanStatus::Ok;
+        }
+      }
+      if (!park_until_deadline(not_full_, deadline,
+                               [this] { return q_.size() < cap_; })) {
+        return ChanStatus::Timeout;
+      }
+    }
   }
 
   /// Non-blocking send; returns false (without taking \p v) when full.
+  /// Throws CommError(Closed) on a closed channel.
   bool try_send(T& v) {
     {
       std::unique_lock<std::mutex> lock(m_);
+      throw_if_down();
       if (q_.size() >= cap_) return false;
       q_.push_back(std::move(v));
     }
@@ -55,18 +133,44 @@ class Channel {
     return true;
   }
 
-  /// Blocking receive: waits while the channel is empty.
+  /// Blocking receive: waits while the channel is empty.  Throws CommError
+  /// once a closed channel has drained, or when the cluster aborts.
   T recv() {
-    std::unique_lock<std::mutex> lock(m_);
-    not_empty_.wait(lock, [this] { return !q_.empty(); });
-    T v = std::move(q_.front());
-    q_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return v;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        if (!q_.empty()) return pop_locked(lock);
+        throw_if_down();
+      }
+      park_until(not_empty_, [this] { return !q_.empty(); });
+    }
   }
 
-  /// Non-blocking receive.
+  /// Deadline-bounded receive: Ok delivers into \p out; Timeout means the
+  /// sender never showed up within the deadline; Closed means the channel
+  /// is down and drained.  Throws CommError(Aborted) when the cluster
+  /// aborts.
+  ChanStatus recv_for(T& out, std::chrono::microseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        if (!q_.empty()) {
+          out = pop_locked(lock);
+          return ChanStatus::Ok;
+        }
+        if (closed_) return ChanStatus::Closed;
+        throw_if_aborted();
+      }
+      if (!park_until_deadline(not_empty_, deadline,
+                               [this] { return !q_.empty(); })) {
+        return ChanStatus::Timeout;
+      }
+    }
+  }
+
+  /// Non-blocking receive; empty optional when nothing is queued (whether
+  /// the channel is open or closed).
   std::optional<T> try_recv() {
     std::optional<T> v;
     {
@@ -87,11 +191,60 @@ class Channel {
   std::size_t capacity() const { return cap_; }
 
  private:
+  // Pops the head with the lock held, then releases and notifies.
+  T pop_locked(std::unique_lock<std::mutex>& lock) {
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  void throw_if_down() const {
+    if (closed_) {
+      throw CommError(CommErrc::Closed, "operation on closed channel");
+    }
+    throw_if_aborted();
+  }
+
+  static void throw_if_aborted() {
+    if (cluster_abort_requested()) {
+      throw CommError(CommErrc::Aborted,
+                      "channel wait aborted: a peer rank task failed");
+    }
+  }
+
+  /// Parks on \p cv until \p ready, the channel closes, or the cluster
+  /// aborts.  The waiter registers with the cluster BEFORE taking m_ (see
+  /// the lock-order note in virtual_cluster.h); the caller's outer loop
+  /// re-evaluates state under m_ after every wakeup.
+  template <typename Pred>
+  void park_until(std::condition_variable& cv, Pred ready) {
+    CvClusterWaiter waiter(m_, cv);
+    std::unique_lock<std::mutex> lock(m_);
+    cv.wait(lock, [&] {
+      return ready() || closed_ || cluster_abort_requested();
+    });
+  }
+
+  /// Deadline variant; false = deadline expired.
+  template <typename Pred>
+  bool park_until_deadline(std::condition_variable& cv,
+                           std::chrono::steady_clock::time_point deadline,
+                           Pred ready) {
+    CvClusterWaiter waiter(m_, cv);
+    std::unique_lock<std::mutex> lock(m_);
+    return cv.wait_until(lock, deadline, [&] {
+      return ready() || closed_ || cluster_abort_requested();
+    });
+  }
+
   mutable std::mutex m_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> q_;
   std::size_t cap_;
+  bool closed_ = false;  // guarded by m_
 };
 
 /// One ghost-face message: a dense depth*face_volume payload plus the
@@ -99,11 +252,24 @@ class Channel {
 /// parity-restricted exchanges, where the skipped entries are value-
 /// initialized and never read by the stencil).  packed_sites is what the
 /// byte meters price — it matches the analytic face formulas.
+///
+/// seq/checksum form the reliability envelope, populated only when fault
+/// injection is active: seq tags the unique data message of an exchange
+/// (kFaceDataSeq) so duplicated or reordered deliveries can be discarded,
+/// and checksum is FNV-1a over the payload bytes so bit-flips are detected
+/// before the payload is scattered into a ghost zone.
 template <typename GhostSite>
 struct FaceMessage {
   std::vector<GhostSite> payload;
   std::uint64_t packed_sites = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
 };
+
+/// Envelope seq of the (unique) data message of an exchange.
+inline constexpr std::uint64_t kFaceDataSeq = 1;
+/// Envelope seq of an injected stale (reordered) message.
+inline constexpr std::uint64_t kFaceStaleSeq = 0;
 
 /// The full mesh of SPSC channels for one rank grid: one channel per
 /// (destination rank, dimension, direction).  dir follows the ghost-zone
@@ -135,7 +301,9 @@ class ChannelMesh {
 /// Reusable generation-counted barrier over the virtual ranks.  Safe under
 /// oversubscription: waiters sleep on the condition variable, and the
 /// generation counter prevents a fast thread from racing through two
-/// phases while a slow one is still waking up.
+/// phases while a slow one is still waking up.  Abort-aware: when a peer
+/// rank task throws, parked waiters surface CommError(Aborted) (leaving
+/// the barrier broken — the cluster is being torn down anyway).
 class RankBarrier {
  public:
   explicit RankBarrier(int parties) : parties_(parties < 1 ? 1 : parties) {}
@@ -144,6 +312,7 @@ class RankBarrier {
   RankBarrier& operator=(const RankBarrier&) = delete;
 
   void arrive_and_wait() {
+    CvClusterWaiter waiter(m_, cv_);  // registered before locking m_
     std::unique_lock<std::mutex> lock(m_);
     const std::uint64_t gen = generation_;
     if (++waiting_ == parties_) {
@@ -153,7 +322,12 @@ class RankBarrier {
       cv_.notify_all();
       return;
     }
-    cv_.wait(lock, [&] { return generation_ != gen; });
+    cv_.wait(lock,
+             [&] { return generation_ != gen || cluster_abort_requested(); });
+    if (generation_ == gen) {
+      throw CommError(CommErrc::Aborted,
+                      "barrier wait aborted: a peer rank task failed");
+    }
   }
 
   int parties() const { return parties_; }

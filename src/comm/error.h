@@ -1,0 +1,53 @@
+#pragma once
+/// \file error.h
+/// \brief Typed communication errors for the virtual cluster.
+///
+/// The channel/exchange layer never hangs on a fault: a lost, corrupted or
+/// undeliverable message surfaces as a CommError carrying a machine-readable
+/// code, so callers (tests, solvers, the chaos harness) can distinguish
+/// "the fabric timed out" from "a peer rank died" without string matching.
+
+#include <stdexcept>
+#include <string>
+
+namespace lqcd {
+
+/// What went wrong on the (virtual) fabric.
+enum class CommErrc {
+  Timeout,           ///< recv/send deadline expired and retries were exhausted
+  Closed,            ///< operation on a closed channel
+  Aborted,           ///< a peer rank task failed; the cluster was torn down
+  Corrupt,           ///< payload failed checksum verification
+  RetriesExhausted,  ///< repaired-message retry budget spent without success
+};
+
+inline const char* comm_errc_name(CommErrc c) {
+  switch (c) {
+    case CommErrc::Timeout:
+      return "timeout";
+    case CommErrc::Closed:
+      return "closed";
+    case CommErrc::Aborted:
+      return "aborted";
+    case CommErrc::Corrupt:
+      return "corrupt";
+    case CommErrc::RetriesExhausted:
+      return "retries-exhausted";
+  }
+  return "unknown";
+}
+
+class CommError : public std::runtime_error {
+ public:
+  CommError(CommErrc code, const std::string& what)
+      : std::runtime_error(std::string("CommError(") + comm_errc_name(code) +
+                           "): " + what),
+        code_(code) {}
+
+  CommErrc code() const { return code_; }
+
+ private:
+  CommErrc code_;
+};
+
+}  // namespace lqcd

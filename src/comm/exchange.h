@@ -26,20 +26,40 @@
 /// (1 +- gamma_mu) commutes with the color multiply, the sender can project
 /// before the wire, halving spinor ghost traffic (12 instead of 24 reals
 /// per site) — QUDA's standard optimization, assumed by the byte model.
+///
+/// Reliability: when a FaultPlan is active (fault/fault.h), every posted
+/// face message carries a seq + FNV-1a checksum envelope, the sender keeps
+/// a pristine retained copy (the emulated send buffer a NACK would
+/// retransmit from), and the receiver replaces the blocking recv with a
+/// deadline-bounded verify/retry loop — duplicated and reordered messages
+/// are discarded by seq, corrupted or lost ones are repaired from the
+/// retained copy after a bounded exponential backoff, and an exhausted
+/// retry budget surfaces a typed CommError instead of a hang.  Repairs are
+/// metered (`comm.retries`, `comm.discards`) so solvers can observe that an
+/// exchange needed fixing and roll back (see solvers/gcr.h).  With no plan
+/// active the hot path is untouched beyond one relaxed atomic load.
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/channel.h"
 #include "comm/counters.h"
+#include "comm/error.h"
 #include "comm/ghost.h"
 #include "comm/virtual_cluster.h"
+#include "fault/fault.h"
 #include "fields/lattice_field.h"
 #include "lattice/neighbor_table.h"
 #include "lattice/partition.h"
 #include "linalg/gamma.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lqcd {
 
@@ -138,9 +158,17 @@ class AsyncGhostExchange {
                      std::vector<GhostZones<GhostT>>& ghosts,
                      std::optional<Parity> source_parity = std::nullopt)
       : part_(part), nt_(nt), locals_(locals), ghosts_(ghosts),
-        source_parity_(source_parity), mesh_(part.num_ranks(), /*capacity=*/2),
+        source_parity_(source_parity), plan_(active_fault_plan()),
+        epoch_(plan_ != nullptr ? plan_->next_epoch() : 0),
+        // An injected reorder + data + duplicate is three messages on one
+        // channel; capacity 4 keeps the sender non-blocking under any
+        // combination.  Fault-free exchanges keep the tight bound of 2.
+        mesh_(part.num_ranks(), /*capacity=*/plan_ != nullptr ? 4 : 2),
         send_deltas_(static_cast<std::size_t>(part.num_ranks())),
-        recv_bytes_(static_cast<std::size_t>(part.num_ranks()), 0) {}
+        recv_bytes_(static_cast<std::size_t>(part.num_ranks()), 0),
+        retain_(plan_ != nullptr
+                    ? static_cast<std::size_t>(part.num_ranks()) * kNDim * 2
+                    : 0) {}
 
   /// Gather + post both faces of every partitioned dimension of rank r.
   void post_sends(int r) {
@@ -153,10 +181,17 @@ class AsyncGhostExchange {
       delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
           (p.fwd_sites + p.bwd_sites) * sizeof(GhostT);
       delta.messages += 2;
-      mesh_.at(part_.neighbor_rank(r, mu, -1), mu, 0)
-          .send({std::move(p.fwd), p.fwd_sites});
-      mesh_.at(part_.neighbor_rank(r, mu, +1), mu, 1)
-          .send({std::move(p.bwd), p.bwd_sites});
+      const int dst_fwd = part_.neighbor_rank(r, mu, -1);
+      const int dst_bwd = part_.neighbor_rank(r, mu, +1);
+      if (plan_ == nullptr) {
+        mesh_.at(dst_fwd, mu, 0).send({std::move(p.fwd), p.fwd_sites});
+        mesh_.at(dst_bwd, mu, 1).send({std::move(p.bwd), p.bwd_sites});
+      } else {
+        post_with_faults(r, dst_fwd, mu, 0,
+                         FaceMessage<GhostT>{std::move(p.fwd), p.fwd_sites});
+        post_with_faults(r, dst_bwd, mu, 1,
+                         FaceMessage<GhostT>{std::move(p.bwd), p.bwd_sites});
+      }
     }
   }
 
@@ -166,7 +201,9 @@ class AsyncGhostExchange {
     for (int mu = 0; mu < kNDim; ++mu) {
       if (!nt_.partitioned(mu)) continue;
       for (int dir = 0; dir < 2; ++dir) {
-        FaceMessage<GhostT> msg = mesh_.at(r, mu, dir).recv();
+        FaceMessage<GhostT> msg = plan_ == nullptr
+                                      ? mesh_.at(r, mu, dir).recv()
+                                      : recv_reliable(r, mu, dir);
         auto dst = zones.zone(mu, dir);
         assert(msg.payload.size() == dst.size());
         std::copy(msg.payload.begin(), msg.payload.end(), dst.begin());
@@ -193,14 +230,148 @@ class AsyncGhostExchange {
   }
 
  private:
+  /// The emulated sender-side send buffer: the pristine enveloped message,
+  /// retained so the receiver's NACK path can "retransmit" without a
+  /// reverse control channel (which would deadlock — the sender may itself
+  /// be blocked in wait_all while its peer needs a resend).  One slot per
+  /// (dst, mu, dir), same SPSC discipline as the channel it shadows.
+  struct RetainSlot {
+    std::mutex m;
+    bool ready = false;  // guarded by m
+    FaceMessage<GhostT> msg;
+  };
+
+  RetainSlot& retain(int dst, int mu, int dir) {
+    return retain_[static_cast<std::size_t>((dst * kNDim + mu) * 2 + dir)];
+  }
+
+  static bool envelope_ok(const FaceMessage<GhostT>& msg) {
+    return msg.seq == kFaceDataSeq &&
+           msg.checksum == fnv1a(msg.payload.data(),
+                                 msg.payload.size() * sizeof(GhostT));
+  }
+
+  static void corrupt_one_bit(FaceMessage<GhostT>& msg,
+                              std::uint64_t entropy) {
+    const std::size_t nbytes = msg.payload.size() * sizeof(GhostT);
+    if (nbytes == 0) return;
+    auto* bytes = reinterpret_cast<unsigned char*>(msg.payload.data());
+    const std::size_t bit = static_cast<std::size_t>(entropy % (nbytes * 8));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+
+  /// Envelopes, retains, then posts one face message, applying the plan's
+  /// injections for this (epoch, src, mu, dir) slot.
+  void post_with_faults(int src, int dst, int mu, int dir,
+                        FaceMessage<GhostT> msg) {
+    msg.seq = kFaceDataSeq;
+    msg.checksum =
+        fnv1a(msg.payload.data(), msg.payload.size() * sizeof(GhostT));
+    RetainSlot& slot = retain(dst, mu, dir);
+    {
+      std::lock_guard<std::mutex> lock(slot.m);
+      slot.msg = msg;
+      slot.ready = true;
+    }
+    auto& ch = mesh_.at(dst, mu, dir);
+    const FaultDecision d = plan_->decide(epoch_, src, mu, dir);
+    if (d.delay.count() > 0) {
+      meter_fault_injected(FaultKind::Delay);
+      ScopedSpan span("fault.delay");
+      std::this_thread::sleep_for(d.delay);
+    }
+    if (d.reorder) {
+      // A stale message from "a previous exchange" arrives first.
+      meter_fault_injected(FaultKind::Reorder);
+      FaceMessage<GhostT> stale = msg;
+      stale.seq = kFaceStaleSeq;
+      ch.send(std::move(stale));
+    }
+    if (d.drop) {
+      // Swallowed on the wire (takes precedence over duplicate): the
+      // receiver discovers the loss by deadline and repairs from retain_.
+      meter_fault_injected(FaultKind::Drop);
+      return;
+    }
+    if (d.flip) {
+      meter_fault_injected(FaultKind::BitFlip);
+      FaceMessage<GhostT> bad = msg;
+      corrupt_one_bit(bad, d.flip_entropy);
+      ch.send(std::move(bad));
+    } else {
+      ch.send(FaceMessage<GhostT>(msg));
+    }
+    if (d.duplicate) {
+      meter_fault_injected(FaultKind::Duplicate);
+      ch.send(std::move(msg));  // same seq: the receiver discards the double
+    }
+  }
+
+  /// The receiver's verify/retry loop: deadline-bounded recv, seq-based
+  /// discard of stale/duplicated deliveries, checksum verification, and a
+  /// bounded exponential-backoff repair from the sender's retained copy on
+  /// loss or corruption.  Throws a typed CommError when the budget runs out
+  /// or the cluster goes down — never hangs.
+  FaceMessage<GhostT> recv_reliable(int r, int mu, int dir) {
+    static Counter& retries_meter = metric_counter("comm.retries");
+    static Counter& discards_meter = metric_counter("comm.discards");
+    const FaultSpec& spec = plan_->spec();
+    auto& ch = mesh_.at(r, mu, dir);
+    auto backoff = spec.backoff;
+    int attempts = 0;
+    for (;;) {
+      FaceMessage<GhostT> msg;
+      const ChanStatus st = ch.recv_for(msg, spec.recv_timeout);
+      if (st == ChanStatus::Closed) {
+        throw CommError(CommErrc::Closed,
+                        "ghost channel closed " + face_name(r, mu, dir));
+      }
+      if (st == ChanStatus::Ok) {
+        if (msg.seq != kFaceDataSeq) {
+          // Stale or duplicated delivery: not this exchange's data message.
+          discards_meter.add();
+          continue;
+        }
+        if (envelope_ok(msg)) return msg;
+        // Corrupted payload: fall through to the repair path.
+      }
+      if (attempts >= spec.max_retries) {
+        throw CommError(st == ChanStatus::Timeout ? CommErrc::Timeout
+                                                  : CommErrc::RetriesExhausted,
+                        "ghost recv " + face_name(r, mu, dir) + " failed " +
+                            "after " + std::to_string(attempts) + " retries");
+      }
+      ++attempts;
+      retries_meter.add();
+      {
+        ScopedSpan span("comm.retry");
+        std::this_thread::sleep_for(backoff);
+      }
+      backoff = std::min(backoff * 2, decltype(backoff)(100000));  // <= 100 ms
+      RetainSlot& slot = retain(r, mu, dir);
+      std::lock_guard<std::mutex> lock(slot.m);
+      if (slot.ready && envelope_ok(slot.msg)) return slot.msg;
+      // Sender hasn't posted this face yet (it is merely late): keep
+      // waiting — the attempt still counts against the budget.
+    }
+  }
+
+  static std::string face_name(int r, int mu, int dir) {
+    return "(rank " + std::to_string(r) + ", mu " + std::to_string(mu) +
+           ", dir " + std::to_string(dir) + ")";
+  }
+
   const Partitioning& part_;
   const NeighborTable& nt_;
   const std::vector<LatticeField<Site>>& locals_;
   std::vector<GhostZones<GhostT>>& ghosts_;
   std::optional<Parity> source_parity_;
+  FaultPlan* plan_;       // nullptr = fault-free fast path
+  std::uint64_t epoch_;   // this exchange's slot in the decision stream
   ChannelMesh<GhostT> mesh_;
   std::vector<ExchangeCounters> send_deltas_;
   std::vector<std::uint64_t> recv_bytes_;
+  std::vector<RetainSlot> retain_;
 };
 
 /// Exchanges spinor-type ghosts for all partitioned dimensions.

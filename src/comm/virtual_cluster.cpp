@@ -1,5 +1,6 @@
 #include "comm/virtual_cluster.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,37 @@ int resolve_mode_from_env() {
 }
 
 thread_local int t_current_rank = -1;
+
+/// Per-run_ranks abort state shared by all rank threads of one cluster.
+struct ClusterContext {
+  std::mutex m;
+  std::vector<ClusterWaiter*> waiters;  // guarded by m
+  std::atomic<bool> aborted{false};
+};
+
+thread_local ClusterContext* t_cluster_ctx = nullptr;
+
+class ClusterCtxScope {
+ public:
+  explicit ClusterCtxScope(ClusterContext* ctx) : prev_(t_cluster_ctx) {
+    t_cluster_ctx = ctx;
+  }
+  ~ClusterCtxScope() { t_cluster_ctx = prev_; }
+  ClusterCtxScope(const ClusterCtxScope&) = delete;
+  ClusterCtxScope& operator=(const ClusterCtxScope&) = delete;
+
+ private:
+  ClusterContext* prev_;
+};
+
+/// Raises the abort flag and kicks every wait currently parked in the
+/// cluster.  Idempotent; later registrations see the flag in their wait
+/// predicate instead.
+void abort_cluster(ClusterContext& ctx) {
+  ctx.aborted.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(ctx.m);
+  for (ClusterWaiter* w : ctx.waiters) w->wake();
+}
 
 /// RAII rank-task marker: tags the thread with its rank id, enters the
 /// parallel_for serial region so nested site loops stay on this thread,
@@ -83,6 +115,26 @@ bool in_rank_task() { return t_current_rank >= 0; }
 
 int current_rank() { return t_current_rank; }
 
+bool cluster_abort_requested() {
+  const ClusterContext* ctx = t_cluster_ctx;
+  return ctx != nullptr && ctx->aborted.load(std::memory_order_acquire);
+}
+
+void register_cluster_waiter(ClusterWaiter* w) {
+  ClusterContext* ctx = t_cluster_ctx;
+  if (ctx == nullptr) return;
+  std::lock_guard<std::mutex> lock(ctx->m);
+  ctx->waiters.push_back(w);
+}
+
+void unregister_cluster_waiter(ClusterWaiter* w) {
+  ClusterContext* ctx = t_cluster_ctx;
+  if (ctx == nullptr) return;
+  std::lock_guard<std::mutex> lock(ctx->m);
+  const auto it = std::find(ctx->waiters.begin(), ctx->waiters.end(), w);
+  if (it != ctx->waiters.end()) ctx->waiters.erase(it);
+}
+
 void run_ranks(int num_ranks, const std::function<void(int)>& body) {
   run_ranks(num_ranks, body, rank_mode());
 }
@@ -111,14 +163,21 @@ void run_ranks(int num_ranks, const std::function<void(int)>& body,
 
   std::mutex err_mutex;
   std::exception_ptr first_error;
+  ClusterContext ctx;
   auto guarded = [&](int r) {
+    ClusterCtxScope cluster(&ctx);
     RankTaskScope scope(r);
     ScopedSpan span("rank.task");
     try {
       body(r);
     } catch (...) {
-      std::unique_lock<std::mutex> lock(err_mutex);
-      if (!first_error) first_error = std::current_exception();
+      {
+        std::unique_lock<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Wake peers blocked in channel/barrier waits so the cluster can
+      // join and rethrow instead of deadlocking on the dead rank.
+      abort_cluster(ctx);
     }
   };
 

@@ -22,7 +22,9 @@
 /// fixed — so scheduling cannot perturb a single bit.  Tests assert this
 /// across rank counts and worker counts.
 
+#include <condition_variable>
 #include <functional>
+#include <mutex>
 
 namespace lqcd {
 
@@ -55,5 +57,63 @@ int current_rank();
 void run_ranks(int num_ranks, const std::function<void(int)>& body);
 void run_ranks(int num_ranks, const std::function<void(int)>& body,
                RankMode mode);
+
+// ---- cluster abort --------------------------------------------------------
+//
+// When one rank task throws, every peer blocked in a channel or barrier wait
+// must wake — otherwise run_ranks can never join and the first exception is
+// never rethrown (the cluster deadlocks on a dead peer).  Each threaded
+// run_ranks owns an abort flag plus a registry of the waits currently parked
+// inside it; the failing rank raises the flag and wakes every registered
+// waiter, whose wait predicates observe cluster_abort_requested() and
+// surface CommError(Aborted).
+//
+// Lock-order discipline: a waiter registers itself BEFORE taking the lock it
+// sleeps under, and wake() re-acquires that lock before notifying, so the
+// aborting thread (registry mutex -> waiter lock) can never interleave with
+// a sleeper in a way that loses the wakeup.
+
+/// A parked wait that the failing rank can kick.
+class ClusterWaiter {
+ public:
+  virtual void wake() = 0;
+
+ protected:
+  ~ClusterWaiter() = default;
+};
+
+/// True once a rank task of the current thread's cluster has thrown.
+bool cluster_abort_requested();
+
+/// Registers/unregisters a waiter with the current thread's cluster (no-ops
+/// outside a threaded run_ranks).
+void register_cluster_waiter(ClusterWaiter* w);
+void unregister_cluster_waiter(ClusterWaiter* w);
+
+/// RAII waiter for condition-variable waits: construct (registering with the
+/// cluster) before locking the mutex the wait sleeps under, and make the wait
+/// predicate also check cluster_abort_requested().
+class CvClusterWaiter final : public ClusterWaiter {
+ public:
+  CvClusterWaiter(std::mutex& m, std::condition_variable& cv)
+      : m_(m), cv_(cv) {
+    register_cluster_waiter(this);
+  }
+  ~CvClusterWaiter() { unregister_cluster_waiter(this); }
+  CvClusterWaiter(const CvClusterWaiter&) = delete;
+  CvClusterWaiter& operator=(const CvClusterWaiter&) = delete;
+
+  void wake() override {
+    // Acquire-and-release the sleeper's mutex so it is either parked (and
+    // receives the notify) or has not yet evaluated its predicate (and will
+    // see the abort flag).
+    { std::lock_guard<std::mutex> sync(m_); }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex& m_;
+  std::condition_variable& cv_;
+};
 
 }  // namespace lqcd

@@ -47,6 +47,10 @@ struct GcrDdParams {
   /// partitioned dslash on this rank grid (ghost exchange + interior /
   /// exterior overlap, honoring LQCD_RANK_MODE).  The Schwarz
   /// preconditioner stays block-local (Dirichlet cuts need no comms).
+  /// Under an active FaultPlan (fault/fault.h) the exchanges repair
+  /// injected faults transparently, and GCR rolls back to the last
+  /// reliable update whenever a repair is reported
+  /// (SolverStats::rollbacks, metric `solver.rollbacks`).
   std::optional<std::array<int, kNDim>> rank_grid;
 };
 

@@ -1,0 +1,265 @@
+#include "fault/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lqcd {
+namespace {
+
+// splitmix64: the decision-stream mixer.  Statistically strong enough for
+// per-message Bernoulli draws and cheap enough to run per message.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::chrono::microseconds parse_duration(const std::string& tok) {
+  std::size_t pos = 0;
+  const long long n = std::stoll(tok, &pos);
+  const std::string unit = tok.substr(pos);
+  if (n < 0) throw std::invalid_argument("negative duration: " + tok);
+  if (unit == "us") return std::chrono::microseconds(n);
+  if (unit == "ms") return std::chrono::microseconds(n * 1000);
+  if (unit == "s") return std::chrono::microseconds(n * 1000000);
+  throw std::invalid_argument("bad duration unit (want us/ms/s): " + tok);
+}
+
+double parse_rate(const std::string& key, const std::string& val) {
+  std::size_t pos = 0;
+  const double r = std::stod(val, &pos);
+  if (pos != val.size() || r < 0.0 || r > 1.0) {
+    throw std::invalid_argument("rate for '" + key + "' must be in [0,1]: " +
+                                val);
+  }
+  return r;
+}
+
+bool kind_from_key(const std::string& key, FaultKind& out) {
+  if (key == "delay") out = FaultKind::Delay;
+  else if (key == "drop") out = FaultKind::Drop;
+  else if (key == "dup") out = FaultKind::Duplicate;
+  else if (key == "reorder") out = FaultKind::Reorder;
+  else if (key == "flip") out = FaultKind::BitFlip;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    const std::size_t stop = end == std::string::npos ? s.size() : end;
+    if (stop > start) out.push_back(s.substr(start, stop - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+// ---- global plan registry -------------------------------------------------
+//
+// g_plan starts at a sentinel meaning "env not yet consulted"; the first
+// active_fault_plan() call resolves LQCD_FAULTS and publishes either a real
+// plan or nullptr.  Steady state is one relaxed load (the quiescence contract
+// in fault.h makes relaxed sufficient: plans only change while no exchange is
+// in flight, and run_ranks' thread creation orders the publication).
+
+std::mutex g_plan_mutex;
+FaultPlan* g_owned_plan = nullptr;  // guarded by g_plan_mutex
+std::atomic<FaultPlan*> g_plan{nullptr};
+std::atomic<bool> g_env_resolved{false};
+
+void publish_plan_locked(FaultPlan* next) {
+  FaultPlan* old = g_owned_plan;
+  g_owned_plan = next;
+  g_plan.store(next, std::memory_order_release);
+  g_env_resolved.store(true, std::memory_order_release);
+  delete old;  // quiescence contract: no exchange holds the old pointer
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::Delay:
+      return "delay";
+    case FaultKind::Drop:
+      return "drop";
+    case FaultKind::Duplicate:
+      return "dup";
+    case FaultKind::Reorder:
+      return "reorder";
+    case FaultKind::BitFlip:
+      return "flip";
+  }
+  return "unknown";
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  for (const std::string& tok : split(spec, ',')) {
+    const std::size_t at = tok.find('@');
+    const std::size_t eq = tok.find('=');
+    if (at != std::string::npos && eq == std::string::npos) {
+      // One-shot: kind@N.
+      const std::string key = tok.substr(0, at);
+      FaultKind kind;
+      if (!kind_from_key(key, kind)) {
+        throw std::invalid_argument("unknown fault kind: " + key);
+      }
+      const long long n = std::stoll(tok.substr(at + 1));
+      if (n < 0) throw std::invalid_argument("one-shot ordinal < 0: " + tok);
+      out.once[static_cast<int>(kind)] = n;
+      continue;
+    }
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("expected key=value or kind@N: " + tok);
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (val.empty()) throw std::invalid_argument("empty value: " + tok);
+    FaultKind kind;
+    if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(std::stoull(val));
+    } else if (key == "delay") {
+      // delay=<rate> or delay=<rate>:<duration>.
+      const std::size_t colon = val.find(':');
+      const std::string rate = val.substr(0, colon);
+      out.rate[static_cast<int>(FaultKind::Delay)] = parse_rate(key, rate);
+      if (colon != std::string::npos) {
+        out.delay = parse_duration(val.substr(colon + 1));
+      }
+    } else if (kind_from_key(key, kind)) {
+      out.rate[static_cast<int>(kind)] = parse_rate(key, val);
+    } else if (key == "timeout") {
+      out.recv_timeout = parse_duration(val);
+    } else if (key == "retries") {
+      const long long n = std::stoll(val);
+      if (n < 0) throw std::invalid_argument("retries < 0: " + tok);
+      out.max_retries = static_cast<int>(n);
+    } else if (key == "backoff") {
+      out.backoff = parse_duration(val);
+    } else {
+      throw std::invalid_argument("unknown fault spec key: " + key);
+    }
+  }
+  return out;
+}
+
+FaultDecision FaultPlan::decide(std::uint64_t epoch, int src_rank, int mu,
+                                int dir) {
+  FaultDecision d;
+  // One deterministic stream per (seed, epoch, src, mu, dir) message slot.
+  const std::uint64_t slot =
+      (static_cast<std::uint64_t>(src_rank + 1) << 16) ^
+      (static_cast<std::uint64_t>(mu) << 8) ^ static_cast<std::uint64_t>(dir);
+  const std::uint64_t stream = mix(spec_.seed ^ mix(epoch ^ mix(slot)));
+
+  auto hit = [&](FaultKind k) {
+    const int i = static_cast<int>(k);
+    return spec_.rate[i] > 0.0 &&
+           to_unit(mix(stream ^ static_cast<std::uint64_t>(i + 1))) <
+               spec_.rate[i];
+  };
+  if (hit(FaultKind::Delay)) d.delay = spec_.delay;
+  d.drop = hit(FaultKind::Drop);
+  d.duplicate = hit(FaultKind::Duplicate);
+  d.reorder = hit(FaultKind::Reorder);
+  d.flip = hit(FaultKind::BitFlip);
+
+  // One-shot injections: fire on the Nth fault-eligible message since the
+  // plan went live (exactly-once via the global ordinal).
+  const std::int64_t n = ordinal_.fetch_add(1, std::memory_order_relaxed);
+  if (spec_.once_of(FaultKind::Delay) == n) d.delay = spec_.delay;
+  if (spec_.once_of(FaultKind::Drop) == n) d.drop = true;
+  if (spec_.once_of(FaultKind::Duplicate) == n) d.duplicate = true;
+  if (spec_.once_of(FaultKind::Reorder) == n) d.reorder = true;
+  if (spec_.once_of(FaultKind::BitFlip) == n) d.flip = true;
+
+  if (d.flip) d.flip_entropy = mix(stream ^ 0xF11Bull);
+  return d;
+}
+
+FaultPlan* active_fault_plan() {
+  if (!g_env_resolved.load(std::memory_order_acquire)) {
+    init_faults_from_env();
+  }
+  return g_plan.load(std::memory_order_relaxed);
+}
+
+void set_fault_plan(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  publish_plan_locked(new FaultPlan(spec));
+}
+
+void clear_fault_plan() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  publish_plan_locked(nullptr);
+}
+
+void init_faults_from_env() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  const char* env = std::getenv("LQCD_FAULTS");
+  if (env == nullptr || env[0] == '\0' || std::string(env) == "off") {
+    publish_plan_locked(nullptr);
+    return;
+  }
+  try {
+    publish_plan_locked(new FaultPlan(parse_fault_spec(env)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "lqcd: ignoring malformed LQCD_FAULTS spec (%s): %s\n",
+                 env, e.what());
+    publish_plan_locked(nullptr);
+  }
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void meter_fault_injected(FaultKind k) {
+  static Counter& delay = metric_counter("fault.injected{kind=delay}");
+  static Counter& drop = metric_counter("fault.injected{kind=drop}");
+  static Counter& dup = metric_counter("fault.injected{kind=dup}");
+  static Counter& reorder = metric_counter("fault.injected{kind=reorder}");
+  static Counter& flip = metric_counter("fault.injected{kind=flip}");
+  switch (k) {
+    case FaultKind::Delay:
+      delay.add();
+      break;
+    case FaultKind::Drop:
+      drop.add();
+      break;
+    case FaultKind::Duplicate:
+      dup.add();
+      break;
+    case FaultKind::Reorder:
+      reorder.add();
+      break;
+    case FaultKind::BitFlip:
+      flip.add();
+      break;
+  }
+}
+
+}  // namespace lqcd

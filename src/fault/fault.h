@@ -1,0 +1,153 @@
+#pragma once
+/// \file fault.h
+/// \brief Deterministic fault injection for the virtual cluster.
+///
+/// The paper's strong-scaling runs assume a lossless QMP/InfiniBand fabric;
+/// our virtual cluster is the substrate every solver runs on, so this library
+/// provides the adversary: a process-global, seed-deterministic FaultPlan
+/// that perturbs ghost messages at the channel boundary — injected link
+/// delays, message drops, duplicates, reorders, and payload bit-flips — so
+/// the recovery machinery in `comm/exchange.h` (checksum envelope, bounded
+/// NACK/resend retry) and the solver rollback hook can be exercised under
+/// test instead of discovered in production.
+///
+/// Determinism contract: every *rate-based* decision is a pure hash of
+/// (seed, exchange epoch, source rank, dimension, direction) — independent of
+/// thread scheduling, so a given seed produces the same injections in every
+/// run.  *One-shot* injections (`kind@N`) fire on the Nth fault-eligible
+/// message since the plan was installed (0-based, counted by a global atomic
+/// ordinal): exactly-once is guaranteed, but which channel receives the shot
+/// depends on scheduling.
+///
+/// Activation:
+///  * environment — `LQCD_FAULTS=<spec>` is parsed lazily on the first call
+///    to active_fault_plan();
+///  * programmatic — set_fault_plan(parse_fault_spec("drop=0.05,...")).
+///
+/// Spec grammar (comma-separated `key=value` / `kind@N` tokens):
+///
+///     seed=42            decision-stream seed (default 1)
+///     drop=0.05          P(message swallowed)            in [0,1]
+///     dup=0.02           P(message delivered twice)
+///     flip=0.01          P(one payload bit flipped)
+///     reorder=0.02       P(stale message delivered first)
+///     delay=0.05:200us   P(sender stalls) : stall duration
+///     drop@7 dup@N flip@N reorder@N delay@N   one-shot on message ordinal N
+///     timeout=100ms      receiver per-message deadline
+///     retries=6          bounded resend attempts before a typed CommError
+///     backoff=200us      initial retry backoff (doubles per attempt)
+///
+/// Durations accept `us`, `ms` and `s` suffixes.  A malformed env spec
+/// disables injection with a warning on stderr; the programmatic parser
+/// throws std::invalid_argument.
+///
+/// Cost contract: with no plan active the only overhead on the exchange hot
+/// path is one relaxed atomic load in active_fault_plan().
+///
+/// Quiescence contract: installing or clearing a plan must not race with
+/// in-flight exchanges.  Exchanges run inside run_ranks(), whose thread
+/// creation/join provides the happens-before edge, so "don't call
+/// set_fault_plan() from a rank task" is the whole rule.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lqcd {
+
+enum class FaultKind : int {
+  Delay = 0,  ///< sender stalls before posting (link latency spike)
+  Drop,       ///< message swallowed (loss)
+  Duplicate,  ///< message delivered twice
+  Reorder,    ///< a stale message is delivered before the real one
+  BitFlip,    ///< one payload bit flipped (corruption)
+};
+inline constexpr int kNumFaultKinds = 5;
+
+const char* fault_kind_name(FaultKind k);
+
+/// Parsed `LQCD_FAULTS` specification.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  /// Per-kind injection probability per message, indexed by FaultKind.
+  std::array<double, kNumFaultKinds> rate{};
+  /// Per-kind one-shot message ordinal (-1 = none), indexed by FaultKind.
+  std::array<std::int64_t, kNumFaultKinds> once{{-1, -1, -1, -1, -1}};
+  /// Injected sender stall for Delay faults.
+  std::chrono::microseconds delay{200};
+  /// Receiver per-message deadline before a resend attempt.
+  std::chrono::microseconds recv_timeout{100000};
+  /// Bounded resend attempts before surfacing a typed CommError.
+  int max_retries = 6;
+  /// Initial retry backoff; doubles per attempt (capped at 100 ms).
+  std::chrono::microseconds backoff{200};
+
+  double rate_of(FaultKind k) const { return rate[static_cast<int>(k)]; }
+  std::int64_t once_of(FaultKind k) const { return once[static_cast<int>(k)]; }
+};
+
+/// Parses the spec grammar above.  Throws std::invalid_argument on error.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+/// The set of faults to inject into one outgoing message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  bool flip = false;
+  std::chrono::microseconds delay{0};
+  /// Entropy for choosing which payload bit a BitFlip corrupts.
+  std::uint64_t flip_entropy = 0;
+
+  bool any() const {
+    return drop || duplicate || reorder || flip || delay.count() > 0;
+  }
+};
+
+/// A live injection plan.  Thread-safe: decide() may be called concurrently
+/// from every rank thread.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultSpec spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// One epoch per ghost exchange; part of the deterministic decision stream.
+  std::uint64_t next_epoch() {
+    return epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Decides the faults for one outgoing message.  Rate-based decisions are
+  /// pure in (seed, epoch, src, mu, dir); one-shots consume the global
+  /// message ordinal.
+  FaultDecision decide(std::uint64_t epoch, int src_rank, int mu, int dir);
+
+ private:
+  FaultSpec spec_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::int64_t> ordinal_{0};
+};
+
+/// The active plan, or nullptr when injection is off.  First call resolves
+/// `LQCD_FAULTS`; afterwards this is a single relaxed atomic load.
+FaultPlan* active_fault_plan();
+
+/// Installs a plan programmatically (replacing env/previous plan).
+void set_fault_plan(const FaultSpec& spec);
+
+/// Disables injection (also masks any `LQCD_FAULTS` setting).
+void clear_fault_plan();
+
+/// Re-reads `LQCD_FAULTS` and installs/clears the plan accordingly.
+void init_faults_from_env();
+
+/// FNV-1a 64-bit hash — the ghost-message payload checksum.
+std::uint64_t fnv1a(const void* data, std::size_t n);
+
+/// Meters `fault.injected{kind=...}` in the obs metrics registry.
+void meter_fault_injected(FaultKind k);
+
+}  // namespace lqcd

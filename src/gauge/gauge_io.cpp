@@ -33,16 +33,6 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
-std::uint64_t fnv1a(const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
 void save_gauge(const GaugeField<double>& u, const std::string& path) {
   const LatticeGeometry& g = u.geometry();
   Header h;

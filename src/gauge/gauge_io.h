@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "fault/fault.h"  // canonical fnv1a (the header checksum)
 #include "fields/lattice_field.h"
 
 namespace lqcd {
@@ -23,8 +24,5 @@ void save_gauge(const GaugeField<double>& u, const std::string& path);
 /// \throws std::runtime_error on I/O failure, format mismatch, or
 /// checksum mismatch.
 GaugeField<double> load_gauge(const std::string& path);
-
-/// FNV-1a over a byte range (the header checksum).
-std::uint64_t fnv1a(const void* data, std::size_t bytes);
 
 }  // namespace lqcd

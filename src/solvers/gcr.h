@@ -18,7 +18,16 @@
 ///  * precision split: the Krylov basis and preconditioner run in storage
 ///    precision emulated by the low_store hook (half in the paper's
 ///    production config), while every restart recomputes the true residual
-///    in the field's working precision.
+///    in the field's working precision;
+///  * fault recovery: a ghost exchange that needed repair (a comm retry
+///    metered as `comm.retries` by comm/exchange.h) marks the iterate
+///    unreliable — the repaired payload is bitwise correct, but the fault
+///    indicates the fabric misbehaved, so the solver rolls back to the last
+///    reliable update by forcing an immediate restart, which recomputes the
+///    true residual in working precision.  Rollbacks are counted in
+///    SolverStats::rollbacks and metered as `solver.rollbacks`.  The hook
+///    observes the metrics registry rather than the fault library, so
+///    fault-free solves pay two relaxed counter loads per iteration.
 
 #include <cmath>
 #include <functional>
@@ -95,6 +104,12 @@ SolverStats gcr_solve(const LinearOperator<Field>& a, Field& x, const Field& b,
 
   int k = 0;
   double cycle_start_norm = rnorm;
+
+  // Fault-recovery baseline: repairs during the initial residual
+  // computation need no rollback (r is already the true residual).
+  static Counter& comm_retries = metric_counter("comm.retries");
+  static Counter& rollback_meter = metric_counter("solver.rollbacks");
+  std::uint64_t repairs_seen = comm_retries.value();
 
   auto restart = [&](bool final_update) {
     ScopedSpan span("gcr.restart");
@@ -182,6 +197,18 @@ SolverStats gcr_solve(const LinearOperator<Field>& a, Field& x, const Field& b,
     if (log_enabled(LogLevel::Debug)) {
       log_debug("gcr: iter " + std::to_string(stats.iterations) +
                 " |rhat| = " + std::to_string(rhat_norm));
+    }
+    // Fault-recovery hook: a ghost exchange repaired a fault during this
+    // iteration, so roll back to the last reliable update — the restart
+    // recomputes the true residual in working precision and starts a fresh
+    // cycle from it.
+    if (comm_retries.value() != repairs_seen) {
+      repairs_seen = comm_retries.value();
+      ++stats.rollbacks;
+      stats.rollback_iterations.push_back(stats.iterations);
+      rollback_meter.add();
+      restart(false);
+      continue;
     }
     // A cycle that ends because the iterated residual met the target exits
     // the loop with the implicit update only: the post-loop final-residual

@@ -21,6 +21,16 @@ struct SolverStats {
   /// records them).  Used by the determinism regressions to assert the
   /// entire convergence trajectory is bitwise reproducible.
   std::vector<double> residual_history;
+
+  /// Fault-recovery rollbacks: a ghost exchange reported a repaired fault
+  /// (comm retry), so the solver discarded the tainted Krylov cycle and
+  /// recomputed the true residual (see solvers/gcr.h).
+  int rollbacks = 0;
+
+  /// Iteration counts at which each rollback fired (indices into
+  /// residual_history: entry i means the rollback happened after the
+  /// residual_history[i - 1] entry was recorded).
+  std::vector<int> rollback_iterations;
 };
 
 }  // namespace lqcd

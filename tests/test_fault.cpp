@@ -1,0 +1,406 @@
+// The fault-injection subsystem and chaos harness: spec-grammar parsing,
+// decision-stream determinism, the FNV-1a envelope, and the chaos property
+// tests — under seeded fault plans the partitioned operators must either
+// complete bitwise-identical to the fault-free run (repairs are
+// transparent) or fail with a typed CommError; they must never hang.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "comm/error.h"
+#include "comm/virtual_cluster.h"
+#include "dirac/partitioned.h"
+#include "fault/fault.h"
+#include "fields/blas.h"
+#include "gauge/configure.h"
+#include "gauge/staggered_links.h"
+#include "obs/metrics.h"
+
+namespace lqcd {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Hard watchdog: a chaos test must never hang — if the recovery protocol
+/// regresses into a deadlock, kill the binary loudly instead of eating the
+/// CI timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds limit)
+      : limit_(limit), thread_([this] { run(); }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(m_);
+    if (!cv_.wait_for(lock, limit_, [this] { return done_; })) {
+      std::fprintf(stderr,
+                   "FATAL: chaos watchdog expired after %lld s — deadlock\n",
+                   static_cast<long long>(limit_.count()));
+      std::_Exit(124);
+    }
+  }
+
+  std::chrono::seconds limit_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+class ScopedRankMode {
+ public:
+  explicit ScopedRankMode(RankMode m) : prev_(rank_mode()) { set_rank_mode(m); }
+  ~ScopedRankMode() { set_rank_mode(prev_); }
+
+ private:
+  RankMode prev_;
+};
+
+int rate_index(FaultKind k) { return static_cast<int>(k); }
+
+std::uint64_t injected_total() {
+  std::uint64_t t = 0;
+  for (FaultKind k : {FaultKind::Delay, FaultKind::Drop, FaultKind::Duplicate,
+                      FaultKind::Reorder, FaultKind::BitFlip}) {
+    t += metric_counter(std::string("fault.injected{kind=") +
+                        fault_kind_name(k) + "}")
+             .value();
+  }
+  return t;
+}
+
+/// Every test starts and ends fault-free, so a `LQCD_FAULTS` environment
+/// (the CI chaos job sets one) cannot leak into the fault-free reference
+/// runs these tests compare against.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_fault_plan(); }
+  void TearDown() override { clear_fault_plan(); }
+};
+
+TEST_F(FaultTest, SpecGrammarParsesFullForm) {
+  const FaultSpec s = parse_fault_spec(
+      "seed=42,drop=0.05,dup=0.02,flip=0.01,reorder=0.02,delay=0.1:250us,"
+      "timeout=40ms,retries=3,backoff=1ms");
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_DOUBLE_EQ(s.rate_of(FaultKind::Drop), 0.05);
+  EXPECT_DOUBLE_EQ(s.rate_of(FaultKind::Duplicate), 0.02);
+  EXPECT_DOUBLE_EQ(s.rate_of(FaultKind::BitFlip), 0.01);
+  EXPECT_DOUBLE_EQ(s.rate_of(FaultKind::Reorder), 0.02);
+  EXPECT_DOUBLE_EQ(s.rate_of(FaultKind::Delay), 0.1);
+  EXPECT_EQ(s.delay, microseconds(250));
+  EXPECT_EQ(s.recv_timeout, microseconds(40000));
+  EXPECT_EQ(s.max_retries, 3);
+  EXPECT_EQ(s.backoff, microseconds(1000));
+}
+
+TEST_F(FaultTest, SpecGrammarParsesOneShots) {
+  const FaultSpec s = parse_fault_spec("seed=7,flip@12,drop@3");
+  EXPECT_EQ(s.once_of(FaultKind::BitFlip), 12);
+  EXPECT_EQ(s.once_of(FaultKind::Drop), 3);
+  EXPECT_EQ(s.once_of(FaultKind::Duplicate), -1);
+  // One-shots leave the rates at zero.
+  EXPECT_DOUBLE_EQ(s.rate_of(FaultKind::BitFlip), 0.0);
+}
+
+TEST_F(FaultTest, SpecGrammarRejectsMalformed) {
+  EXPECT_THROW(parse_fault_spec("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("drop="), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("drop=2.0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("timeout=10parsecs"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("retries=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("drop"), std::invalid_argument);
+}
+
+TEST_F(FaultTest, EnvContractInstallsAndClearsPlan) {
+  const char* prev = std::getenv("LQCD_FAULTS");
+  const std::string saved = prev != nullptr ? prev : "";
+
+  setenv("LQCD_FAULTS", "seed=9,drop=0.5", 1);
+  init_faults_from_env();
+  ASSERT_NE(active_fault_plan(), nullptr);
+  EXPECT_EQ(active_fault_plan()->spec().seed, 9u);
+
+  // A malformed spec disables injection (with a warning) rather than
+  // aborting the process.
+  setenv("LQCD_FAULTS", "drop=banana", 1);
+  init_faults_from_env();
+  EXPECT_EQ(active_fault_plan(), nullptr);
+
+  unsetenv("LQCD_FAULTS");
+  init_faults_from_env();
+  EXPECT_EQ(active_fault_plan(), nullptr);
+
+  if (prev != nullptr) setenv("LQCD_FAULTS", saved.c_str(), 1);
+}
+
+TEST_F(FaultTest, DecisionStreamIsSeedDeterministic) {
+  FaultSpec spec;
+  spec.seed = 77;
+  for (int i = 0; i < kNumFaultKinds; ++i) spec.rate[i] = 0.2;
+  FaultPlan a(spec), b(spec);
+  bool any = false;
+  for (std::uint64_t epoch = 0; epoch < 50; ++epoch) {
+    for (int src = 0; src < 4; ++src) {
+      for (int mu = 0; mu < 4; ++mu) {
+        for (int dir = 0; dir < 2; ++dir) {
+          const FaultDecision da = a.decide(epoch, src, mu, dir);
+          const FaultDecision db = b.decide(epoch, src, mu, dir);
+          EXPECT_EQ(da.drop, db.drop);
+          EXPECT_EQ(da.duplicate, db.duplicate);
+          EXPECT_EQ(da.reorder, db.reorder);
+          EXPECT_EQ(da.flip, db.flip);
+          EXPECT_EQ(da.delay, db.delay);
+          any = any || da.any();
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any);  // 20% rates over 1600 slots must inject something
+
+  // A different seed must produce a different injection pattern somewhere.
+  spec.seed = 78;
+  FaultPlan c(spec);
+  bool differs = false;
+  for (std::uint64_t epoch = 0; epoch < 50 && !differs; ++epoch) {
+    for (int src = 0; src < 4 && !differs; ++src) {
+      const FaultDecision da = a.decide(epoch, src, 0, 0);
+      const FaultDecision dc = c.decide(epoch, src, 0, 0);
+      differs = da.drop != dc.drop || da.flip != dc.flip ||
+                da.duplicate != dc.duplicate || da.reorder != dc.reorder;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultTest, Fnv1aMatchesKnownVectors) {
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+// ---- chaos property tests -------------------------------------------------
+//
+// For 20 seeded plans mixing drops/dups/delays/reorders/bit-flips at 1-10%
+// rates, a partitioned apply in threads mode must either complete with a
+// ghost exchange repaired transparently — bitwise-identical result — or
+// fail with a typed CommError.  Never a hang (watchdog) and never a third
+// outcome (silent corruption).
+
+template <typename Op, typename FieldT>
+void run_chaos_sweep(Op& op, const FieldT& in, const FieldT& expect,
+                     const LatticeGeometry& g) {
+  int completed = 0;
+  int failed = 0;
+  const std::uint64_t injected_before = injected_total();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    // 1%..10% per-kind rates, varying with the seed.
+    const double rate = 0.01 * static_cast<double>(1 + (seed - 1) % 10);
+    for (int i = 0; i < kNumFaultKinds; ++i) spec.rate[i] = rate;
+    spec.delay = microseconds(100);
+    spec.recv_timeout = microseconds(25000);
+    spec.max_retries = 8;
+    spec.backoff = microseconds(100);
+    set_fault_plan(spec);
+
+    FieldT got(g);
+    try {
+      op.apply(got, in);
+    } catch (const CommError&) {
+      ++failed;  // typed failure is an allowed outcome — a hang is not
+      continue;
+    }
+    ++completed;
+    // Repairs must be transparent: bitwise-identical to the fault-free run.
+    axpy(-1.0, expect, got);
+    EXPECT_EQ(norm2(got), 0.0) << "seed " << seed;
+  }
+  clear_fault_plan();
+  EXPECT_EQ(completed + failed, 20);
+  // With an 8-retry budget at <= 10% loss the sweep should essentially
+  // always complete; assert at least a majority did so the test cannot
+  // pass by failing everything.
+  EXPECT_GE(completed, 15);
+  // The plans actually injected faults (decisions are deterministic, so
+  // this is a stable assertion, not a flaky one).
+  EXPECT_GT(injected_total(), injected_before);
+}
+
+TEST_F(FaultTest, ChaosPartitionedWilsonBitwiseOrTypedError) {
+  Watchdog watchdog(std::chrono::seconds(100));
+  ScopedRankMode mode(RankMode::Threads);
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 7);
+  Partitioning part(g, {1, 1, 2, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 8);
+  WilsonField<double> expect(g);
+  op.apply(expect, in);  // fault-free reference (fixture cleared the plan)
+  run_chaos_sweep(op, in, expect, g);
+}
+
+TEST_F(FaultTest, ChaosPartitionedAsqtadBitwiseOrTypedError) {
+  Watchdog watchdog(std::chrono::seconds(100));
+  ScopedRankMode mode(RankMode::Threads);
+  // Long links reach three sites, so partitioned extents must stay >= 4.
+  const LatticeGeometry g({4, 4, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 9);
+  const AsqtadLinks links = build_asqtad_links(u);
+  Partitioning part(g, {1, 1, 2, 2});
+  PartitionedStaggered<double> op(part, links.fat, links.lng, 0.05);
+  const StaggeredField<double> in = gaussian_staggered_source(g, 10);
+  StaggeredField<double> expect(g);
+  op.apply(expect, in);
+  run_chaos_sweep(op, in, expect, g);
+}
+
+TEST_F(FaultTest, RepairedBitFlipIsTransparentAndMetered) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  ScopedRankMode mode(RankMode::Threads);
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 11);
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 12);
+  WilsonField<double> expect(g);
+  op.apply(expect, in);
+
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.once[rate_index(FaultKind::BitFlip)] = 2;  // one corrupted message
+  spec.recv_timeout = microseconds(50000);
+  spec.max_retries = 4;
+  spec.backoff = microseconds(100);
+  set_fault_plan(spec);
+  const std::uint64_t flips_before =
+      metric_counter("fault.injected{kind=flip}").value();
+  const std::uint64_t retries_before = metric_counter("comm.retries").value();
+
+  WilsonField<double> got(g);
+  op.apply(got, in);
+  clear_fault_plan();
+
+  axpy(-1.0, expect, got);
+  EXPECT_EQ(norm2(got), 0.0);
+  EXPECT_EQ(metric_counter("fault.injected{kind=flip}").value(),
+            flips_before + 1);
+  EXPECT_GE(metric_counter("comm.retries").value(), retries_before + 1);
+}
+
+TEST_F(FaultTest, DuplicatesAndReordersAreDiscardedTransparently) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  ScopedRankMode mode(RankMode::Threads);
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 13);
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 14);
+  WilsonField<double> expect(g);
+  op.apply(expect, in);
+
+  // Every message duplicated AND preceded by a stale reordered copy: the
+  // seq envelope must shrug it all off without a single retry.
+  FaultSpec spec;
+  spec.seed = 6;
+  spec.rate[rate_index(FaultKind::Duplicate)] = 1.0;
+  spec.rate[rate_index(FaultKind::Reorder)] = 1.0;
+  spec.recv_timeout = microseconds(50000);
+  set_fault_plan(spec);
+  const std::uint64_t discards_before =
+      metric_counter("comm.discards").value();
+  const std::uint64_t retries_before = metric_counter("comm.retries").value();
+
+  WilsonField<double> got(g);
+  op.apply(got, in);
+  clear_fault_plan();
+
+  axpy(-1.0, expect, got);
+  EXPECT_EQ(norm2(got), 0.0);
+  EXPECT_GT(metric_counter("comm.discards").value(), discards_before);
+  EXPECT_EQ(metric_counter("comm.retries").value(), retries_before);
+}
+
+TEST_F(FaultTest, ZeroRatePlanKeepsBitwiseIdentityWithEnvelopeOn) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  ScopedRankMode mode(RankMode::Threads);
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 15);
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 16);
+  WilsonField<double> expect(g);
+  op.apply(expect, in);
+
+  FaultSpec spec;  // all rates zero: envelope + verify path, no injections
+  set_fault_plan(spec);
+  const std::uint64_t injected_before = injected_total();
+  WilsonField<double> got(g);
+  op.apply(got, in);
+  clear_fault_plan();
+
+  axpy(-1.0, expect, got);
+  EXPECT_EQ(norm2(got), 0.0);
+  EXPECT_EQ(injected_total(), injected_before);
+}
+
+TEST_F(FaultTest, ExhaustedRetriesSurfaceTypedTimeoutNotHang) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  ScopedRankMode mode(RankMode::Threads);
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 17);
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 18);
+  WilsonField<double> expect(g);
+  op.apply(expect, in);
+
+  // Drop the first message with a zero-retry budget: the receiver's
+  // deadline must expire into CommError(Timeout), propagate out of
+  // run_ranks, and leave no rank hanging.
+  FaultSpec spec;
+  spec.seed = 19;
+  spec.once[rate_index(FaultKind::Drop)] = 0;
+  spec.max_retries = 0;
+  spec.recv_timeout = microseconds(20000);
+  set_fault_plan(spec);
+
+  WilsonField<double> got(g);
+  bool threw = false;
+  try {
+    op.apply(got, in);
+  } catch (const CommError& e) {
+    threw = true;
+    EXPECT_TRUE(e.code() == CommErrc::Timeout ||
+                e.code() == CommErrc::Aborted)
+        << comm_errc_name(e.code());
+  }
+  EXPECT_TRUE(threw);
+  clear_fault_plan();
+
+  // The operator (and the cluster runtime) must be reusable after the
+  // failure: a clean apply still matches the reference bitwise.
+  WilsonField<double> again(g);
+  op.apply(again, in);
+  axpy(-1.0, expect, again);
+  EXPECT_EQ(norm2(again), 0.0);
+}
+
+}  // namespace
+}  // namespace lqcd

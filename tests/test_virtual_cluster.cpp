@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "comm/channel.h"
+#include "comm/error.h"
 #include "comm/domain_map.h"
 #include "comm/exchange.h"
 #include "comm/virtual_cluster.h"
@@ -161,6 +163,133 @@ TEST(RunRanks, PropagatesFirstException) {
   std::atomic<int> hits{0};
   run_ranks(6, [&](int) { hits.fetch_add(1); }, RankMode::Threads);
   EXPECT_EQ(hits.load(), 6);
+}
+
+TEST(Channel, RecvForTimesOutOnAbsentSender) {
+  // The deadline path in both rank modes: an absent sender must produce a
+  // Timeout status, never a blocked rank.
+  for (RankMode m : {RankMode::Seq, RankMode::Threads}) {
+    ScopedRankMode scoped(m);
+    Channel<int> ch(2);
+    std::atomic<bool> timed_out{false};
+    run_ranks(2, [&](int r) {
+      if (r == 0) {
+        int v = 0;
+        const ChanStatus st =
+            ch.recv_for(v, std::chrono::microseconds(20000));
+        if (st == ChanStatus::Timeout) timed_out.store(true);
+      }
+    });
+    EXPECT_TRUE(timed_out.load()) << rank_mode_name(m);
+  }
+}
+
+TEST(Channel, RecvForDeliversFromLateSenderWithinDeadline) {
+  for (RankMode m : {RankMode::Seq, RankMode::Threads}) {
+    ScopedRankMode scoped(m);
+    Channel<int> ch(2);
+    std::atomic<bool> delivered{false};
+    // Rank 0 (the sender) dawdles, then posts; rank 1's deadline is
+    // generous enough that the late message must still arrive.  In seq
+    // mode rank 0 simply runs to completion first.
+    run_ranks(2, [&](int r) {
+      if (r == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ch.send(42);
+      } else {
+        int v = 0;
+        const ChanStatus st = ch.recv_for(v, std::chrono::seconds(5));
+        if (st == ChanStatus::Ok && v == 42) delivered.store(true);
+      }
+    });
+    EXPECT_TRUE(delivered.load()) << rank_mode_name(m);
+  }
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  Channel<int> ch(1);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close();
+  });
+  bool threw = false;
+  try {
+    (void)ch.recv();
+  } catch (const CommError& e) {
+    threw = true;
+    EXPECT_EQ(e.code(), CommErrc::Closed);
+  }
+  closer.join();
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(ch.closed());
+  // Post-close: sends fail typed, deadline receives report Closed.
+  EXPECT_THROW(ch.send(1), CommError);
+  int v = 0;
+  EXPECT_EQ(ch.recv_for(v, std::chrono::microseconds(1000)),
+            ChanStatus::Closed);
+}
+
+TEST(Channel, CloseDrainsPendingMessagesFirst) {
+  Channel<int> ch(2);
+  ch.send(7);
+  ch.close();
+  EXPECT_EQ(ch.recv(), 7);  // drain-then-fail
+  EXPECT_THROW(ch.recv(), CommError);
+}
+
+TEST(RunRanks, ThrowingRankUnblocksPeerInRecv) {
+  // The close()/abort fix: before it, rank 0 would block in recv() forever
+  // waiting on a message its dead peer never sends, and run_ranks could
+  // never join to rethrow.
+  ScopedRankMode scoped(RankMode::Threads);
+  Channel<int> ch(1);
+  std::atomic<bool> peer_aborted{false};
+  bool propagated = false;
+  try {
+    run_ranks(2, [&](int r) {
+      if (r == 1) {
+        // Give rank 0 time to park in recv() so the abort must wake it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        throw std::runtime_error("rank 1 failed before sending");
+      }
+      try {
+        (void)ch.recv();
+      } catch (const CommError& e) {
+        if (e.code() == CommErrc::Aborted) peer_aborted.store(true);
+        throw;
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    propagated = true;
+    EXPECT_STREQ(e.what(), "rank 1 failed before sending");
+  }
+  EXPECT_TRUE(propagated);
+  EXPECT_TRUE(peer_aborted.load());
+  // The cluster (and a fresh channel) must be reusable afterwards.
+  std::atomic<int> hits{0};
+  run_ranks(2, [&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(RankBarrier, ThrowingRankUnblocksPeerAtBarrier) {
+  ScopedRankMode scoped(RankMode::Threads);
+  RankBarrier barrier(2);
+  std::atomic<bool> peer_aborted{false};
+  EXPECT_THROW(
+      run_ranks(2, [&](int r) {
+        if (r == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          throw std::runtime_error("rank 1 died");
+        }
+        try {
+          barrier.arrive_and_wait();
+        } catch (const CommError& e) {
+          if (e.code() == CommErrc::Aborted) peer_aborted.store(true);
+          throw;
+        }
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(peer_aborted.load());
 }
 
 TEST(RankModeEnv, ParsesSeqThreadsAndDefault) {
