@@ -17,6 +17,10 @@
 ///               exercises the envelope/retry path; the metrics report
 ///               shows fault.injected{kind=...} and comm.retries.
 ///               (`LQCD_FAULTS=<spec>` does the same for any binary.)
+///   --json <file>  write the benchmark results as JSON to <file>
+///               (shorthand for google-benchmark's
+///               --benchmark_out=<file> --benchmark_out_format=json);
+///               CI's perf-smoke job uploads these as artifacts.
 ///
 /// After the benchmarks run it prints the tunecache scoreboard —
 /// hits/misses/bypasses, the tuned-vs-default time per kernel — the
@@ -44,6 +48,10 @@ inline int tuned_bench_main(int argc, char** argv) {
   std::string trace_file;
   std::string faults_spec;
   std::vector<char*> args;
+  // Backing store for flags synthesized from --json; google-benchmark keeps
+  // pointers into argv, so these must outlive Initialize().
+  static std::vector<std::string> synthesized;
+  synthesized.reserve(2 * static_cast<std::size_t>(argc) + 2);
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tune") == 0) {
       tune = true;
@@ -53,6 +61,11 @@ inline int tuned_bench_main(int argc, char** argv) {
       trace_file = argv[++i];
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       faults_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      synthesized.push_back(std::string("--benchmark_out=") + argv[++i]);
+      synthesized.push_back("--benchmark_out_format=json");
+      args.push_back(synthesized[synthesized.size() - 2].data());
+      args.push_back(synthesized.back().data());
     } else {
       args.push_back(argv[i]);
     }

@@ -9,16 +9,21 @@
 #include <string>
 
 #include "fields/lattice_field.h"
+#include "linalg/reconstruct.h"
 
 namespace lqcd::detail {
 
 template <typename Real>
-std::string dslash_aux(const std::optional<Parity>& target, bool cut) {
+std::string dslash_aux(const std::optional<Parity>& target, bool cut,
+                       Reconstruct recon = Reconstruct::None) {
   std::string aux = sizeof(Real) == 8 ? "f64" : "f32";
   if (target.has_value()) {
     aux += *target == Parity::Even ? ",par=e" : ",par=o";
   }
   if (cut) aux += ",cut";
+  // Reconstruction changes the per-site flop/byte mix, so each format gets
+  // its own tunecache entry; the 18-real baseline keeps the seed's keys.
+  if (recon != Reconstruct::None) aux += std::string(",r") + to_string(recon);
   return aux;
 }
 

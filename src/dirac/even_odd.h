@@ -13,12 +13,19 @@
 /// improves the condition number — "almost always used" per the paper.
 ///
 /// Fields passed through this operator keep the odd checkerboard zero.
+///
+/// Like WilsonCloverOperator, the half-hops can execute from a
+/// reconstruct-12/-8 gauge field (ctor \p recon, LQCD_RECON override,
+/// LQCD_RECON=tune policy sweep cached as `wilson_schur_recon`).
 
 #include <memory>
+#include <optional>
 
 #include "dirac/operator.h"
+#include "dirac/recon_policy.h"
 #include "dirac/wilson_kernel.h"
 #include "fields/clover.h"
+#include "fields/compressed_gauge.h"
 
 namespace lqcd {
 
@@ -29,7 +36,8 @@ class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
   /// \param a clover field (may be null for plain Wilson).
   WilsonCloverSchurOperator(const GaugeField<Real>& u,
                             const CloverField<Real>* a, double mass,
-                            const LinkCut* mask = nullptr)
+                            const LinkCut* mask = nullptr,
+                            Reconstruct recon = Reconstruct::None)
       : u_(&u), mass_(mass), mask_(mask), tmp_(u.geometry()),
         diag_(std::make_shared<CloverField<Real>>(u.geometry())),
         inv_diag_(std::make_shared<CloverField<Real>>(u.geometry())) {
@@ -41,32 +49,31 @@ class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
       diag_->at(s) = cs;
       inv_diag_->at(s) = clover_invert(cs);
     }
+    std::unique_ptr<WilsonField<Real>> tin;
+    std::unique_ptr<WilsonField<Real>> tout;
+    recon_ = select_reconstruct(
+        "wilson_schur", detail::dslash_aux<Real>(std::nullopt, mask != nullptr),
+        g.half_volume(), recon, [&](Reconstruct r) {
+          if (!tin) {
+            tin = std::make_unique<WilsonField<Real>>(g);
+            tout = std::make_unique<WilsonField<Real>>(g);
+          }
+          ensure_compressed(r);
+          with_gauge(r, [&](const auto& ug) { apply_impl(ug, *tout, *tin); });
+        });
+    ensure_compressed(recon_);
+    if (recon_ != Reconstruct::Twelve) c12_.reset();
+    if (recon_ != Reconstruct::Eight) c8_.reset();
   }
 
   void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
     this->count_application();
-    const LatticeGeometry& g = geometry();
-    // tmp_o = D_oe in_e
-    tmp_.set_zero();
-    wilson_hop(tmp_, *u_, in, Parity::Odd, mask_);
-    // tmp_o <- A_oo^{-1} tmp_o
-    for_parity(tmp_, Parity::Odd, [&](std::int64_t s, WilsonSpinor<Real>& v) {
-      v = clover_apply(inv_diag_->at(s), v);
-    });
-    // out_e = D_eo tmp_o
-    out.set_zero();
-    wilson_hop(out, *u_, tmp_, Parity::Even, mask_);
-    // out_e = A_ee in_e - 1/4 out_e
-    for (std::int64_t s = 0; s < g.half_volume(); ++s) {
-      WilsonSpinor<Real> v = clover_apply(diag_->at(s), in.at(s));
-      WilsonSpinor<Real> h = out.at(s);
-      h *= Real(-0.25);
-      v += h;
-      out.at(s) = v;
-    }
+    with_gauge(recon_, [&](const auto& ug) { apply_impl(ug, out, in); });
   }
 
   const LatticeGeometry& geometry() const override { return u_->geometry(); }
+
+  Reconstruct recon() const { return recon_; }
 
   /// b_hat_e = b_e + (1/2) D_eo A_oo^{-1} b_o (result's odd part zero).
   void prepare_source(WilsonField<Real>& b_hat,
@@ -76,7 +83,9 @@ class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
       v = clover_apply(inv_diag_->at(s), b.at(s));
     });
     b_hat.set_zero();
-    wilson_hop(b_hat, *u_, tmp_, Parity::Even, mask_);
+    with_gauge(recon_, [&](const auto& ug) {
+      wilson_hop(b_hat, ug, tmp_, Parity::Even, mask_);
+    });
     const LatticeGeometry& g = geometry();
     for (std::int64_t s = 0; s < g.half_volume(); ++s) {
       WilsonSpinor<Real> v = b_hat.at(s);
@@ -91,7 +100,9 @@ class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
                             const WilsonField<Real>& b) const {
     const LatticeGeometry& g = geometry();
     tmp_.set_zero();
-    wilson_hop(tmp_, *u_, x, Parity::Odd, mask_);
+    with_gauge(recon_, [&](const auto& ug) {
+      wilson_hop(tmp_, ug, x, Parity::Odd, mask_);
+    });
     for (std::int64_t s = g.half_volume(); s < g.volume(); ++s) {
       WilsonSpinor<Real> v = tmp_.at(s);
       v *= Real(0.5);
@@ -107,6 +118,51 @@ class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
   }
 
  private:
+  template <typename Gauge>
+  void apply_impl(const Gauge& ug, WilsonField<Real>& out,
+                  const WilsonField<Real>& in) const {
+    const LatticeGeometry& g = geometry();
+    // tmp_o = D_oe in_e
+    tmp_.set_zero();
+    wilson_hop(tmp_, ug, in, Parity::Odd, mask_);
+    // tmp_o <- A_oo^{-1} tmp_o
+    for_parity(tmp_, Parity::Odd, [&](std::int64_t s, WilsonSpinor<Real>& v) {
+      v = clover_apply(inv_diag_->at(s), v);
+    });
+    // out_e = D_eo tmp_o
+    out.set_zero();
+    wilson_hop(out, ug, tmp_, Parity::Even, mask_);
+    // out_e = A_ee in_e - 1/4 out_e
+    for (std::int64_t s = 0; s < g.half_volume(); ++s) {
+      WilsonSpinor<Real> v = clover_apply(diag_->at(s), in.at(s));
+      WilsonSpinor<Real> h = out.at(s);
+      h *= Real(-0.25);
+      v += h;
+      out.at(s) = v;
+    }
+  }
+
+  void ensure_compressed(Reconstruct r) {
+    if (r == Reconstruct::Twelve && !c12_) {
+      c12_ = std::make_unique<CompressedGaugeField<Real>>(*u_,
+                                                          Reconstruct::Twelve);
+    }
+    if (r == Reconstruct::Eight && !c8_) {
+      c8_ = std::make_unique<CompressedGaugeField<Real>>(*u_,
+                                                         Reconstruct::Eight);
+    }
+  }
+
+  template <typename Fn>
+  void with_gauge(Reconstruct r, Fn&& fn) const {
+    switch (r) {
+      case Reconstruct::Twelve: fn(*c12_); break;
+      case Reconstruct::Eight: fn(*c8_); break;
+      case Reconstruct::None:
+      default: fn(*u_); break;
+    }
+  }
+
   template <typename Fn>
   void for_parity(WilsonField<Real>& f, Parity p, Fn&& fn) const {
     const LatticeGeometry& g = geometry();
@@ -122,6 +178,9 @@ class WilsonCloverSchurOperator : public LinearOperator<WilsonField<Real>> {
   mutable WilsonField<Real> tmp_;
   std::shared_ptr<CloverField<Real>> diag_;      // A + 4 + m
   std::shared_ptr<CloverField<Real>> inv_diag_;  // (A + 4 + m)^{-1}
+  Reconstruct recon_ = Reconstruct::None;
+  std::unique_ptr<CompressedGaugeField<Real>> c12_;
+  std::unique_ptr<CompressedGaugeField<Real>> c8_;
 };
 
 }  // namespace lqcd

@@ -27,13 +27,16 @@
 /// exchange; both modes are bitwise identical (asserted in tests).
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "comm/domain_map.h"
 #include "comm/exchange.h"
 #include "dirac/dslash_tune.h"
 #include "dirac/operator.h"
+#include "dirac/recon_policy.h"
 #include "fields/clover.h"
+#include "fields/compressed_gauge.h"
 #include "lattice/neighbor_table.h"
 #include "linalg/gamma.h"
 #include "obs/metrics.h"
@@ -110,9 +113,14 @@ inline void accumulate(OverlapStats& stats,
 template <typename Real>
 class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
  public:
+  /// \param recon gauge storage format for the *local* link body; ghost
+  /// links always travel and store as full matrices (they are a face's worth
+  /// of data, already transferred once per solve).  LQCD_RECON forces or
+  /// tunes the format across all ranks (policy key `wilson_part_recon`).
   PartitionedWilsonClover(const Partitioning& part, const GaugeField<Real>& u,
                           const CloverField<Real>* a, double mass,
-                          bool comms = true)
+                          bool comms = true,
+                          Reconstruct recon = Reconstruct::None)
       : part_(part), map_(part), nt_(part.local(), part.partitioned_dims(), 1),
         mass_(mass), comms_(comms) {
     map_.scatter_gauge(u, u_local_);
@@ -129,7 +137,35 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
                       WilsonField<Real>(part.local()));
     spinor_ghosts_.assign(static_cast<std::size_t>(part.num_ranks()),
                           GhostZones<HalfSpinor<Real>>(nt_));
+    // Nominal local link loads per full-volume interior pass: 8 per site
+    // minus the two missing hops per face site of each partitioned dim.
+    interior_links_ = 8 * part.local().volume();
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (part.partitioned(mu)) {
+        interior_links_ -= 2 * nt_.face(mu).face_volume();
+      }
+    }
+    std::unique_ptr<WilsonField<Real>> tin;
+    std::unique_ptr<WilsonField<Real>> tout;
+    recon_ = select_reconstruct(
+        "wilson_part", detail::dslash_aux<Real>(std::nullopt, false),
+        part.local().volume(), recon, [&](Reconstruct r) {
+          if (!tin) {
+            tin = std::make_unique<WilsonField<Real>>(part.global());
+            tout = std::make_unique<WilsonField<Real>>(part.global());
+          }
+          ensure_compressed(r);
+          const Reconstruct keep = recon_;
+          recon_ = r;
+          run(*tout, *tin, std::nullopt, /*hop_only=*/false);
+          recon_ = keep;
+        });
+    ensure_compressed(recon_);
+    if (recon_ != Reconstruct::Twelve) u12_.clear();
+    if (recon_ != Reconstruct::Eight) u8_.clear();
   }
+
+  Reconstruct recon() const { return recon_; }
 
   void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
     this->count_application();
@@ -243,14 +279,52 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
   bool comms_enabled() const { return comms_; }
 
  private:
+  /// Builds the per-rank compressed copies of the local link body for \p r
+  /// (lazily; the ghost zones are untouched).
+  void ensure_compressed(Reconstruct r) {
+    const auto build = [&](std::vector<CompressedGaugeField<Real>>& dst,
+                           Reconstruct scheme) {
+      if (!dst.empty()) return;
+      dst.reserve(u_local_.size());
+      for (const auto& u : u_local_) dst.emplace_back(u, scheme);
+    };
+    if (r == Reconstruct::Twelve) build(u12_, Reconstruct::Twelve);
+    if (r == Reconstruct::Eight) build(u8_, Reconstruct::Eight);
+  }
+
+  /// Invokes \p fn with rank \p r's local gauge body in the active format.
+  template <typename Fn>
+  void with_local_gauge(int r, Fn&& fn) const {
+    const auto i = static_cast<std::size_t>(r);
+    switch (recon_) {
+      case Reconstruct::Twelve: fn(u12_[i]); break;
+      case Reconstruct::Eight: fn(u8_[i]); break;
+      case Reconstruct::None:
+      default: fn(u_local_[i]); break;
+    }
+  }
+
+  void interior_kernel(int r, std::optional<Parity> target,
+                       bool hop_only) const {
+    with_local_gauge(
+        r, [&](const auto& u) { interior_impl(u, r, target, hop_only); });
+  }
+
+  void exterior_kernel(int r, int mu, std::optional<Parity> target,
+                       bool hop_only) const {
+    with_local_gauge(r, [&](const auto& u) {
+      exterior_impl(u, r, mu, target, hop_only);
+    });
+  }
+
   /// Diagonal + all hopping contributions whose neighbour is rank-local.
   /// With \p target set only that parity is computed (others zeroed);
   /// \p hop_only drops the (4 + m + A) diagonal and the -1/2 factor,
   /// producing the raw hopping sum D in.
-  void interior_kernel(int r, std::optional<Parity> target,
-                       bool hop_only) const {
+  template <typename Gauge>
+  void interior_impl(const Gauge& u, int r, std::optional<Parity> target,
+                     bool hop_only) const {
     const LatticeGeometry& local = part_.local();
-    const auto& u = u_local_[static_cast<std::size_t>(r)];
     const auto& in = in_local_[static_cast<std::size_t>(r)];
     auto& out = out_local_[static_cast<std::size_t>(r)];
     const bool have_clover = !clover_local_.empty();
@@ -265,7 +339,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     // Sites are written independently; the loop granularity is autotuned
     // (shared across ranks: every rank has the same local volume, so rank 0
     // tunes and the rest hit the cache).
-    std::string aux = detail::dslash_aux<Real>(target, false);
+    std::string aux = detail::dslash_aux<Real>(target, false, gauge_recon(u));
     if (hop_only) aux += ",hop";
     tuned_site_loop(
         "wilson_part_interior", std::move(aux), out.sites(), end - begin,
@@ -276,15 +350,16 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
         const auto fwd = nt_.neighbor(s, mu, +1, 1);
         if (fwd.local()) {
           const HalfSpinor<Real> h = project(mu, -1, in.at(fwd.index));
+          const auto& link = u.link(mu, s);
           HalfSpinor<Real> t;
-          t[0] = u.link(mu, s) * h[0];
-          t[1] = u.link(mu, s) * h[1];
+          t[0] = link * h[0];
+          t[1] = link * h[1];
           accumulate_reconstruct(mu, -1, t, hop);
         }
         const auto bwd = nt_.neighbor(s, mu, -1, 1);
         if (bwd.local()) {
           const HalfSpinor<Real> h = project(mu, +1, in.at(bwd.index));
-          const Matrix3<Real>& link = u.link(mu, bwd.index);
+          const auto& link = u.link(mu, bwd.index);
           HalfSpinor<Real> t;
           t[0] = adj_mul(link, h[0]);
           t[1] = adj_mul(link, h[1]);
@@ -305,13 +380,19 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       v += hop;
       out.at(s) = v;
     });
+    // Nominal local-body link loads, parity-scaled when target is set.
+    meter_gauge_bytes(gauge_recon(u),
+                      interior_links_ * (end - begin) / local.volume(),
+                      static_cast<int>(sizeof(Real)));
   }
 
   /// Adds ghost-zone contributions across the two faces of dimension mu.
-  void exterior_kernel(int r, int mu, std::optional<Parity> target,
-                       bool hop_only) const {
+  /// The forward term multiplies a *local* link (possibly compressed); the
+  /// backward term's link lives in the ghost zone and is always full.
+  template <typename Gauge>
+  void exterior_impl(const Gauge& u, int r, int mu,
+                     std::optional<Parity> target, bool hop_only) const {
     const LatticeGeometry& local = part_.local();
-    const auto& u = u_local_[static_cast<std::size_t>(r)];
     const auto& gg = gauge_ghosts_[static_cast<std::size_t>(r)];
     const auto& sg = spinor_ghosts_[static_cast<std::size_t>(r)];
     auto& out = out_local_[static_cast<std::size_t>(r)];
@@ -321,7 +402,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     // Flattened over (slice, face site): the two slices are distinct for
     // any partitioned extent >= 2, so every index writes its own site and
     // the granularity is autotuned like the interior.
-    std::string aux = detail::dslash_aux<Real>(target, false);
+    std::string aux = detail::dslash_aux<Real>(target, false, gauge_recon(u));
     if (hop_only) aux += ",hop";
     // Slice L-1 receives forward-ghost terms, slice 0 backward-ghost.
     tuned_site_loop(
@@ -340,9 +421,10 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       const auto fwd = nt_.neighbor(s, mu, +1, 1);
       if (!fwd.local() && fwd.zone == ghost_zone_id(mu, 0)) {
         const HalfSpinor<Real>& h = sg.at(fwd.zone, fwd.index);
+        const auto& link = u.link(mu, s);
         HalfSpinor<Real> t;
-        t[0] = u.link(mu, s) * h[0];
-        t[1] = u.link(mu, s) * h[1];
+        t[0] = link * h[0];
+        t[1] = link * h[1];
         accumulate_reconstruct(mu, -1, t, hop);
       }
       const auto bwd = nt_.neighbor(s, mu, -1, 1);
@@ -357,6 +439,11 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
       if (!hop_only) hop *= Real(-0.5);
       out.at(s) += hop;
     });
+    // Per face pass: fv forward loads from the (possibly compressed) local
+    // body, fv backward loads from the full-matrix ghost zone.
+    const std::int64_t n = target.has_value() ? fv / 2 : fv;
+    meter_gauge_bytes(gauge_recon(u), n, static_cast<int>(sizeof(Real)));
+    meter_gauge_bytes(Reconstruct::None, n, static_cast<int>(sizeof(Real)));
   }
 
   Partitioning part_;
@@ -364,7 +451,11 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
   NeighborTable nt_;
   double mass_;
   bool comms_;
+  Reconstruct recon_ = Reconstruct::None;
+  std::int64_t interior_links_ = 0;
   std::vector<GaugeField<Real>> u_local_;
+  std::vector<CompressedGaugeField<Real>> u12_;
+  std::vector<CompressedGaugeField<Real>> u8_;
   std::vector<CloverField<Real>> clover_local_;
   std::vector<GhostZones<Matrix3<Real>>> gauge_ghosts_;
   mutable std::vector<WilsonField<Real>> in_local_;

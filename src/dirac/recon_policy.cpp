@@ -1,0 +1,50 @@
+#include "dirac/recon_policy.h"
+
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace lqcd {
+
+namespace {
+
+ReconSetting parse_recon_env() {
+  ReconSetting s;
+  const char* env = std::getenv("LQCD_RECON");
+  if (env == nullptr) return s;
+  const std::string v(env);
+  if (v == "tune") {
+    s.tune = true;
+    return s;
+  }
+  s.forced = parse_reconstruct(v);
+  if (!s.forced.has_value() && !v.empty()) {
+    log_warn("LQCD_RECON=" + v + " not understood (want 18|none|12|8|tune); "
+             "using operator defaults");
+  }
+  return s;
+}
+
+ReconSetting& mutable_setting() {
+  static ReconSetting s = parse_recon_env();
+  return s;
+}
+
+}  // namespace
+
+const ReconSetting& recon_setting() { return mutable_setting(); }
+
+void init_recon_from_env() { mutable_setting() = parse_recon_env(); }
+
+Counter& gauge_bytes_counter(Reconstruct r) {
+  static Counter& c18 = metric_counter("dslash.gauge_bytes{recon=18}");
+  static Counter& c12 = metric_counter("dslash.gauge_bytes{recon=12}");
+  static Counter& c8 = metric_counter("dslash.gauge_bytes{recon=8}");
+  switch (r) {
+    case Reconstruct::Twelve: return c12;
+    case Reconstruct::Eight: return c8;
+    case Reconstruct::None: default: return c18;
+  }
+}
+
+}  // namespace lqcd

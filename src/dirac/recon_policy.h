@@ -1,0 +1,91 @@
+#pragma once
+/// \file recon_policy.h
+/// \brief Selection of the gauge-link storage format executed by the dslash
+/// kernels, and the metering that makes the choice auditable.
+///
+/// Environment contract (`LQCD_RECON`):
+///  * unset            — operators use their constructor default (the full
+///                       18-real field; seed behaviour).
+///  * `18`/`none`, `12`, `8` — force that storage format everywhere.
+///  * `tune`           — treat the format as an autotuner *policy*
+///                       parameter: each operator kernel times one
+///                       application per format and records the winner in
+///                       the tunecache (key `<kernel>_recon`, param
+///                       `recon=N`).  Policy tuning changes the numbers
+///                       (reconstruct-8 rounds), which is exactly why it
+///                       rides the TuneClass::policy opt-in instead of the
+///                       numerics-neutral chunk sweep.
+///
+/// Byte metering: every dslash kernel reports the gauge reals it loaded to
+/// `dslash.gauge_bytes{recon=N}` (nominal link loads; Dirichlet-cut links
+/// are not subtracted).  tests/test_perfmodel.cpp holds these counters to
+/// the perfmodel's per-recon byte formulas, and bench_dslash derives its
+/// measured gauge bytes/site from them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "linalg/reconstruct.h"
+#include "obs/metrics.h"
+#include "tune/tunable.h"
+#include "tune/tune_launch.h"
+
+namespace lqcd {
+
+/// The parsed LQCD_RECON setting.
+struct ReconSetting {
+  std::optional<Reconstruct> forced;  ///< set for 18/12/8
+  bool tune = false;                  ///< set for "tune"
+};
+
+/// Process-wide setting, parsed from LQCD_RECON on first use.
+const ReconSetting& recon_setting();
+
+/// Re-reads LQCD_RECON (test hook).
+void init_recon_from_env();
+
+/// The counter a kernel adds its gauge traffic to for format \p r.
+Counter& gauge_bytes_counter(Reconstruct r);
+
+/// Adds \p links link loads of format \p r at \p bytes_per_real to the
+/// metrics registry.
+inline void meter_gauge_bytes(Reconstruct r, std::int64_t links,
+                              int bytes_per_real) {
+  gauge_bytes_counter(r).add(static_cast<std::uint64_t>(
+      links * reals_per_link(r) * bytes_per_real));
+}
+
+/// Resolves the storage format for kernel \p kernel:
+///  * LQCD_RECON forced     — that format, unconditionally;
+///  * LQCD_RECON=tune       — sweep {18, 12, 8} as a policy tunable (one
+///    timed call of \p run_with per candidate; candidate 0 is the 18-real
+///    default) and return the tunecache winner;
+///  * otherwise             — \p fallback.
+/// \p run_with is invoked as run_with(Reconstruct) and must execute one
+/// representative application whose side effects are confined to scratch
+/// state (the driver re-runs candidates for timing).
+template <typename RunFn>
+Reconstruct select_reconstruct(const std::string& kernel, std::string aux,
+                               std::int64_t volume, Reconstruct fallback,
+                               RunFn&& run_with) {
+  const ReconSetting& s = recon_setting();
+  if (s.forced.has_value()) return *s.forced;
+  if (!s.tune) return fallback;
+  Reconstruct chosen = Reconstruct::None;
+  std::vector<CallbackTunable::Candidate> cands;
+  for (Reconstruct r :
+       {Reconstruct::None, Reconstruct::Twelve, Reconstruct::Eight}) {
+    cands.push_back({std::string("recon=") + to_string(r),
+                     [&chosen, r] { chosen = r; }});
+  }
+  CallbackTunable t(kernel + "_recon", std::move(aux), volume,
+                    TuneClass::policy, std::move(cands),
+                    [&] { run_with(chosen); });
+  TuneOptions opts;
+  opts.allow_policy = true;
+  tune_launch(t, opts);
+  return chosen;
+}
+
+}  // namespace lqcd

@@ -18,7 +18,9 @@
 
 #include "dirac/dslash_tune.h"
 #include "dirac/operator.h"
+#include "dirac/recon_policy.h"
 #include "fields/blas.h"
+#include "fields/compressed_gauge.h"
 #include "fields/lattice_field.h"
 #include "lattice/block_mask.h"
 #include "tune/site_loop.h"
@@ -27,9 +29,14 @@
 namespace lqcd {
 
 /// out(x) = D in(x) for target sites (see file comment for D).
-template <typename Real>
-void staggered_hop(StaggeredField<Real>& out, const GaugeField<Real>& fat,
-                   const GaugeField<Real>& lng, const StaggeredField<Real>& in,
+///
+/// Templated on the gauge type so thin-link experiments can pass a
+/// CompressedGaugeField, but note asqtad fat/long links are *not* unitary
+/// (sums of staples), so reconstruction is lossy for them — the shipped
+/// recon policy only compresses Wilson-type fields, matching the paper.
+template <typename Real, typename Gauge>
+void staggered_hop(StaggeredField<Real>& out, const Gauge& fat,
+                   const Gauge& lng, const StaggeredField<Real>& in,
                    std::optional<Parity> target = std::nullopt,
                    const LinkCut* mask = nullptr) {
   const LatticeGeometry& g = in.geometry();
@@ -39,7 +46,8 @@ void staggered_hop(StaggeredField<Real>& out, const GaugeField<Real>& fat,
       target.has_value() && *target == Parity::Even ? g.half_volume()
                                                     : g.volume();
   tuned_site_loop(
-      "staggered_hop", detail::dslash_aux<Real>(target, mask != nullptr),
+      "staggered_hop",
+      detail::dslash_aux<Real>(target, mask != nullptr, gauge_recon(fat)),
       out.sites(), end - begin, [&](std::int64_t idx) {
     const std::int64_t s = begin + idx;
     const Coord x = g.eo_coords(s);
@@ -62,6 +70,11 @@ void staggered_hop(StaggeredField<Real>& out, const GaugeField<Real>& fat,
     }
     out.at(s) = acc;
   });
+  // 8 fat + 8 long link loads per site (nominal; cut links not subtracted).
+  meter_gauge_bytes(gauge_recon(fat), 8 * (end - begin),
+                    static_cast<int>(sizeof(Real)));
+  meter_gauge_bytes(gauge_recon(lng), 8 * (end - begin),
+                    static_cast<int>(sizeof(Real)));
 }
 
 /// The full staggered matrix M = m + D/2 on both parities.

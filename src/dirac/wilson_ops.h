@@ -2,40 +2,57 @@
 /// \file wilson_ops.h
 /// \brief Wilson and Wilson-clover operator classes on the full lattice.
 
+#include <memory>
+#include <optional>
+
 #include "dirac/operator.h"
+#include "dirac/recon_policy.h"
 #include "dirac/wilson_kernel.h"
 #include "fields/clover.h"
+#include "fields/compressed_gauge.h"
 #include "fields/precision.h"
 
 namespace lqcd {
 
 /// M = (4 + m + A) - (1/2) D, optionally Dirichlet-cut by a block mask.
 /// The clover field may be null (plain Wilson, A = 0).
+///
+/// Applications run the fused wilson_clover_apply kernel (hop + diagonal in
+/// one sweep).  The gauge storage format defaults to the full 18-real field;
+/// it can be forced per operator (\p recon) or process-wide via LQCD_RECON,
+/// and LQCD_RECON=tune lets the autotuner pick the fastest format for this
+/// kernel/volume (policy tunable, cached as `wilson_clover_recon`).
 template <typename Real>
 class WilsonCloverOperator : public LinearOperator<WilsonField<Real>> {
  public:
   WilsonCloverOperator(const GaugeField<Real>& u, const CloverField<Real>* a,
-                       double mass, const LinkCut* mask = nullptr)
-      : u_(&u), a_(a), mass_(mass), mask_(mask), tmp_(u.geometry()) {}
+                       double mass, const LinkCut* mask = nullptr,
+                       Reconstruct recon = Reconstruct::None)
+      : u_(&u), a_(a), mass_(mass), mask_(mask) {
+    // Scratch fields exist only while the policy sweep runs (forced /
+    // default settings never invoke the callback).
+    std::unique_ptr<WilsonField<Real>> tin;
+    std::unique_ptr<WilsonField<Real>> tout;
+    recon_ = select_reconstruct(
+        "wilson_clover",
+        detail::dslash_aux<Real>(std::nullopt, mask != nullptr),
+        u.geometry().volume(), recon, [&](Reconstruct r) {
+          if (!tin) {
+            tin = std::make_unique<WilsonField<Real>>(u.geometry());
+            tout = std::make_unique<WilsonField<Real>>(u.geometry());
+          }
+          ensure_compressed(r);
+          apply_with(r, *tout, *tin);
+        });
+    ensure_compressed(recon_);
+    // Keep only the selected format resident.
+    if (recon_ != Reconstruct::Twelve) c12_.reset();
+    if (recon_ != Reconstruct::Eight) c8_.reset();
+  }
 
   void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
     this->count_application();
-    wilson_hop(tmp_, *u_, in, std::nullopt, mask_);
-    const Real diag = static_cast<Real>(4.0 + mass_);
-    auto is = in.sites();
-    auto os = out.sites();
-    auto ts = tmp_.sites();
-    for (std::size_t i = 0; i < os.size(); ++i) {
-      WilsonSpinor<Real> v = is[i];
-      v *= diag;
-      if (a_ != nullptr) {
-        v += clover_apply(a_->at(static_cast<std::int64_t>(i)), is[i]);
-      }
-      WilsonSpinor<Real> hop = ts[i];
-      hop *= Real(-0.5);
-      v += hop;
-      os[i] = v;
-    }
+    apply_with(recon_, out, in);
   }
 
   const LatticeGeometry& geometry() const override { return u_->geometry(); }
@@ -43,13 +60,43 @@ class WilsonCloverOperator : public LinearOperator<WilsonField<Real>> {
   double mass() const { return mass_; }
   const GaugeField<Real>& gauge() const { return *u_; }
   const CloverField<Real>* clover() const { return a_; }
+  Reconstruct recon() const { return recon_; }
 
  private:
+  void ensure_compressed(Reconstruct r) {
+    if (r == Reconstruct::Twelve && !c12_) {
+      c12_ = std::make_unique<CompressedGaugeField<Real>>(*u_,
+                                                          Reconstruct::Twelve);
+    }
+    if (r == Reconstruct::Eight && !c8_) {
+      c8_ = std::make_unique<CompressedGaugeField<Real>>(*u_,
+                                                         Reconstruct::Eight);
+    }
+  }
+
+  void apply_with(Reconstruct r, WilsonField<Real>& out,
+                  const WilsonField<Real>& in) const {
+    switch (r) {
+      case Reconstruct::Twelve:
+        wilson_clover_apply(out, *c12_, a_, mass_, in, mask_);
+        break;
+      case Reconstruct::Eight:
+        wilson_clover_apply(out, *c8_, a_, mass_, in, mask_);
+        break;
+      case Reconstruct::None:
+      default:
+        wilson_clover_apply(out, *u_, a_, mass_, in, mask_);
+        break;
+    }
+  }
+
   const GaugeField<Real>* u_;
   const CloverField<Real>* a_;
   double mass_;
   const LinkCut* mask_;
-  mutable WilsonField<Real> tmp_;
+  Reconstruct recon_ = Reconstruct::None;
+  std::unique_ptr<CompressedGaugeField<Real>> c12_;
+  std::unique_ptr<CompressedGaugeField<Real>> c8_;
 };
 
 /// gamma5 M — Hermitian when M is gamma5-Hermitian; used in tests and for

@@ -11,16 +11,35 @@
 /// Block-restricted variants take a BlockMask; "the reductions required in
 /// each of the domain-specific linear solvers are restricted to that domain
 /// only" (§8.1), which is what makes the preconditioner communication-free.
+///
+/// **Sweep accounting.**  Every operation here makes exactly one pass over
+/// the lattice index space and adds 1 to the `blas.sweeps` counter — the
+/// currency of the fused-kernel arithmetic in DESIGN.md §13.  The fused
+/// variants (block_cdot, block_caxpy_norm2, caxpy_norm2, scale_cdot,
+/// xmy_norm2) replace several passes with one; they are bitwise identical
+/// to the sequences they replace because (a) per-site update order matches
+/// the unfused op sequence exactly and (b) reductions always run on the
+/// fixed default chunk grid with partials combined in chunk order
+/// (util/parallel_for.h), never on the autotuner's swept grid.
 
 #include <complex>
 #include <vector>
 
 #include "fields/lattice_field.h"
 #include "lattice/block_mask.h"
+#include "obs/metrics.h"
 #include "tune/site_loop.h"
 #include "util/parallel_for.h"
 
 namespace lqcd {
+
+namespace detail {
+/// One lattice-wide pass by a BLAS op (fused ops still count once).
+inline void count_blas_sweep() {
+  static Counter& sweeps = metric_counter("blas.sweeps");
+  sweeps.add();
+}
+}  // namespace detail
 
 /// y = 0.
 template <typename Site>
@@ -31,9 +50,14 @@ void set_zero(LatticeField<Site>& y) {
 /// dst = src (geometries must match).
 template <typename Site>
 void copy(LatticeField<Site>& dst, const LatticeField<Site>& src) {
+  detail::count_blas_sweep();
   auto d = dst.sites();
   auto s = src.sites();
-  for (std::size_t i = 0; i < d.size(); ++i) d[i] = s[i];
+  tuned_site_loop("blas_copy", site_aux<Site>(), d,
+                  static_cast<std::int64_t>(d.size()), [&](std::int64_t i) {
+                    d[static_cast<std::size_t>(i)] =
+                        s[static_cast<std::size_t>(i)];
+                  });
 }
 
 namespace detail {
@@ -58,6 +82,7 @@ using site_real_t = typename site_real<Site>::type;
 /// sensitivity, and those keep the fixed chunk grid.)
 template <typename Site>
 void axpy(double a, const LatticeField<Site>& x, LatticeField<Site>& y) {
+  detail::count_blas_sweep();
   using Real = detail::site_real_t<Site>;
   const Real ar = static_cast<Real>(a);
   auto xs = x.sites();
@@ -73,6 +98,7 @@ void axpy(double a, const LatticeField<Site>& x, LatticeField<Site>& y) {
 /// y = x + a y.
 template <typename Site>
 void xpay(const LatticeField<Site>& x, double a, LatticeField<Site>& y) {
+  detail::count_blas_sweep();
   using Real = detail::site_real_t<Site>;
   const Real ar = static_cast<Real>(a);
   auto xs = x.sites();
@@ -91,6 +117,7 @@ void xpay(const LatticeField<Site>& x, double a, LatticeField<Site>& y) {
 template <typename Site>
 void axpby(double a, const LatticeField<Site>& x, double b,
            LatticeField<Site>& y) {
+  detail::count_blas_sweep();
   using Real = detail::site_real_t<Site>;
   const Real ar = static_cast<Real>(a);
   const Real br = static_cast<Real>(b);
@@ -112,6 +139,7 @@ void axpby(double a, const LatticeField<Site>& x, double b,
 template <typename Site>
 void caxpy(std::complex<double> a, const LatticeField<Site>& x,
            LatticeField<Site>& y) {
+  detail::count_blas_sweep();
   using Real = detail::site_real_t<Site>;
   const Cplx<Real> ar(static_cast<Real>(a.real()), static_cast<Real>(a.imag()));
   auto xs = x.sites();
@@ -128,6 +156,7 @@ void caxpy(std::complex<double> a, const LatticeField<Site>& x,
 /// x *= a.
 template <typename Site>
 void scale(double a, LatticeField<Site>& x) {
+  detail::count_blas_sweep();
   using Real = detail::site_real_t<Site>;
   const Real ar = static_cast<Real>(a);
   auto xs = x.sites();
@@ -141,6 +170,7 @@ void scale(double a, LatticeField<Site>& x) {
 template <typename Site>
 std::complex<double> dot(const LatticeField<Site>& x,
                          const LatticeField<Site>& y) {
+  detail::count_blas_sweep();
   auto xs = x.sites();
   auto ys = y.sites();
   return parallel_reduce<std::complex<double>>(
@@ -155,6 +185,7 @@ std::complex<double> dot(const LatticeField<Site>& x,
 template <typename Site>
 double norm2(const LatticeField<Site>& x) {
   auto xs = x.sites();
+  detail::count_blas_sweep();
   return parallel_reduce<double>(
       static_cast<std::int64_t>(xs.size()), [&](std::int64_t i) {
         return static_cast<double>(norm2(xs[static_cast<std::size_t>(i)]));
@@ -166,6 +197,7 @@ template <typename Site>
 std::vector<std::complex<double>> block_dot(const LatticeField<Site>& x,
                                             const LatticeField<Site>& y,
                                             const BlockMask& mask) {
+  detail::count_blas_sweep();
   std::vector<std::complex<double>> acc(
       static_cast<std::size_t>(mask.num_blocks()));
   auto xs = x.sites();
@@ -183,6 +215,7 @@ std::vector<std::complex<double>> block_dot(const LatticeField<Site>& x,
 template <typename Site>
 std::vector<double> block_norm2(const LatticeField<Site>& x,
                                 const BlockMask& mask) {
+  detail::count_blas_sweep();
   std::vector<double> acc(static_cast<std::size_t>(mask.num_blocks()));
   auto xs = x.sites();
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -193,12 +226,216 @@ std::vector<double> block_norm2(const LatticeField<Site>& x,
   return acc;
 }
 
+// ---------------------------------------------------------------------------
+// Fused multi-pass operations.  Each makes ONE pass over the index space and
+// is bitwise identical to the op sequence it replaces (see file comment).
+// ---------------------------------------------------------------------------
+
+/// All inner products <x_j, w> for a basis {x_j} in one pass — the
+/// classical-Gram-Schmidt projection step of GCR's orthogonalization.
+/// Entry j equals dot(*xs[j], w) bitwise: partials live on the same fixed
+/// chunk grid and combine in the same chunk order.
+template <typename Site>
+std::vector<std::complex<double>> block_cdot(
+    const std::vector<const LatticeField<Site>*>& xs,
+    const LatticeField<Site>& w) {
+  const std::size_t k = xs.size();
+  std::vector<std::complex<double>> out(k);
+  if (k == 0) return out;
+  detail::count_blas_sweep();
+  auto ws = w.sites();
+  const std::int64_t n = static_cast<std::int64_t>(ws.size());
+  const int chunks = default_chunk_count(n);
+  std::vector<std::complex<double>> partial(k * static_cast<std::size_t>(chunks));
+  detail::run_chunked(n, chunks, [&](int c, std::int64_t b, std::int64_t e) {
+    // Per basis vector within the chunk: the chunk's sites stay cache-hot,
+    // so the DRAM cost is one sweep even though k accumulators advance.
+    for (std::size_t j = 0; j < k; ++j) {
+      auto zs = xs[j]->sites();
+      std::complex<double> acc{};
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = inner(zs[static_cast<std::size_t>(i)],
+                             ws[static_cast<std::size_t>(i)]);
+        acc += std::complex<double>(v.real(), v.imag());
+      }
+      partial[j * static_cast<std::size_t>(chunks) +
+              static_cast<std::size_t>(c)] = acc;
+    }
+  });
+  for (std::size_t j = 0; j < k; ++j) {
+    std::complex<double> total{};
+    for (int c = 0; c < chunks; ++c) {
+      total += partial[j * static_cast<std::size_t>(chunks) +
+                       static_cast<std::size_t>(c)];
+    }
+    out[j] = total;
+  }
+  return out;
+}
+
+/// y += sum_j a_j x_j in one pass (per site, terms added in j order — the
+/// same order as j successive caxpy calls, so the result is bitwise equal).
+template <typename Site>
+void block_caxpy(const std::vector<std::complex<double>>& a,
+                 const std::vector<const LatticeField<Site>*>& xs,
+                 LatticeField<Site>& y) {
+  using Real = detail::site_real_t<Site>;
+  const std::size_t k = xs.size();
+  if (k == 0) return;
+  detail::count_blas_sweep();
+  std::vector<Cplx<Real>> ar(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    ar[j] = Cplx<Real>(static_cast<Real>(a[j].real()),
+                       static_cast<Real>(a[j].imag()));
+  }
+  auto ys = y.sites();
+  tuned_site_loop("blas_block_caxpy_multi", site_aux<Site>(), ys,
+                  static_cast<std::int64_t>(ys.size()), [&](std::int64_t i) {
+                    const auto u = static_cast<std::size_t>(i);
+                    Site acc = ys[u];
+                    for (std::size_t j = 0; j < k; ++j) {
+                      Site t = xs[j]->sites()[u];
+                      t *= ar[j];
+                      acc += t;
+                    }
+                    ys[u] = acc;
+                  });
+}
+
+/// y += sum_j a_j x_j, returning ||y||^2, in one pass — GCR's CGS update
+/// plus the norm that previously cost its own sweep.  With an empty basis
+/// this is exactly norm2(y).  Runs on the fixed reduction grid.
+template <typename Site>
+double block_caxpy_norm2(const std::vector<std::complex<double>>& a,
+                         const std::vector<const LatticeField<Site>*>& xs,
+                         LatticeField<Site>& y) {
+  using Real = detail::site_real_t<Site>;
+  const std::size_t k = xs.size();
+  detail::count_blas_sweep();
+  std::vector<Cplx<Real>> ar(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    ar[j] = Cplx<Real>(static_cast<Real>(a[j].real()),
+                       static_cast<Real>(a[j].imag()));
+  }
+  auto ys = y.sites();
+  const std::int64_t n = static_cast<std::int64_t>(ys.size());
+  const int chunks = default_chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(chunks));
+  detail::run_chunked(n, chunks, [&](int c, std::int64_t b, std::int64_t e) {
+    double acc = 0;
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      Site v = ys[u];
+      for (std::size_t j = 0; j < k; ++j) {
+        Site t = xs[j]->sites()[u];
+        t *= ar[j];
+        v += t;
+      }
+      ys[u] = v;
+      acc += static_cast<double>(norm2(v));
+    }
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  double total = 0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
+/// y += a x, returning ||y||^2, in one pass (caxpy + norm2 fused; bitwise
+/// equal to the pair).  The residual-update epilogue of a GCR iteration.
+template <typename Site>
+double caxpy_norm2(std::complex<double> a, const LatticeField<Site>& x,
+                   LatticeField<Site>& y) {
+  using Real = detail::site_real_t<Site>;
+  const Cplx<Real> ar(static_cast<Real>(a.real()), static_cast<Real>(a.imag()));
+  detail::count_blas_sweep();
+  auto xs = x.sites();
+  auto ys = y.sites();
+  const std::int64_t n = static_cast<std::int64_t>(ys.size());
+  const int chunks = default_chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(chunks));
+  detail::run_chunked(n, chunks, [&](int c, std::int64_t b, std::int64_t e) {
+    double acc = 0;
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      Site t = xs[u];
+      t *= ar;
+      ys[u] += t;
+      acc += static_cast<double>(norm2(ys[u]));
+    }
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  double total = 0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
+/// x *= a, returning <x, w>, in one pass (scale + dot fused; bitwise equal
+/// to the pair) — GCR's basis normalization plus projection on rhat.
+template <typename Site>
+std::complex<double> scale_cdot(double a, LatticeField<Site>& x,
+                                const LatticeField<Site>& w) {
+  using Real = detail::site_real_t<Site>;
+  const Real ar = static_cast<Real>(a);
+  detail::count_blas_sweep();
+  auto xs = x.sites();
+  auto ws = w.sites();
+  const std::int64_t n = static_cast<std::int64_t>(xs.size());
+  const int chunks = default_chunk_count(n);
+  std::vector<std::complex<double>> partial(static_cast<std::size_t>(chunks));
+  detail::run_chunked(n, chunks, [&](int c, std::int64_t b, std::int64_t e) {
+    std::complex<double> acc{};
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      xs[u] *= ar;
+      const auto v = inner(xs[u], ws[u]);
+      acc += std::complex<double>(v.real(), v.imag());
+    }
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  std::complex<double> total{};
+  for (const auto& p : partial) total += p;
+  return total;
+}
+
+/// out = x - y, returning ||out||^2, in one pass — the residual
+/// recomputation r = b - A x (copy + axpy + norm2 fused, bitwise equal:
+/// per site the subtraction is (-1)*y + x, matching axpy(-1, ...)).
+template <typename Site>
+double xmy_norm2(const LatticeField<Site>& x, const LatticeField<Site>& y,
+                 LatticeField<Site>& out) {
+  using Real = detail::site_real_t<Site>;
+  detail::count_blas_sweep();
+  auto xs = x.sites();
+  auto ys = y.sites();
+  auto os = out.sites();
+  const std::int64_t n = static_cast<std::int64_t>(os.size());
+  const int chunks = default_chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(chunks));
+  detail::run_chunked(n, chunks, [&](int c, std::int64_t b, std::int64_t e) {
+    double acc = 0;
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      Site t = ys[u];
+      t *= Real(-1);
+      t += xs[u];
+      os[u] = t;
+      acc += static_cast<double>(norm2(t));
+    }
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  double total = 0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
 /// y += a_b x on each block b, with block-specific complex coefficients —
 /// the update step of the block-local MR iteration.
 template <typename Site>
 void block_caxpy(const std::vector<std::complex<double>>& a,
                  const LatticeField<Site>& x, LatticeField<Site>& y,
                  const BlockMask& mask) {
+  detail::count_blas_sweep();
   using Real = detail::site_real_t<Site>;
   auto xs = x.sites();
   auto ys = y.sites();

@@ -1,0 +1,158 @@
+#pragma once
+/// \file compressed_gauge.h
+/// \brief Gauge links stored in reconstruct-12 / reconstruct-8 format and
+/// rebuilt on load — the executed counterpart of the perfmodel's byte
+/// accounting (§5's flops-for-bandwidth trade).
+///
+/// `CompressedGaugeField` mirrors `GaugeField`'s read interface
+/// (`link(mu, eo_index)`), so the dslash kernels are templated on the gauge
+/// type and decompression inlines into the site loop.  `link()` returns by
+/// value: the full matrix exists only in registers, never in memory — the
+/// stored footprint is 12 or 8 reals per link.
+///
+/// Half-precision storage (the paper's production config) is emulated the
+/// same way fields/precision.h emulates it for spinors: the packed reals are
+/// round-tripped through the int16 fixed-point codec at construction, so
+/// every load sees exactly the values a GPU half-storage kernel would.
+/// Matrix-entry components are bounded by one (unit scale, QUDA's
+/// convention); the two angle slots of the 8-real format are bounded by pi
+/// and use a pi scale.
+///
+/// Compression assumes (approximately) unitary links.  Asqtad fat/long
+/// links leave SU(3) (they are sums of staples), which is why the paper
+/// never reconstructs staggered links; the staggered kernels accept a
+/// compressed field for thin-link experiments, but the shipped policy only
+/// compresses Wilson-type gauge fields.
+
+#include <cstdint>
+#include <vector>
+
+#include "fields/lattice_field.h"
+#include "linalg/half.h"
+#include "linalg/reconstruct.h"
+
+namespace lqcd {
+
+/// Numbers of pi-scaled (angle) slots in the packed formats: Packed8 stores
+/// arg(u00) at [4] and arg(beta) at [7]; Packed12 is all matrix entries.
+inline bool packed8_slot_is_angle(int i) { return i == 4 || i == 7; }
+
+template <typename Real>
+class CompressedGaugeField {
+ public:
+  /// Compresses \p u into \p scheme.  With \p half_storage the packed reals
+  /// additionally take an int16 fixed-point round trip (see file comment).
+  /// Scheme None stores the full 18 reals (useful as the half-storage
+  /// baseline and for uniform benchmarking code).
+  CompressedGaugeField(const GaugeField<Real>& u, Reconstruct scheme,
+                       bool half_storage = false)
+      : geom_(u.geometry()), scheme_(scheme), half_(half_storage),
+        stride_(reals_per_link(scheme)),
+        data_(static_cast<std::size_t>(kNDim * u.geometry().volume() *
+                                       reals_per_link(scheme))) {
+    const std::int64_t v = geom_.volume();
+    for (int mu = 0; mu < kNDim; ++mu) {
+      for (std::int64_t s = 0; s < v; ++s) {
+        Real* p = slot(mu, s);
+        const Matrix3<Real>& m = u.link(mu, s);
+        switch (scheme_) {
+          case Reconstruct::None: {
+            for (int i = 0; i < 9; ++i) {
+              p[2 * i] = m.m[static_cast<std::size_t>(i)].real();
+              p[2 * i + 1] = m.m[static_cast<std::size_t>(i)].imag();
+            }
+            break;
+          }
+          case Reconstruct::Twelve: {
+            const Packed12<Real> q = compress12(m);
+            for (int i = 0; i < 12; ++i) p[i] = q[static_cast<std::size_t>(i)];
+            break;
+          }
+          case Reconstruct::Eight: {
+            const Packed8<Real> q = compress8(m);
+            for (int i = 0; i < 8; ++i) p[i] = q[static_cast<std::size_t>(i)];
+            break;
+          }
+        }
+        if (half_) {
+          for (int i = 0; i < stride_; ++i) {
+            const bool angle =
+                scheme_ == Reconstruct::Eight && packed8_slot_is_angle(i);
+            const float bound = angle ? 3.14159274f : 1.0f;
+            const float x = static_cast<float>(p[i]);
+            p[i] = static_cast<Real>(
+                dequantize_fixed(quantize_fixed(x, 1.0f / bound), bound));
+          }
+        }
+      }
+    }
+  }
+
+  const LatticeGeometry& geometry() const { return geom_; }
+  Reconstruct recon() const { return scheme_; }
+  bool half_storage() const { return half_; }
+
+  /// Decompressed link, by value (rebuilt in registers on every load).
+  Matrix3<Real> link(int mu, std::int64_t eo_index) const {
+    const Real* p = slot(mu, eo_index);
+    switch (scheme_) {
+      case Reconstruct::Twelve: {
+        Packed12<Real> q;
+        for (int i = 0; i < 12; ++i) q[static_cast<std::size_t>(i)] = p[i];
+        return decompress12(q);
+      }
+      case Reconstruct::Eight: {
+        Packed8<Real> q;
+        for (int i = 0; i < 8; ++i) q[static_cast<std::size_t>(i)] = p[i];
+        return decompress8(q);
+      }
+      case Reconstruct::None:
+      default: {
+        Matrix3<Real> m;
+        for (int i = 0; i < 9; ++i) {
+          m.m[static_cast<std::size_t>(i)] = Cplx<Real>(p[2 * i], p[2 * i + 1]);
+        }
+        return m;
+      }
+    }
+  }
+
+  Matrix3<Real> link(int mu, const Coord& x) const {
+    return link(mu, geom_.eo_index(x));
+  }
+
+  /// Actual storage footprint of the link data.
+  std::int64_t stored_bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(Real));
+  }
+
+ private:
+  Real* slot(int mu, std::int64_t s) {
+    return data_.data() +
+           static_cast<std::size_t>((mu * geom_.volume() + s) * stride_);
+  }
+  const Real* slot(int mu, std::int64_t s) const {
+    return data_.data() +
+           static_cast<std::size_t>((mu * geom_.volume() + s) * stride_);
+  }
+
+  LatticeGeometry geom_;
+  Reconstruct scheme_;
+  bool half_;
+  int stride_;
+  std::vector<Real> data_;
+};
+
+/// Storage format of a gauge argument, for tune keys and byte metering: the
+/// plain GaugeField is the 18-real baseline.
+template <typename Real>
+inline Reconstruct gauge_recon(const GaugeField<Real>&) {
+  return Reconstruct::None;
+}
+
+template <typename Real>
+inline Reconstruct gauge_recon(const CompressedGaugeField<Real>& u) {
+  return u.recon();
+}
+
+}  // namespace lqcd

@@ -13,11 +13,23 @@
 ///    in a deterministic orthonormal basis {v1, v2} of the complement of
 ///    row 0.  Exact up to floating-point rounding.
 ///
+/// The codecs are defined inline here because decompression executes inside
+/// the dslash site loops (fields/compressed_gauge.h): a per-link call
+/// through a translation-unit boundary would forfeit the flops-for-bytes
+/// trade the formats exist for.  reconstruct.cpp keeps the explicit
+/// instantiations so existing callers of the out-of-line symbols still
+/// link.
+///
 /// The enum also carries the per-link real count used by the performance
 /// model's byte accounting.
 
 #include <array>
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <string>
 
+#include "linalg/su3.h"
 #include "linalg/types.h"
 
 namespace lqcd {
@@ -29,6 +41,23 @@ inline constexpr int reals_per_link(Reconstruct r) {
   return static_cast<int>(r);
 }
 
+inline const char* to_string(Reconstruct r) {
+  switch (r) {
+    case Reconstruct::None: return "18";
+    case Reconstruct::Twelve: return "12";
+    case Reconstruct::Eight: return "8";
+  }
+  return "?";
+}
+
+/// Parses "18"/"none" / "12" / "8" (the LQCD_RECON grammar).
+inline std::optional<Reconstruct> parse_reconstruct(const std::string& s) {
+  if (s == "18" || s == "none") return Reconstruct::None;
+  if (s == "12") return Reconstruct::Twelve;
+  if (s == "8") return Reconstruct::Eight;
+  return std::nullopt;
+}
+
 template <typename Real>
 using Packed12 = std::array<Real, 12>;
 
@@ -37,18 +66,107 @@ using Packed8 = std::array<Real, 8>;
 
 /// Stores rows 0-1 of \p u.
 template <typename Real>
-Packed12<Real> compress12(const Matrix3<Real>& u);
+inline Packed12<Real> compress12(const Matrix3<Real>& u) {
+  Packed12<Real> p;
+  std::size_t k = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < kNColor; ++c) {
+      p[k++] = u(r, c).real();
+      p[k++] = u(r, c).imag();
+    }
+  }
+  return p;
+}
 
 /// Rebuilds the full matrix; exact when the packed rows are orthonormal.
 template <typename Real>
-Matrix3<Real> decompress12(const Packed12<Real>& p);
+inline Matrix3<Real> decompress12(const Packed12<Real>& p) {
+  Matrix3<Real> u;
+  std::size_t k = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < kNColor; ++c) {
+      u(r, c) = Cplx<Real>(p[k], p[k + 1]);
+      k += 2;
+    }
+  }
+  set_row(u, 2, cross_conj(row(u, 0), row(u, 1)));
+  return u;
+}
+
+namespace detail {
+
+/// Deterministic orthonormal basis {v1, v2} of the orthogonal complement of
+/// the unit vector r0.  Both compression and decompression call this with
+/// (their view of) r0, so the parametrization round-trips.  The seed axis
+/// avoids degeneracy: e1 unless r0 is (numerically) parallel to it.
+template <typename Real>
+inline void complement_basis(const ColorVector<Real>& r0, ColorVector<Real>& v1,
+                             ColorVector<Real>& v2) {
+  ColorVector<Real> e1, e2;
+  // |<e1, r0>|^2 = |r0[1]|^2; seed with e1=(0,1,0), e2=(0,0,1) unless e1 is
+  // nearly parallel to r0, in which case rotate the seeds.
+  if (std::norm(r0[1]) < Real(0.99)) {
+    e1[1] = Cplx<Real>(1);
+    e2[2] = Cplx<Real>(1);
+  } else {
+    e1[0] = Cplx<Real>(1);
+    e2[2] = Cplx<Real>(1);
+  }
+  v1 = e1 - inner(r0, e1) * r0;
+  v1 *= Real(1) / std::sqrt(norm2(v1));
+  v2 = e2 - inner(r0, e2) * r0 - inner(v1, e2) * v1;
+  v2 *= Real(1) / std::sqrt(norm2(v2));
+}
+
+}  // namespace detail
 
 /// 8-real compression; requires \p u (approximately) in SU(3).
 template <typename Real>
-Packed8<Real> compress8(const Matrix3<Real>& u);
+inline Packed8<Real> compress8(const Matrix3<Real>& u) {
+  const ColorVector<Real> r0 = row(u, 0);
+  const ColorVector<Real> r1 = row(u, 1);
+  ColorVector<Real> v1, v2;
+  detail::complement_basis(r0, v1, v2);
+  const Cplx<Real> alpha = inner(v1, r1);
+  const Cplx<Real> beta = inner(v2, r1);
+  Packed8<Real> p;
+  p[0] = u(0, 1).real();
+  p[1] = u(0, 1).imag();
+  p[2] = u(0, 2).real();
+  p[3] = u(0, 2).imag();
+  p[4] = std::arg(u(0, 0));
+  p[5] = alpha.real();
+  p[6] = alpha.imag();
+  p[7] = std::arg(beta);
+  return p;
+}
 
 template <typename Real>
-Matrix3<Real> decompress8(const Packed8<Real>& p);
+inline Matrix3<Real> decompress8(const Packed8<Real>& p) {
+  const Cplx<Real> u01(p[0], p[1]);
+  const Cplx<Real> u02(p[2], p[3]);
+  const Real mag2 = Real(1) - std::norm(u01) - std::norm(u02);
+  const Real mag = std::sqrt(mag2 > Real(0) ? mag2 : Real(0));
+  const Cplx<Real> u00 = std::polar(mag, p[4]);
+  ColorVector<Real> r0;
+  r0[0] = u00;
+  r0[1] = u01;
+  r0[2] = u02;
+
+  ColorVector<Real> v1, v2;
+  detail::complement_basis(r0, v1, v2);
+  const Cplx<Real> alpha(p[5], p[6]);
+  const Real beta2 = Real(1) - std::norm(alpha);
+  const Cplx<Real> beta =
+      std::polar(std::sqrt(beta2 > Real(0) ? beta2 : Real(0)), p[7]);
+  const ColorVector<Real> r1 = alpha * v1 + beta * v2;
+
+  Matrix3<Real> u;
+  set_row(u, 0, r0);
+  set_row(u, 1, r1);
+  set_row(u, 2, cross_conj(r0, r1));
+  return u;
+}
 
 extern template Packed12<float> compress12(const Matrix3<float>&);
 extern template Packed12<double> compress12(const Matrix3<double>&);

@@ -1,0 +1,193 @@
+// The fused BLAS kernels (fields/blas.h): each must be BITWISE identical
+// to the unfused op sequence it replaces — that is the contract that lets
+// GcrParams::fused flip freely without changing residual histories — and
+// invariant under the worker count, because reductions run on the fixed
+// chunk grid rather than the parallel shard grid.  Also covers the sweep
+// counter (one pass == one tick) and the tuned copy loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "fields/blas.h"
+#include "gauge/configure.h"
+#include "obs/metrics.h"
+#include "util/parallel_for.h"
+
+namespace lqcd {
+namespace {
+
+using Field = WilsonField<double>;
+
+struct FusedBlasTest : public ::testing::Test {
+  LatticeGeometry g{{4, 4, 4, 8}};
+  Field w = gaussian_wilson_source(g, 201);
+  Field y0 = gaussian_wilson_source(g, 202);
+  std::vector<Field> basis;
+  std::vector<const Field*> ptrs;
+  std::vector<std::complex<double>> coeffs;
+
+  void SetUp() override {
+    for (int j = 0; j < 5; ++j) {
+      basis.push_back(gaussian_wilson_source(g, 210 + j));
+      coeffs.emplace_back(0.3 * (j + 1), -0.1 * j);
+    }
+    for (const Field& f : basis) ptrs.push_back(&f);
+  }
+
+  void TearDown() override { set_worker_count(1); }
+
+  static void expect_bitwise_equal(const Field& a, const Field& b) {
+    auto sa = a.sites();
+    auto sb = b.sites();
+    ASSERT_EQ(sa.size(), sb.size());
+    EXPECT_EQ(std::memcmp(sa.data(), sb.data(), sa.size_bytes()), 0);
+  }
+};
+
+TEST_F(FusedBlasTest, BlockCdotMatchesDotLoop) {
+  const auto fused = block_cdot(ptrs, w);
+  ASSERT_EQ(fused.size(), basis.size());
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    const auto single = dot(basis[j], w);
+    // Bitwise: same inner products, same fixed-chunk partial order.
+    EXPECT_EQ(fused[j].real(), single.real()) << "j=" << j;
+    EXPECT_EQ(fused[j].imag(), single.imag()) << "j=" << j;
+  }
+}
+
+TEST_F(FusedBlasTest, BlockCaxpyMatchesCaxpyLoop) {
+  Field fused = y0;
+  block_caxpy(coeffs, ptrs, fused);
+  Field unfused = y0;
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    caxpy(coeffs[j], basis[j], unfused);
+  }
+  expect_bitwise_equal(fused, unfused);
+}
+
+TEST_F(FusedBlasTest, BlockCaxpyNorm2MatchesSequence) {
+  Field fused = y0;
+  const double n_fused = block_caxpy_norm2(coeffs, ptrs, fused);
+  Field unfused = y0;
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    caxpy(coeffs[j], basis[j], unfused);
+  }
+  const double n_unfused = norm2(unfused);
+  expect_bitwise_equal(fused, unfused);
+  EXPECT_EQ(n_fused, n_unfused);
+}
+
+TEST_F(FusedBlasTest, EmptyBasisIsNorm2) {
+  Field y = y0;
+  const double n = block_caxpy_norm2({}, {}, y);
+  expect_bitwise_equal(y, y0);  // no update happened
+  EXPECT_EQ(n, norm2(y0));
+  EXPECT_TRUE(block_cdot({}, w).empty());
+}
+
+TEST_F(FusedBlasTest, CaxpyNorm2MatchesPair) {
+  const std::complex<double> a(0.7, -1.3);
+  Field fused = y0;
+  const double n_fused = caxpy_norm2(a, w, fused);
+  Field unfused = y0;
+  caxpy(a, w, unfused);
+  expect_bitwise_equal(fused, unfused);
+  EXPECT_EQ(n_fused, norm2(unfused));
+}
+
+TEST_F(FusedBlasTest, ScaleCdotMatchesPair) {
+  Field fused = y0;
+  const auto d_fused = scale_cdot(0.25, fused, w);
+  Field unfused = y0;
+  scale(0.25, unfused);
+  const auto d_unfused = dot(unfused, w);
+  expect_bitwise_equal(fused, unfused);
+  EXPECT_EQ(d_fused.real(), d_unfused.real());
+  EXPECT_EQ(d_fused.imag(), d_unfused.imag());
+}
+
+TEST_F(FusedBlasTest, XmyNorm2MatchesCopyAxpyNorm2) {
+  Field fused(g);
+  const double n_fused = xmy_norm2(w, y0, fused);
+  Field unfused(g);
+  copy(unfused, w);
+  axpy(-1.0, y0, unfused);
+  expect_bitwise_equal(fused, unfused);
+  EXPECT_EQ(n_fused, norm2(unfused));
+}
+
+TEST_F(FusedBlasTest, TunedCopyMatchesSource) {
+  Field dst(g);
+  copy(dst, w);
+  expect_bitwise_equal(dst, w);
+}
+
+TEST_F(FusedBlasTest, WorkerCountInvariance) {
+  // The fixed reduction grid makes every fused result — fields AND scalars
+  // — independent of how many pool workers execute the chunks.
+  const int hw =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  set_worker_count(1);
+  Field y_ref = y0;
+  const double n_ref = block_caxpy_norm2(coeffs, ptrs, y_ref);
+  const auto d_ref = block_cdot(ptrs, w);
+  Field r_ref(g);
+  const double x_ref = xmy_norm2(w, y0, r_ref);
+
+  set_worker_count(hw);
+  Field y_par = y0;
+  const double n_par = block_caxpy_norm2(coeffs, ptrs, y_par);
+  const auto d_par = block_cdot(ptrs, w);
+  Field r_par(g);
+  const double x_par = xmy_norm2(w, y0, r_par);
+
+  expect_bitwise_equal(y_ref, y_par);
+  expect_bitwise_equal(r_ref, r_par);
+  EXPECT_EQ(n_ref, n_par);
+  EXPECT_EQ(x_ref, x_par);
+  ASSERT_EQ(d_ref.size(), d_par.size());
+  for (std::size_t j = 0; j < d_ref.size(); ++j) {
+    EXPECT_EQ(d_ref[j].real(), d_par[j].real());
+    EXPECT_EQ(d_ref[j].imag(), d_par[j].imag());
+  }
+}
+
+TEST_F(FusedBlasTest, SweepCounterCountsOnePassPerOp) {
+  Counter& sweeps = metric_counter("blas.sweeps");
+  Field y = y0;
+
+  std::uint64_t before = sweeps.value();
+  const auto ignored = block_cdot(ptrs, w);
+  (void)ignored;
+  block_caxpy_norm2(coeffs, ptrs, y);
+  scale_cdot(0.5, y, w);
+  caxpy_norm2({0.1, 0.2}, w, y);
+  EXPECT_EQ(sweeps.value() - before, 4u);  // the fused GCR iteration budget
+
+  // The unfused equivalents of the same work: 2k+5 passes at basis size k.
+  before = sweeps.value();
+  for (const Field* x : ptrs) {
+    const auto ignored2 = dot(*x, w);
+    (void)ignored2;
+  }
+  for (std::size_t j = 0; j < basis.size(); ++j) caxpy(coeffs[j], basis[j], y);
+  norm2(y);
+  scale(0.5, y);
+  const auto ignored3 = dot(y, w);
+  (void)ignored3;
+  caxpy({0.1, 0.2}, w, y);
+  norm2(y);
+  EXPECT_EQ(sweeps.value() - before, 2 * basis.size() + 5);
+
+  // Empty-basis block_cdot is free: no pass, no tick.
+  before = sweeps.value();
+  EXPECT_TRUE(block_cdot({}, w).empty());
+  EXPECT_EQ(sweeps.value(), before);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -370,6 +370,66 @@ TEST_F(RankModeDeterminismTest, ThreadsModeReportsOverlapPhases) {
   EXPECT_EQ(op.overlap().rank_samples, 0);
 }
 
+TEST_F(RankModeDeterminismTest, ReconApplyBitwiseAcrossModesAndWorkers) {
+  // Link reconstruction in the partitioned hot path must keep the virtual
+  // cluster's equivalence guarantee: seq == threads, any worker count,
+  // bitwise — decompression is pure per-site arithmetic.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 97);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+  const WilsonField<double> in = gaussian_wilson_source(g, 98);
+
+  for (const Grid& grid : {Grid{1, 1, 1, 2}, Grid{2, 2, 2, 2}}) {
+    Partitioning part(g, grid);
+    PartitionedWilsonClover<double> op(part, u, &a, -0.1, /*comms=*/true,
+                                       Reconstruct::Twelve);
+    ASSERT_EQ(op.recon(), Reconstruct::Twelve);
+
+    set_rank_mode(RankMode::Seq);
+    set_worker_count(1);
+    WilsonField<double> ref(g);
+    op.apply(ref, in);
+
+    for (RankMode m : {RankMode::Seq, RankMode::Threads}) {
+      for (int w : worker_counts()) {
+        set_rank_mode(m);
+        set_worker_count(w);
+        WilsonField<double> got(g);
+        op.apply(got, in);
+        expect_bitwise_equal(ref, got, "recon-12 partitioned apply");
+      }
+    }
+  }
+}
+
+TEST(PartitionedRecon, MatchesSingleDomainWithinCodecAccuracy) {
+  // Compressed local link body + full ghost links must reproduce the
+  // single-domain operator to the codec's round-trip error.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 99);
+  const CloverField<double> a = build_clover_field(u, 1.1);
+  const double mass = -0.1;
+  const WilsonField<double> in = gaussian_wilson_source(g, 100);
+
+  WilsonCloverOperator<double> ref_op(u, &a, mass);
+  WilsonField<double> expect(g);
+  ref_op.apply(expect, in);
+
+  const struct {
+    Reconstruct r;
+    double tol;
+  } cases[] = {{Reconstruct::Twelve, 1e-22}, {Reconstruct::Eight, 1e-16}};
+  for (const auto& c : cases) {
+    Partitioning part(g, {1, 1, 2, 2});
+    PartitionedWilsonClover<double> par_op(part, u, &a, mass, /*comms=*/true,
+                                           c.r);
+    WilsonField<double> got(g);
+    par_op.apply(got, in);
+    axpy(-1.0, expect, got);
+    EXPECT_LT(norm2(got), c.tol * norm2(expect)) << to_string(c.r);
+  }
+}
+
 TEST(Partitioned, GaugeGhostBytesCountedOnce) {
   const LatticeGeometry g({4, 4, 4, 8});
   const GaugeField<double> u = hot_gauge(g, 71);

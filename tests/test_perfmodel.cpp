@@ -6,6 +6,10 @@
 
 #include "comm/counters.h"
 #include "dirac/partitioned.h"
+#include "dirac/recon_policy.h"
+#include "dirac/staggered.h"
+#include "dirac/wilson_kernel.h"
+#include "fields/compressed_gauge.h"
 #include "gauge/configure.h"
 #include "gauge/staggered_links.h"
 #include "perfmodel/dslash_model.h"
@@ -319,6 +323,93 @@ TEST(DslashModel, ReconstructionRescalesKernelRate) {
       dslash_bytes_per_site(StencilKind::Wilson, Precision::Single,
                             Reconstruct::Twelve);
   EXPECT_NEAR(r12 / r18, byte_ratio, 1e-12);
+}
+
+TEST(Stencil, GaugeBytesMatchMeteredWilsonRecon) {
+  // The model's per-recon gauge-byte term must equal what the hop kernel
+  // actually meters into dslash.gauge_bytes{recon=N}: 8 link loads per site
+  // at reals_per_link(recon) reals each.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 161);
+  const WilsonField<double> in = gaussian_wilson_source(g, 162);
+  WilsonField<double> out(g);
+  const double b = bytes_per_real(Precision::Double);
+  const double spinor_term = (8 * 24 + 24) * b;
+  std::uint64_t measured[3] = {0, 0, 0};
+  const Reconstruct schemes[] = {Reconstruct::None, Reconstruct::Twelve,
+                                 Reconstruct::Eight};
+  for (int i = 0; i < 3; ++i) {
+    const Reconstruct r = schemes[i];
+    Counter& meter = gauge_bytes_counter(r);
+    const std::uint64_t before = meter.value();
+    if (r == Reconstruct::None) {
+      wilson_hop(out, u, in);
+    } else {
+      const CompressedGaugeField<double> cu(u, r);
+      wilson_hop(out, cu, in);
+    }
+    measured[i] = meter.value() - before;
+    const double per_site =
+        static_cast<double>(measured[i]) / static_cast<double>(g.volume());
+    EXPECT_DOUBLE_EQ(per_site, 8.0 * reals_per_link(r) * b) << to_string(r);
+    EXPECT_DOUBLE_EQ(
+        per_site,
+        dslash_bytes_per_site(StencilKind::Wilson, Precision::Double, r) -
+            spinor_term)
+        << to_string(r);
+  }
+  // The acceptance criterion read straight off the meters: reconstruct-12
+  // moves >= 30% fewer gauge bytes than the 18-real field.
+  EXPECT_GE(static_cast<double>(measured[0] - measured[1]),
+            0.30 * static_cast<double>(measured[0]));
+}
+
+TEST(Stencil, GaugeBytesMatchMeteredStaggeredHop) {
+  // Staggered loads 8 fat + 8 long full links per site (never
+  // reconstructed), all metered under recon=18.
+  const LatticeGeometry g({4, 4, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 163);
+  const AsqtadLinks links = build_asqtad_links(u);
+  const StaggeredField<double> in = gaussian_staggered_source(g, 164);
+  StaggeredField<double> out(g);
+  Counter& meter = gauge_bytes_counter(Reconstruct::None);
+  const std::uint64_t before = meter.value();
+  staggered_hop(out, links.fat, links.lng, in);
+  const double per_site = static_cast<double>(meter.value() - before) /
+                          static_cast<double>(g.volume());
+  const double b = bytes_per_real(Precision::Double);
+  EXPECT_DOUBLE_EQ(per_site, 16.0 * 18.0 * b);
+}
+
+TEST(Stencil, GaugeBytesMatchMeteredPartitionedRecon) {
+  // The partitioned split: interior + forward-face links come from the
+  // compressed local body, backward-face links from the full ghost zone.
+  // Per rank and apply: (8 V_loc - sum_mu fv_mu) links at the local format
+  // plus sum_mu fv_mu at recon=18.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 165);
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, 0.1, /*comms=*/true,
+                                     Reconstruct::Twelve);
+  const WilsonField<double> in = gaussian_wilson_source(g, 166);
+  WilsonField<double> out(g);
+
+  Counter& local_meter = gauge_bytes_counter(Reconstruct::Twelve);
+  Counter& ghost_meter = gauge_bytes_counter(Reconstruct::None);
+  const std::uint64_t local_before = local_meter.value();
+  const std::uint64_t ghost_before = ghost_meter.value();
+  op.apply(out, in);
+
+  const std::int64_t v_loc = part.local().volume();        // 256
+  const std::int64_t fv = v_loc / part.local().dim(3);     // t-face: 64
+  const std::int64_t ranks = part.num_ranks();
+  const int b = static_cast<int>(sizeof(double));
+  EXPECT_EQ(local_meter.value() - local_before,
+            static_cast<std::uint64_t>(ranks * (8 * v_loc - fv) *
+                                       reals_per_link(Reconstruct::Twelve) *
+                                       b));
+  EXPECT_EQ(ghost_meter.value() - ghost_before,
+            static_cast<std::uint64_t>(ranks * fv * 18 * b));
 }
 
 TEST(CpuModel, MoreCoresNeverSlower) {

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "fields/compressed_gauge.h"
+#include "gauge/configure.h"
 #include "linalg/su3.h"
 
 namespace lqcd {
@@ -72,6 +76,98 @@ TEST(Reconstruct, RealCountsMatchEnum) {
   EXPECT_EQ(reals_per_link(Reconstruct::Eight), 8);
   EXPECT_EQ(sizeof(Packed12<float>), 12 * sizeof(float));
   EXPECT_EQ(sizeof(Packed8<double>), 8 * sizeof(double));
+}
+
+TEST(Reconstruct, ParseAndToString) {
+  EXPECT_EQ(parse_reconstruct("18"), Reconstruct::None);
+  EXPECT_EQ(parse_reconstruct("none"), Reconstruct::None);
+  EXPECT_EQ(parse_reconstruct("12"), Reconstruct::Twelve);
+  EXPECT_EQ(parse_reconstruct("8"), Reconstruct::Eight);
+  EXPECT_FALSE(parse_reconstruct("9").has_value());
+  EXPECT_FALSE(parse_reconstruct("").has_value());
+  EXPECT_STREQ(to_string(Reconstruct::None), "18");
+  EXPECT_STREQ(to_string(Reconstruct::Twelve), "12");
+  EXPECT_STREQ(to_string(Reconstruct::Eight), "8");
+}
+
+// Worst-case link error of a compressed field against the original, over
+// all directions and sites.
+template <typename Real>
+double worst_link_error(const GaugeField<Real>& u,
+                        const CompressedGaugeField<Real>& c) {
+  double worst = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (std::int64_t s = 0; s < u.geometry().volume(); ++s) {
+      const Matrix3<Real> d = c.link(mu, s) - u.link(mu, s);
+      worst = std::max(worst, std::sqrt(static_cast<double>(norm2(d))));
+    }
+  }
+  return worst;
+}
+
+TEST(CompressedGauge, NoneSchemeIsBitwiseExact) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 301);
+  const CompressedGaugeField<double> c(u, Reconstruct::None);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (std::int64_t s = 0; s < g.volume(); ++s) {
+      const Matrix3<double> a = u.link(mu, s);
+      const Matrix3<double> b = c.link(mu, s);
+      ASSERT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << "mu=" << mu;
+    }
+  }
+}
+
+TEST(CompressedGauge, Recon12MatchesUnitaryField) {
+  // hot_gauge links are exactly unitary, so reconstruct-12 round-trips to
+  // rounding error.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 302);
+  const CompressedGaugeField<double> c(u, Reconstruct::Twelve);
+  EXPECT_LT(worst_link_error(u, c), 1e-13);
+}
+
+TEST(CompressedGauge, Recon8MatchesUnitaryField) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 303);
+  const CompressedGaugeField<double> c(u, Reconstruct::Eight);
+  EXPECT_LT(worst_link_error(u, c), 1e-9);
+}
+
+TEST(CompressedGauge, HalfStorageErrorIsBoundedAndNonZero) {
+  // The int16 fixed-point codec truncates: the error must be within the
+  // quantization step of the packed parametrization, yet strictly larger
+  // than full-precision round-trip error (proving truncation happened).
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 304);
+
+  const CompressedGaugeField<double> h12(u, Reconstruct::Twelve,
+                                         /*half_storage=*/true);
+  const double e12 = worst_link_error(u, h12);
+  EXPECT_LT(e12, 1e-3);
+  EXPECT_GT(e12, 1e-7);
+
+  const CompressedGaugeField<double> h8(u, Reconstruct::Eight,
+                                        /*half_storage=*/true);
+  const double e8 = worst_link_error(u, h8);
+  EXPECT_LT(e8, 1e-2);
+  EXPECT_GT(e8, 1e-7);
+}
+
+TEST(CompressedGauge, StoredBytesShrinkWithScheme) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 305);
+  const CompressedGaugeField<double> c18(u, Reconstruct::None);
+  const CompressedGaugeField<double> c12(u, Reconstruct::Twelve);
+  const CompressedGaugeField<double> c8(u, Reconstruct::Eight);
+  EXPECT_EQ(c18.stored_bytes(),
+            4 * g.volume() * 18 * static_cast<std::int64_t>(sizeof(double)));
+  EXPECT_EQ(c12.stored_bytes() * 18, c18.stored_bytes() * 12);
+  EXPECT_EQ(c8.stored_bytes() * 18, c18.stored_bytes() * 8);
+  // The acceptance criterion: recon-12 cuts gauge storage by >= 30%.
+  EXPECT_GE(
+      static_cast<double>(c18.stored_bytes() - c12.stored_bytes()),
+      0.30 * static_cast<double>(c18.stored_bytes()));
 }
 
 TEST(Reconstruct8, PreservesGroupStructure) {

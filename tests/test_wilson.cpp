@@ -2,10 +2,15 @@
 // dense assembly, plus structural identities.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "dirac/dense_reference.h"
+#include "dirac/even_odd.h"
+#include "dirac/recon_policy.h"
 #include "dirac/wilson_kernel.h"
 #include "dirac/wilson_ops.h"
 #include "fields/blas.h"
+#include "fields/compressed_gauge.h"
 #include "gauge/clover_leaf.h"
 #include "gauge/configure.h"
 
@@ -182,6 +187,88 @@ TEST(Wilson, NormalOperatorHermitianPositive) {
   const auto ba = dot(b, na);
   EXPECT_NEAR(std::abs(ab - std::conj(ba)), 0.0, 1e-8 * std::abs(ab));
   EXPECT_GT(dot(a, na).real(), 0.0);
+}
+
+TEST(WilsonRecon, HopFromCompressedGaugeMatchesFull) {
+  // The reconstruction executed in the hot path: the same hop kernel fed
+  // from a reconstruct-N field must reproduce the full-gauge result to the
+  // codec's round-trip accuracy (links are exactly unitary here).
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 21);
+  const WilsonField<double> in = gaussian_wilson_source(g, 22);
+  WilsonField<double> full(g);
+  wilson_hop(full, u, in);
+
+  const CompressedGaugeField<double> c12(u, Reconstruct::Twelve);
+  WilsonField<double> out12(g);
+  wilson_hop(out12, c12, in);
+  axpy(-1.0, full, out12);
+  EXPECT_LT(norm2(out12), 1e-24 * norm2(full));
+
+  const CompressedGaugeField<double> c8(u, Reconstruct::Eight);
+  WilsonField<double> out8(g);
+  wilson_hop(out8, c8, in);
+  axpy(-1.0, full, out8);
+  EXPECT_LT(norm2(out8), 1e-16 * norm2(full));
+}
+
+TEST(WilsonRecon, OperatorReconMatchesDenseMatrix) {
+  // The full fused operator running on compressed links still matches the
+  // independent dense assembly (clover on).
+  const LatticeGeometry g({2, 2, 2, 4});
+  const GaugeField<double> u = hot_gauge(g, 23);
+  const CloverField<double> a = build_clover_field(u, 1.1);
+  const double mass = 0.05;
+  const WilsonField<double> in = gaussian_wilson_source(g, 24);
+
+  const DenseMatrix<double> md = dense_wilson_clover(u, &a, mass);
+  const auto dense_out = md.multiply(flatten(in));
+  WilsonField<double> expect(g);
+  unflatten(dense_out, expect);
+
+  for (Reconstruct r : {Reconstruct::Twelve, Reconstruct::Eight}) {
+    WilsonCloverOperator<double> m(u, &a, mass, nullptr, r);
+    EXPECT_EQ(m.recon(), r);
+    WilsonField<double> out(g);
+    m.apply(out, in);
+    axpy(-1.0, expect, out);
+    EXPECT_LT(norm2(out), 1e-16 * norm2(expect)) << to_string(r);
+  }
+}
+
+TEST(WilsonRecon, SchurOperatorReconMatchesFull) {
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 25);
+  const CloverField<double> a = build_clover_field(u, 0.9);
+  WilsonCloverSchurOperator<double> ref(u, &a, 0.1);
+  WilsonCloverSchurOperator<double> r12(u, &a, 0.1, nullptr,
+                                        Reconstruct::Twelve);
+
+  WilsonField<double> in = gaussian_wilson_source(g, 26);
+  for (std::int64_t s = g.half_volume(); s < g.volume(); ++s) {
+    in.at(s) = WilsonSpinor<double>{};
+  }
+  WilsonField<double> expect(g), got(g);
+  ref.apply(expect, in);
+  r12.apply(got, in);
+  axpy(-1.0, expect, got);
+  EXPECT_LT(norm2(got), 1e-22 * norm2(expect));
+}
+
+TEST(WilsonRecon, EnvForcesSchemeOverCtorDefault) {
+  // LQCD_RECON=12 must override the constructor's format everywhere.
+  const LatticeGeometry g({4, 4, 4, 4});
+  const GaugeField<double> u = hot_gauge(g, 27);
+  ASSERT_EQ(setenv("LQCD_RECON", "12", 1), 0);
+  init_recon_from_env();
+  WilsonCloverOperator<double> forced(u, nullptr, 0.2);
+  unsetenv("LQCD_RECON");
+  init_recon_from_env();
+  EXPECT_EQ(forced.recon(), Reconstruct::Twelve);
+
+  // And with it unset, the ctor default (seed behaviour) is back.
+  WilsonCloverOperator<double> plain(u, nullptr, 0.2);
+  EXPECT_EQ(plain.recon(), Reconstruct::None);
 }
 
 }  // namespace
