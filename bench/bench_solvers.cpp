@@ -6,6 +6,7 @@
 
 #include "bench/common.h"
 #include "bench/tune_main.h"
+#include "core/block_gcr_dd.h"
 #include "core/staggered_multishift.h"
 #include "dirac/wilson_ops.h"
 #include "gauge/staggered_links.h"
@@ -52,6 +53,43 @@ void BM_SolveGcrDd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolveGcrDd)->Unit(benchmark::kMillisecond);
+
+// Batched GCR-DD (arg = batch width): 8 RHS solved in batches of the given
+// width on one solver.  Per-RHS iterates are bitwise identical to width 1
+// (tests/test_serve.cpp); the time difference is pure gauge-link
+// amortization in the multi-RHS dslash + batched Schwarz preconditioner.
+void BM_SolveBlockGcrDd(benchmark::State& state) {
+  WilsonSetup s;
+  constexpr int kRhs = 8;
+  const int width = static_cast<int>(state.range(0));
+  std::vector<WilsonField<double>> b;
+  for (int i = 0; i < kRhs; ++i) {
+    b.push_back(gaussian_wilson_source(s.g, 80u + std::uint64_t(i)));
+  }
+  GcrDdParams p;
+  p.mass = 0.05;
+  p.tol = 1e-5;
+  p.block_grid = {1, 1, 1, 4};
+  MultiRhsGcrDdWilsonSolver solver(s.u, &s.clover, p);
+  for (auto _ : state) {
+    for (int base = 0; base < kRhs; base += width) {
+      const int w = std::min(width, kRhs - base);
+      std::vector<WilsonField<double>> x(static_cast<std::size_t>(w),
+                                         WilsonField<double>(s.g));
+      std::vector<WilsonField<double>*> xs;
+      std::vector<const WilsonField<double>*> bs;
+      for (int i = 0; i < w; ++i) {
+        xs.push_back(&x[static_cast<std::size_t>(i)]);
+        bs.push_back(&b[static_cast<std::size_t>(base + i)]);
+      }
+      const std::vector<SolverStats> stats = solver.solve(xs, bs);
+      benchmark::DoNotOptimize(stats.front().final_residual);
+    }
+  }
+  state.SetLabel("width=" + std::to_string(width));
+}
+BENCHMARK(BM_SolveBlockGcrDd)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // Fused vs unfused GCR linear algebra (arg 1 = fused).  Same iterates
 // bitwise; the difference is memory passes per iteration: 4 fused vs 2k+5

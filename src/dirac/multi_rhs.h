@@ -1,0 +1,546 @@
+#pragma once
+/// \file multi_rhs.h
+/// \brief Multi-RHS dslash kernels and the batched-operator interface.
+///
+/// The batched setting (QUDA's multi-GPU practice, Babich et al.
+/// arXiv:1011.0024) amortizes the dominant memory traffic of the hopping
+/// term — the gauge links — across right-hand sides: one reconstructed
+/// link load services N spinor mat-vecs.  The kernels here are the
+/// multi-RHS twins of wilson_hop/staggered_hop with a strict contract:
+///
+///   **Per-RHS bitwise identity.**  For each RHS r, the per-site operation
+///   sequence (projection, SU(3) mat-vec, accumulation — in mu order) is
+///   exactly the single-RHS kernel's, and accumulators never mix across
+///   RHS, so outs[r] is bitwise identical to a single-RHS hop on ins[r].
+///   The block solvers rely on this to match their single-RHS references
+///   exactly, and the tests assert it.
+///
+/// Both kernels run through tuned_site_loop (the batch width is part of
+/// the aux key — a width-4 sweep has a different flop/byte mix than a
+/// width-1 sweep) and reuse the recon_policy gauge formats via their Gauge
+/// template parameter.  Nominal gauge traffic is metered once per link
+/// load, not once per RHS, so `dslash.gauge_bytes` reflects the
+/// amortization.
+///
+/// For float fields on GNU-compatible compilers the batch additionally runs
+/// SIMD *across* RHS: groups of four right-hand sides occupy the four lanes
+/// of a 128-bit vector while the shared link entry is broadcast, cutting the
+/// per-RHS projection/mat-vec/reconstruction arithmetic itself (the binding
+/// cost once the working set is cache-resident) without breaking the bitwise
+/// contract — see the lane-path comment in detail below.
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "dirac/dslash_tune.h"
+#include "dirac/operator.h"
+#include "dirac/recon_policy.h"
+#include "fields/lattice_field.h"
+#include "lattice/block_mask.h"
+#include "linalg/gamma.h"
+#include "tune/site_loop.h"
+
+namespace lqcd {
+
+/// Widest RHS batch a single kernel sweep services; wider batches are
+/// processed in groups of this size (register/stack pressure bound — 16
+/// double-precision Wilson accumulators are ~6 KB of hot state per site).
+inline constexpr int kMaxMultiRhs = 16;
+
+/// A linear map applied to a batch of fields at once: outs[r] = A ins[r].
+/// Implementations must keep per-RHS results bitwise identical to N
+/// independent apply() calls (lockstep batching, not arithmetic mixing).
+template <typename Field>
+class MultiRhsOperator {
+ public:
+  virtual ~MultiRhsOperator() = default;
+
+  /// outs.size() == ins.size(); aliasing outs[i] == ins[j] is not allowed.
+  virtual void apply_multi(const std::vector<Field*>& outs,
+                           const std::vector<const Field*>& ins) const = 0;
+
+  virtual const LatticeGeometry& geometry() const = 0;
+};
+
+/// Fallback adapter: serves a batch by looping a single-RHS operator.
+/// Trivially satisfies the bitwise contract; used for operators without a
+/// native batched path (e.g. the rank-partitioned cluster operator, whose
+/// overlap schedule is per-field).
+template <typename Field>
+class PerRhsMultiOperator final : public MultiRhsOperator<Field> {
+ public:
+  explicit PerRhsMultiOperator(const LinearOperator<Field>& op) : op_(&op) {}
+
+  void apply_multi(const std::vector<Field*>& outs,
+                   const std::vector<const Field*>& ins) const override {
+    for (std::size_t r = 0; r < outs.size(); ++r) {
+      op_->apply(*outs[r], *ins[r]);
+    }
+  }
+
+  const LatticeGeometry& geometry() const override { return op_->geometry(); }
+
+ private:
+  const LinearOperator<Field>* op_;
+};
+
+/// Adapter over an operator with a native apply_multi (the Schur operators
+/// below gain one); kept as a template so dirac headers need not know the
+/// concrete operator type.
+template <typename Field, typename Op>
+class NativeMultiRhsOperator final : public MultiRhsOperator<Field> {
+ public:
+  explicit NativeMultiRhsOperator(const Op& op) : op_(&op) {}
+
+  void apply_multi(const std::vector<Field*>& outs,
+                   const std::vector<const Field*>& ins) const override {
+    op_->apply_multi(outs, ins);
+  }
+
+  const LatticeGeometry& geometry() const override { return op_->geometry(); }
+
+ private:
+  const Op* op_;
+};
+
+namespace detail {
+
+/// Batch-width fragment for the tune-cache aux key.
+inline std::string multi_rhs_aux(std::string aux, int width) {
+  aux += ",w" + std::to_string(width);
+  return aux;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LQCD_MULTI_RHS_SIMD 1
+
+// ---------------------------------------------------------------------------
+// Lane-batched (SIMD-across-RHS) float path.
+//
+// At L2-resident block sizes the hop kernels are ALU-bound, so amortizing
+// link *loads* across the batch caps out well below the link-amortization
+// model: the per-RHS projection / SU(3) mat-vec / reconstruction arithmetic
+// dominates.  The lane path cuts that arithmetic itself: four RHS ride the
+// four lanes of a 128-bit float vector, the shared gauge-link entry is
+// broadcast, and every complex operation is one vertical instruction.
+//
+// Bitwise contract: a vertical SIMD op applies the *same* IEEE operation to
+// each lane independently, so as long as the lane code performs the scalar
+// kernel's operation sequence step for step — and it mirrors project(),
+// operator*(Matrix3, ColorVector), adj_mul(), accumulate_reconstruct()
+// literally below — every lane's result is bit-identical to the single-RHS
+// kernel.  Two scalar details matter: unary minus and conj are IEEE
+// sign-bit flips (exact), and std::complex<float> multiply evaluates the
+// fast path (ac - bd, ad + bc) for the finite, non-overflowing values
+// solver fields hold (the NaN-recovery branch never fires on such data).
+// The build keeps the default SSE2 baseline — no FMA contraction on either
+// path.  tests/test_serve.cpp asserts the per-RHS identity end to end.
+// ---------------------------------------------------------------------------
+
+/// Four float lanes: one value across four RHS.
+typedef float V4f __attribute__((vector_size(16)));
+
+/// A complex number per lane, split re/im.
+struct CplxV4 {
+  V4f re, im;
+};
+
+inline CplxV4 cv_zero() { return CplxV4{V4f{0, 0, 0, 0}, V4f{0, 0, 0, 0}}; }
+
+/// Lane-wise complex add/sub (elementwise IEEE add/sub, as std::complex's).
+inline CplxV4 cv_add(const CplxV4& a, const CplxV4& b) {
+  return CplxV4{a.re + b.re, a.im + b.im};
+}
+inline CplxV4 cv_sub(const CplxV4& a, const CplxV4& b) {
+  return CplxV4{a.re - b.re, a.im - b.im};
+}
+
+/// i^p per lane: swaps and sign flips only, mirroring mul_i_pow().
+inline CplxV4 cv_mul_i_pow(int p, const CplxV4& z) {
+  switch (p & 3) {
+    case 0: return z;
+    case 1: return CplxV4{-z.im, z.re};
+    case 2: return CplxV4{-z.re, -z.im};
+    default: return CplxV4{z.im, -z.re};
+  }
+}
+
+/// One complex scalar broadcast across lanes (a gauge-link entry — the same
+/// link serves every RHS, which is the point of the batch).
+struct CplxB4 {
+  V4f re, im;
+};
+inline CplxB4 cv_bcast(const Cplx<float>& z) {
+  const float r = z.real();
+  const float i = z.imag();
+  return CplxB4{V4f{r, r, r, r}, V4f{i, i, i, i}};
+}
+
+/// acc += a * b with the complex fast-path formula (ac - bd, ad + bc),
+/// the exact sequence the scalar `s += u(i,j) * v[j]` performs per lane.
+inline void cv_mul_acc(CplxV4& acc, const CplxB4& a, const CplxV4& b) {
+  acc.re += a.re * b.re - a.im * b.im;
+  acc.im += a.re * b.im + a.im * b.re;
+}
+
+/// Transposes the four RHS spinors at one site into lane vectors.
+inline void gather4(CplxV4 psi[kNSpin][kNColor],
+                    const WilsonSpinor<float>* const* in, std::int64_t site) {
+  const WilsonSpinor<float>& p0 = in[0][site];
+  const WilsonSpinor<float>& p1 = in[1][site];
+  const WilsonSpinor<float>& p2 = in[2][site];
+  const WilsonSpinor<float>& p3 = in[3][site];
+  for (int a = 0; a < kNSpin; ++a) {
+    for (int c = 0; c < kNColor; ++c) {
+      psi[a][c].re = V4f{p0[a][c].real(), p1[a][c].real(), p2[a][c].real(),
+                         p3[a][c].real()};
+      psi[a][c].im = V4f{p0[a][c].imag(), p1[a][c].imag(), p2[a][c].imag(),
+                         p3[a][c].imag()};
+    }
+  }
+}
+
+/// One hop leg (project -> color mat-vec -> reconstruct) for four lanes,
+/// following project()/adj_mul()/accumulate_reconstruct() step for step.
+inline void hop_leg4(const Matrix3<float>& link, int mu, int sign,
+                     bool adjoint, const CplxV4 psi[kNSpin][kNColor],
+                     CplxV4 acc[kNSpin][kNColor]) {
+  const GammaPattern& gp = kGamma[static_cast<std::size_t>(mu)];
+  // project(): h[a][c] = psi[a][c] +- i^phase[a] psi[col[a]][c].  The
+  // scalar `x + (-t)` is IEEE-identical to `x - t`.
+  CplxV4 h[2][kNColor];
+  for (int a = 0; a < 2; ++a) {
+    const auto aa = static_cast<std::size_t>(a);
+    for (int c = 0; c < kNColor; ++c) {
+      const CplxV4 t = cv_mul_i_pow(gp.phase[aa], psi[gp.col[aa]][c]);
+      h[a][c] = sign > 0 ? cv_add(psi[a][c], t) : cv_sub(psi[a][c], t);
+    }
+  }
+  // t[a][i] = sum_j L(i,j) h[a][j] (or conj(L(j,i)) for the adjoint),
+  // accumulating from zero in j order exactly as the scalar mat-vec does.
+  CplxV4 t[2][kNColor];
+  for (int i = 0; i < kNColor; ++i) {
+    CplxB4 row[kNColor];
+    for (int j = 0; j < kNColor; ++j) {
+      row[j] = cv_bcast(adjoint ? std::conj(link(j, i)) : link(i, j));
+    }
+    for (int a = 0; a < 2; ++a) {
+      CplxV4 sum = cv_zero();
+      for (int j = 0; j < kNColor; ++j) cv_mul_acc(sum, row[j], h[a][j]);
+      t[a][i] = sum;
+    }
+  }
+  // accumulate_reconstruct(): out[a] += t[a]; out[col[a]] +-= conj-phase t.
+  for (int a = 0; a < 2; ++a) {
+    const auto aa = static_cast<std::size_t>(a);
+    const int c_row = gp.col[aa];
+    const int conj_phase = (4 - gp.phase[aa]) & 3;
+    for (int c = 0; c < kNColor; ++c) {
+      acc[a][c] = cv_add(acc[a][c], t[a][c]);
+      const CplxV4 v = cv_mul_i_pow(conj_phase, t[a][c]);
+      acc[c_row][c] =
+          sign > 0 ? cv_add(acc[c_row][c], v) : cv_sub(acc[c_row][c], v);
+    }
+  }
+}
+
+/// The full Wilson hop at one site for four RHS lanes.
+template <typename Gauge>
+inline void wilson_site_hop4(WilsonSpinor<float>* const* out,
+                             const WilsonSpinor<float>* const* in,
+                             const Gauge& u, std::int64_t s,
+                             const std::int64_t* sp, const std::int64_t* sm) {
+  CplxV4 acc[kNSpin][kNColor];
+  for (int a = 0; a < kNSpin; ++a) {
+    for (int c = 0; c < kNColor; ++c) acc[a][c] = cv_zero();
+  }
+  CplxV4 psi[kNSpin][kNColor];
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (sp[mu] >= 0) {
+      const Matrix3<float>& link = u.link(mu, s);
+      gather4(psi, in, sp[mu]);
+      hop_leg4(link, mu, -1, /*adjoint=*/false, psi, acc);
+    }
+    if (sm[mu] >= 0) {
+      const Matrix3<float>& link = u.link(mu, sm[mu]);
+      gather4(psi, in, sm[mu]);
+      hop_leg4(link, mu, +1, /*adjoint=*/true, psi, acc);
+    }
+  }
+  for (int l = 0; l < 4; ++l) {
+    WilsonSpinor<float>& o = out[l][s];
+    for (int a = 0; a < kNSpin; ++a) {
+      for (int c = 0; c < kNColor; ++c) {
+        o[a][c] = Cplx<float>(acc[a][c].re[l], acc[a][c].im[l]);
+      }
+    }
+  }
+}
+
+/// One staggered hop term (acc +-= L v or L^dagger v) for four lanes.
+inline void stag_leg4(const Matrix3<float>& link, bool adjoint, bool add,
+                      const CplxV4 v[kNColor], CplxV4 acc[kNColor]) {
+  for (int i = 0; i < kNColor; ++i) {
+    CplxB4 row[kNColor];
+    for (int j = 0; j < kNColor; ++j) {
+      row[j] = cv_bcast(adjoint ? std::conj(link(j, i)) : link(i, j));
+    }
+    CplxV4 sum = cv_zero();
+    for (int j = 0; j < kNColor; ++j) cv_mul_acc(sum, row[j], v[j]);
+    acc[i] = add ? cv_add(acc[i], sum) : cv_sub(acc[i], sum);
+  }
+}
+
+/// Transposes the four RHS color vectors at one site into lane vectors.
+inline void gather4(CplxV4 v[kNColor], const ColorVector<float>* const* in,
+                    std::int64_t site) {
+  const ColorVector<float>& p0 = in[0][site];
+  const ColorVector<float>& p1 = in[1][site];
+  const ColorVector<float>& p2 = in[2][site];
+  const ColorVector<float>& p3 = in[3][site];
+  for (int c = 0; c < kNColor; ++c) {
+    v[c].re = V4f{p0[c].real(), p1[c].real(), p2[c].real(), p3[c].real()};
+    v[c].im = V4f{p0[c].imag(), p1[c].imag(), p2[c].imag(), p3[c].imag()};
+  }
+}
+
+/// The full fat+long staggered hop at one site for four RHS lanes.
+template <typename Gauge>
+inline void staggered_site_hop4(ColorVector<float>* const* out,
+                                const ColorVector<float>* const* in,
+                                const Gauge& fat, const Gauge& lng,
+                                std::int64_t s, const std::int64_t* sp,
+                                const std::int64_t* sm,
+                                const std::int64_t* sp3,
+                                const std::int64_t* sm3) {
+  CplxV4 acc[kNColor];
+  for (int c = 0; c < kNColor; ++c) acc[c] = cv_zero();
+  CplxV4 v[kNColor];
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (sp[mu] >= 0) {
+      const Matrix3<float>& link = fat.link(mu, s);
+      gather4(v, in, sp[mu]);
+      stag_leg4(link, /*adjoint=*/false, /*add=*/true, v, acc);
+    }
+    if (sm[mu] >= 0) {
+      const Matrix3<float>& link = fat.link(mu, sm[mu]);
+      gather4(v, in, sm[mu]);
+      stag_leg4(link, /*adjoint=*/true, /*add=*/false, v, acc);
+    }
+    if (sp3[mu] >= 0) {
+      const Matrix3<float>& link = lng.link(mu, s);
+      gather4(v, in, sp3[mu]);
+      stag_leg4(link, /*adjoint=*/false, /*add=*/true, v, acc);
+    }
+    if (sm3[mu] >= 0) {
+      const Matrix3<float>& link = lng.link(mu, sm3[mu]);
+      gather4(v, in, sm3[mu]);
+      stag_leg4(link, /*adjoint=*/true, /*add=*/false, v, acc);
+    }
+  }
+  for (int l = 0; l < 4; ++l) {
+    ColorVector<float>& o = out[l][s];
+    for (int c = 0; c < kNColor; ++c) {
+      o[c] = Cplx<float>(acc[c].re[l], acc[c].im[l]);
+    }
+  }
+}
+
+#endif  // LQCD_MULTI_RHS_SIMD
+
+/// One tuned sweep over a batch of width w <= kMaxMultiRhs.
+template <typename Real, typename Gauge>
+void wilson_hop_multi_group(const std::vector<WilsonField<Real>*>& outs,
+                            const Gauge& u,
+                            const std::vector<const WilsonField<Real>*>& ins,
+                            std::size_t base, int w,
+                            std::optional<Parity> target,
+                            const LinkCut* mask) {
+  const LatticeGeometry& g = ins[base]->geometry();
+  const std::int64_t begin =
+      target.has_value() && *target == Parity::Odd ? g.half_volume() : 0;
+  const std::int64_t end =
+      target.has_value() && *target == Parity::Even ? g.half_volume()
+                                                    : g.volume();
+  // Hoist the per-RHS site arrays out of the sweep: indexing through
+  // `ins[base + r]->at(sp)` inside the site loop re-chases two pointers
+  // (vector slot, then field data) per RHS per neighbor, which the
+  // single-RHS kernel never pays — with the flat arrays the batch loop is
+  // pure data traffic, same as the single kernel.
+  const WilsonSpinor<Real>* in[kMaxMultiRhs];
+  WilsonSpinor<Real>* out[kMaxMultiRhs];
+  for (int r = 0; r < w; ++r) {
+    in[r] = ins[base + std::size_t(r)]->sites().data();
+    out[r] = outs[base + std::size_t(r)]->sites().data();
+  }
+  // The loop writes w output fields but the tuner's save/restore span only
+  // covers outs[base].  That is sufficient: every write is a plain
+  // assignment recomputed from the (unmodified) inputs, so timing re-runs
+  // leave the other outputs with the same final values.
+  tuned_site_loop(
+      "wilson_hop_multi",
+      multi_rhs_aux(dslash_aux<Real>(target, mask != nullptr, gauge_recon(u)),
+                    w),
+      outs[base]->sites(), end - begin, [&](std::int64_t idx) {
+    const std::int64_t s = begin + idx;
+    const Coord x = g.eo_coords(s);
+    // Neighbor indices and the cut mask are lane-independent: resolve them
+    // once per site and share across the SIMD lane groups and scalar tail
+    // (-1 marks a cut leg).
+    std::int64_t sp[kNDim];
+    std::int64_t sm[kNDim];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      sp[mu] = (mask == nullptr || !mask->crosses(x, mu, +1))
+                   ? g.eo_index(g.shifted(x, mu, +1))
+                   : -1;
+      sm[mu] = (mask == nullptr || !mask->crosses(x, mu, -1))
+                   ? g.eo_index(g.shifted(x, mu, -1))
+                   : -1;
+    }
+    int r0 = 0;
+#ifdef LQCD_MULTI_RHS_SIMD
+    if constexpr (std::is_same_v<Real, float>) {
+      for (; r0 + 4 <= w; r0 += 4) {
+        detail::wilson_site_hop4(out + r0, in + r0, u, s, sp, sm);
+      }
+    }
+#endif
+    // Scalar path: the tail lanes (w % 4), non-float reals, and non-GNU
+    // builds.  Operation order per RHS is the single-RHS kernel's.
+    for (int r = r0; r < w; ++r) {
+      WilsonSpinor<Real> acc{};
+      for (int mu = 0; mu < kNDim; ++mu) {
+        if (sp[mu] >= 0) {
+          const auto& link = u.link(mu, s);
+          const HalfSpinor<Real> h = project(mu, -1, in[r][sp[mu]]);
+          HalfSpinor<Real> t;
+          t[0] = link * h[0];
+          t[1] = link * h[1];
+          accumulate_reconstruct(mu, -1, t, acc);
+        }
+        if (sm[mu] >= 0) {
+          const auto& link = u.link(mu, sm[mu]);
+          const HalfSpinor<Real> h = project(mu, +1, in[r][sm[mu]]);
+          HalfSpinor<Real> t;
+          t[0] = adj_mul(link, h[0]);
+          t[1] = adj_mul(link, h[1]);
+          accumulate_reconstruct(mu, +1, t, acc);
+        }
+      }
+      out[r][s] = acc;
+    }
+  });
+  // Links are loaded once per site for the whole group.
+  meter_gauge_bytes(gauge_recon(u), 8 * (end - begin),
+                    static_cast<int>(sizeof(Real)));
+}
+
+template <typename Real, typename Gauge>
+void staggered_hop_multi_group(const std::vector<StaggeredField<Real>*>& outs,
+                               const Gauge& fat, const Gauge& lng,
+                               const std::vector<const StaggeredField<Real>*>&
+                                   ins,
+                               std::size_t base, int w,
+                               std::optional<Parity> target,
+                               const LinkCut* mask) {
+  const LatticeGeometry& g = ins[base]->geometry();
+  const std::int64_t begin =
+      target.has_value() && *target == Parity::Odd ? g.half_volume() : 0;
+  const std::int64_t end =
+      target.has_value() && *target == Parity::Even ? g.half_volume()
+                                                    : g.volume();
+  // Same flat-pointer hoist as the Wilson kernel above.
+  const ColorVector<Real>* in[kMaxMultiRhs];
+  ColorVector<Real>* out[kMaxMultiRhs];
+  for (int r = 0; r < w; ++r) {
+    in[r] = ins[base + std::size_t(r)]->sites().data();
+    out[r] = outs[base + std::size_t(r)]->sites().data();
+  }
+  tuned_site_loop(
+      "staggered_hop_multi",
+      multi_rhs_aux(
+          dslash_aux<Real>(target, mask != nullptr, gauge_recon(fat)), w),
+      outs[base]->sites(), end - begin, [&](std::int64_t idx) {
+    const std::int64_t s = begin + idx;
+    const Coord x = g.eo_coords(s);
+    // Same once-per-site neighbor resolution as the Wilson kernel.
+    std::int64_t sp[kNDim];
+    std::int64_t sm[kNDim];
+    std::int64_t sp3[kNDim];
+    std::int64_t sm3[kNDim];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      sp[mu] = (mask == nullptr || !mask->crosses(x, mu, +1))
+                   ? g.eo_index(g.shifted(x, mu, +1))
+                   : -1;
+      sm[mu] = (mask == nullptr || !mask->crosses(x, mu, -1))
+                   ? g.eo_index(g.shifted(x, mu, -1))
+                   : -1;
+      sp3[mu] = (mask == nullptr || !mask->crosses(x, mu, +3))
+                    ? g.eo_index(g.shifted(x, mu, +3))
+                    : -1;
+      sm3[mu] = (mask == nullptr || !mask->crosses(x, mu, -3))
+                    ? g.eo_index(g.shifted(x, mu, -3))
+                    : -1;
+    }
+    int r0 = 0;
+#ifdef LQCD_MULTI_RHS_SIMD
+    if constexpr (std::is_same_v<Real, float>) {
+      for (; r0 + 4 <= w; r0 += 4) {
+        detail::staggered_site_hop4(out + r0, in + r0, fat, lng, s, sp, sm,
+                                    sp3, sm3);
+      }
+    }
+#endif
+    for (int r = r0; r < w; ++r) {
+      ColorVector<Real> acc{};
+      for (int mu = 0; mu < kNDim; ++mu) {
+        if (sp[mu] >= 0) acc += fat.link(mu, s) * in[r][sp[mu]];
+        if (sm[mu] >= 0) acc -= adj_mul(fat.link(mu, sm[mu]), in[r][sm[mu]]);
+        if (sp3[mu] >= 0) acc += lng.link(mu, s) * in[r][sp3[mu]];
+        if (sm3[mu] >= 0) acc -= adj_mul(lng.link(mu, sm3[mu]), in[r][sm3[mu]]);
+      }
+      out[r][s] = acc;
+    }
+  });
+  meter_gauge_bytes(gauge_recon(fat), 8 * (end - begin),
+                    static_cast<int>(sizeof(Real)));
+  meter_gauge_bytes(gauge_recon(lng), 8 * (end - begin),
+                    static_cast<int>(sizeof(Real)));
+}
+
+}  // namespace detail
+
+/// outs[r](x) = D ins[r](x) for the selected target sites — the multi-RHS
+/// twin of wilson_hop.  Batches wider than kMaxMultiRhs run in groups.
+template <typename Real, typename Gauge>
+void wilson_hop_multi(const std::vector<WilsonField<Real>*>& outs,
+                      const Gauge& u,
+                      const std::vector<const WilsonField<Real>*>& ins,
+                      std::optional<Parity> target = std::nullopt,
+                      const LinkCut* mask = nullptr) {
+  for (std::size_t base = 0; base < ins.size(); base += kMaxMultiRhs) {
+    const int w = static_cast<int>(
+        std::min<std::size_t>(kMaxMultiRhs, ins.size() - base));
+    detail::wilson_hop_multi_group(outs, u, ins, base, w, target, mask);
+  }
+}
+
+/// The multi-RHS twin of staggered_hop (fat 1-hop + long 3-hop).
+template <typename Real, typename Gauge>
+void staggered_hop_multi(const std::vector<StaggeredField<Real>*>& outs,
+                         const Gauge& fat, const Gauge& lng,
+                         const std::vector<const StaggeredField<Real>*>& ins,
+                         std::optional<Parity> target = std::nullopt,
+                         const LinkCut* mask = nullptr) {
+  for (std::size_t base = 0; base < ins.size(); base += kMaxMultiRhs) {
+    const int w = static_cast<int>(
+        std::min<std::size_t>(kMaxMultiRhs, ins.size() - base));
+    detail::staggered_hop_multi_group(outs, fat, lng, ins, base, w, target,
+                                      mask);
+  }
+}
+
+}  // namespace lqcd

@@ -5,19 +5,28 @@ namespace lqcd {
 namespace {
 template <typename Site>
 void roundtrip_sites(std::span<Site> sites) {
+  // Site value types are standard-layout aggregates of std::complex, so
+  // their storage is exactly an array of floats; the fixed component count
+  // lets the compiler unroll and vectorize the per-site codec.
+  constexpr int kReals = static_cast<int>(sizeof(Site) / sizeof(float));
   for (Site& s : sites) {
-    // Site value types are standard-layout aggregates of std::complex, so
-    // their storage is exactly an array of floats.
-    auto* reals = reinterpret_cast<float*>(&s);
-    roundtrip_site_half(
-        std::span<float>(reals, sizeof(Site) / sizeof(float)));
+    roundtrip_site_half_n<kReals>(reinterpret_cast<float*>(&s));
   }
 }
+
 }  // namespace
 
 void half_roundtrip(WilsonField<float>& f) { roundtrip_sites(f.sites()); }
 
 void half_roundtrip(StaggeredField<float>& f) { roundtrip_sites(f.sites()); }
+
+void half_roundtrip(WilsonField<float>& f, Parity p) {
+  roundtrip_sites(f.parity_span(p));
+}
+
+void half_roundtrip(StaggeredField<float>& f, Parity p) {
+  roundtrip_sites(f.parity_span(p));
+}
 
 void half_roundtrip(GaugeField<float>& g) {
   for (auto& u : g.all_links()) {

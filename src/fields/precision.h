@@ -79,6 +79,13 @@ CloverField<To> convert_clover(const CloverField<From>& src) {
 void half_roundtrip(WilsonField<float>& f);
 void half_roundtrip(StaggeredField<float>& f);
 
+/// Round trip restricted to one checkerboard.  The mixed-precision Schur
+/// systems keep the complementary parity exactly zero, and zero sites
+/// encode/decode exactly, so truncating only the live half is bitwise
+/// identical to the full-field round trip at half the cost.
+void half_roundtrip(WilsonField<float>& f, Parity p);
+void half_roundtrip(StaggeredField<float>& f, Parity p);
+
 /// In-place half-storage round trip of a gauge field.  Link entries are
 /// bounded by one, so a fixed unit scale is used (QUDA's convention);
 /// reunitarization is NOT applied — solvers tolerate the quantization just

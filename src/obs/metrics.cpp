@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -15,6 +16,7 @@ struct MetricsRegistry {
   std::mutex m;
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
 };
 
 MetricsRegistry& registry() {
@@ -42,9 +44,9 @@ std::string metric_key(
 Counter& metric_counter(const std::string& key) {
   MetricsRegistry& r = registry();
   std::unique_lock<std::mutex> lock(r.m);
-  if (r.gauges.count(key) != 0) {
+  if (r.gauges.count(key) != 0 || r.histograms.count(key) != 0) {
     throw std::logic_error("metric '" + key +
-                           "' is registered as a gauge, not a counter");
+                           "' is already registered with a different kind");
   }
   auto& slot = r.counters[key];
   if (!slot) slot = std::make_unique<Counter>();
@@ -54,13 +56,55 @@ Counter& metric_counter(const std::string& key) {
 Gauge& metric_gauge(const std::string& key) {
   MetricsRegistry& r = registry();
   std::unique_lock<std::mutex> lock(r.m);
-  if (r.counters.count(key) != 0) {
+  if (r.counters.count(key) != 0 || r.histograms.count(key) != 0) {
     throw std::logic_error("metric '" + key +
-                           "' is registered as a counter, not a gauge");
+                           "' is already registered with a different kind");
   }
   auto& slot = r.gauges[key];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
+}
+
+Histogram& metric_histogram(const std::string& key) {
+  MetricsRegistry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  if (r.counters.count(key) != 0 || r.gauges.count(key) != 0) {
+    throw std::logic_error("metric '" + key +
+                           "' is already registered with a different kind");
+  }
+  auto& slot = r.histograms[key];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+int Histogram::bucket_index(double x) {
+  if (!(x > kMin)) return 0;
+  const int i = static_cast<int>(std::floor(std::log2(x / kMin)));
+  if (i < 0) return 0;
+  if (i >= kBuckets) return kBuckets - 1;
+  return i;
+}
+
+double Histogram::bucket_lower(int i) { return kMin * std::ldexp(1.0, i); }
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const double n = static_cast<double>(buckets[static_cast<std::size_t>(i)]);
+    if (n == 0.0) continue;
+    if (cum + n >= target) {
+      const double lo = Histogram::bucket_lower(i);
+      const double hi = Histogram::bucket_lower(i + 1);
+      const double frac = n > 0.0 ? (target - cum) / n : 0.0;
+      return lo + (hi - lo) * frac;
+    }
+    cum += n;
+  }
+  return Histogram::bucket_lower(Histogram::kBuckets);
 }
 
 MetricsSnapshot metrics_snapshot() {
@@ -69,6 +113,14 @@ MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot s;
   for (const auto& [key, c] : r.counters) s.counters[key] = c->value();
   for (const auto& [key, g] : r.gauges) s.gauges[key] = g->value();
+  for (const auto& [key, h] : r.histograms) {
+    HistogramSnapshot& hs = s.histograms[key];
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      hs.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+    }
+  }
   return s;
 }
 
@@ -77,6 +129,7 @@ void reset_metrics() {
   std::unique_lock<std::mutex> lock(r.m);
   for (const auto& [key, c] : r.counters) c->reset();
   for (const auto& [key, g] : r.gauges) g->reset();
+  for (const auto& [key, h] : r.histograms) h->reset();
 }
 
 void print_metrics_report(std::FILE* out) {
@@ -93,6 +146,15 @@ void print_metrics_report(std::FILE* out) {
     if (v == 0.0) continue;
     any = true;
     std::fprintf(out, "%-40s %20.6f\n", key.c_str(), v);
+  }
+  for (const auto& [key, h] : s.histograms) {
+    if (h.count == 0) continue;
+    any = true;
+    std::fprintf(out,
+                 "%-40s count=%llu mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+                 key.c_str(), static_cast<unsigned long long>(h.count),
+                 h.mean(), h.percentile(0.50), h.percentile(0.95),
+                 h.percentile(0.99));
   }
   if (!any) std::fprintf(out, "(no metrics recorded)\n");
 }

@@ -21,6 +21,7 @@
 /// the process lifetime; hot paths should look a metric up once and keep
 /// the reference.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -60,6 +61,55 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// Log-bucketed distribution of positive samples (latencies, batch sizes).
+/// 64 power-of-two buckets starting at 1 ns cover ~1e-9 .. 1.8e10, so any
+/// realistic duration in seconds (and any small integer count) lands in a
+/// distinct bucket.  record() is three relaxed atomic updates — safe under
+/// concurrent virtual ranks, same discipline as Counter/Gauge.  Quantiles
+/// come from HistogramSnapshot::percentile(), which interpolates within the
+/// winning bucket: resolution is the bucket width (a factor of 2), which is
+/// plenty to tell a p99 tail from a p50 body.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr double kMin = 1e-9;  ///< lower edge of bucket 0
+
+  void record(double x) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+    buckets_[static_cast<std::size_t>(bucket_index(x))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for sample \p x (clamped; non-positive samples -> 0).
+  static int bucket_index(double x);
+  /// Lower edge of bucket \p i (kMin * 2^i).
+  static double bucket_lower(int i);
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
 /// Serializes name + labels into the canonical key form
 /// `name{k1=v1,k2=v2}` (labels in the order given; empty -> bare name).
 std::string metric_key(
@@ -71,11 +121,26 @@ std::string metric_key(
 /// vice versa): throws std::logic_error on a kind mismatch.
 Counter& metric_counter(const std::string& key);
 Gauge& metric_gauge(const std::string& key);
+Histogram& metric_histogram(const std::string& key);
+
+/// Frozen copy of one histogram, with quantile estimation.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+
+  /// Value below which a fraction \p q of the samples fall (q in [0, 1]),
+  /// linearly interpolated within the winning log bucket.  0 if empty.
+  double percentile(double q) const;
+};
 
 /// Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
 
   std::uint64_t counter(const std::string& key) const {
     auto it = counters.find(key);
@@ -84,6 +149,10 @@ struct MetricsSnapshot {
   double gauge(const std::string& key) const {
     auto it = gauges.find(key);
     return it == gauges.end() ? 0.0 : it->second;
+  }
+  HistogramSnapshot histogram(const std::string& key) const {
+    auto it = histograms.find(key);
+    return it == histograms.end() ? HistogramSnapshot{} : it->second;
   }
 };
 

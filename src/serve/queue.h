@@ -1,0 +1,107 @@
+#pragma once
+/// \file queue.h
+/// \brief Bounded thread-safe MPMC queue for solve requests.
+///
+/// Backpressure by blocking: push() waits while the queue is at capacity,
+/// so producers that outrun the solver throttle instead of growing an
+/// unbounded backlog (the service's memory is dominated by queued RHS
+/// fields).  close() wakes everyone: pending push() calls fail, pop()
+/// drains the remaining items and then reports exhaustion, letting the
+/// dispatcher finish cleanly.
+///
+/// Depth is mirrored to the `serve.queue.depth` gauge on every transition
+/// so benches and tests can watch backlog build and drain.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lqcd::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity, std::string depth_metric =
+                                                  "serve.queue.depth")
+      : capacity_(capacity == 0 ? 1 : capacity),
+        depth_gauge_(&metric_gauge(depth_metric)) {}
+
+  /// Blocks while full.  Returns false (item untouched) once closed.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_space_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    depth_gauge_->set(static_cast<double>(q_.size()));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open.  Returns nullopt only when closed AND
+  /// drained, so no accepted item is ever lost.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_items_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop (the scheduler's coalescing probe).
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(m_);
+    return pop_locked();
+  }
+
+  /// Blocks until an item arrives, the queue closes, or \p deadline passes
+  /// (the scheduler's batching window).  nullopt on timeout or exhaustion.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_items_.wait_until(lock, deadline,
+                         [&] { return closed_ || !q_.empty(); });
+    return pop_locked();
+  }
+
+  /// Rejects future pushes and wakes all waiters; queued items remain
+  /// poppable.
+  void close() {
+    std::unique_lock<std::mutex> lock(m_);
+    closed_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lock(m_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::unique_lock<std::mutex> lock(m_);
+    return q_.size();
+  }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (q_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(q_.front()));
+    q_.pop_front();
+    depth_gauge_->set(static_cast<double>(q_.size()));
+    cv_space_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex m_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  Gauge* depth_gauge_;
+};
+
+}  // namespace lqcd::serve

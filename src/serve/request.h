@@ -1,0 +1,63 @@
+#pragma once
+/// \file request.h
+/// \brief Solve-request and result types for the batched solve service.
+///
+/// A request names the action, the operator parameters (mass, tolerance),
+/// a batch of right-hand sides and an optional deadline.  Requests with
+/// identical (action, mass, tol) are *compatible*: the scheduler may
+/// coalesce them into one multi-RHS dispatch against a shared cached
+/// solver.  The result carries one solution and one SolverStats per RHS —
+/// stats are attributed per request by the block solver itself, so queued
+/// requests can never observe each other's inner-iteration or rollback
+/// counts.
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fields/lattice_field.h"
+#include "solvers/solver_stats.h"
+
+namespace lqcd::serve {
+
+/// The Dirac action a request runs against.  The service currently backs
+/// WilsonClover (the paper's production solver); the field is part of the
+/// compatibility key so a future staggered backend coalesces separately.
+enum class Action { WilsonClover };
+
+/// Terminal state of a request.
+enum class Status {
+  Ok,              ///< solved; solutions/stats populated
+  DeadlineExpired, ///< deadline passed before dispatch; nothing solved
+  ShuttingDown,    ///< submitted after shutdown() closed the queue
+};
+
+struct Request {
+  Action action = Action::WilsonClover;
+  double mass = -0.2;
+  double tol = 1e-5;
+  /// RHS batch: one or more full-lattice sources solved with identical
+  /// parameters (kept together through scheduling — a request is the unit
+  /// of completion).
+  std::vector<WilsonField<double>> rhs;
+  /// If set, the request fails typed (DeadlineExpired) instead of being
+  /// dispatched once this instant has passed.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+struct Result {
+  Status status = Status::Ok;
+  std::string error;  ///< human-readable detail for non-Ok statuses
+  /// One solution per Request::rhs entry (empty unless status == Ok).
+  std::vector<WilsonField<double>> solutions;
+  /// Per-RHS solver stats for this request only (inner_iterations and
+  /// rollbacks included — no leakage from batch-mates).
+  std::vector<SolverStats> stats;
+  double wait_s = 0.0;   ///< enqueue -> dispatch
+  double solve_s = 0.0;  ///< batched dispatch wall time (shared with batch)
+
+  bool ok() const { return status == Status::Ok; }
+};
+
+}  // namespace lqcd::serve

@@ -1,0 +1,143 @@
+#pragma once
+/// \file block_cg.h
+/// \brief Lockstep multi-RHS conjugate gradients for Hermitian positive
+/// definite systems (the staggered workhorse in the batched setting).
+///
+/// Like block_gcr.h this is N independent CG recursions — per-RHS
+/// arithmetic mirrors cg_solve operation for operation, so iterates are
+/// bitwise identical to N solo solves — advanced in rounds so every
+/// matrix application is one MultiRhsOperator batch.  RHS that converge
+/// or break down early drop out of later batches.
+
+#include <cmath>
+#include <vector>
+
+#include "dirac/multi_rhs.h"
+#include "fields/blas.h"
+#include "solvers/cg.h"
+#include "solvers/solver_stats.h"
+
+namespace lqcd {
+
+/// Solves A xs[r] = bs[r] for all r by CG, batching matvecs across RHS.
+/// Each xs[r] is used as the initial guess.
+template <typename Field>
+std::vector<SolverStats> block_cg_solve(const MultiRhsOperator<Field>& a,
+                                        const std::vector<Field*>& xs,
+                                        const std::vector<const Field*>& bs,
+                                        const CgParams& params = {}) {
+  const std::size_t n = xs.size();
+  const LatticeGeometry& geom = a.geometry();
+
+  // Phase names the matvec the RHS waits on: the initial residual (A x),
+  // the direction image (A p), or the reliable-update true residual (A x).
+  enum class Phase { Init, MatvecP, ReliableX, Done };
+  struct St {
+    Field* x;
+    const Field* b;
+    SolverStats stats;
+    Phase phase = Phase::Init;
+    double b2 = 0, target2 = 0, rr = 0, alpha = 0;
+    Field r, p, ap;
+
+    St(const LatticeGeometry& g, Field* x_, const Field* b_)
+        : x(x_), b(b_), r(g), p(g), ap(g) {}
+  };
+
+  std::vector<St> st;
+  st.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.emplace_back(geom, xs[i], bs[i]);
+    St& s = st.back();
+    s.b2 = norm2(*s.b);
+    if (s.b2 == 0) {
+      set_zero(*s.x);
+      s.stats.converged = true;
+      s.phase = Phase::Done;
+      continue;
+    }
+    s.target2 = params.tol * params.tol * s.b2;
+  }
+
+  auto finalize = [&](St& s) {
+    s.stats.final_residual = std::sqrt(s.rr / s.b2);
+    s.stats.converged = s.rr <= s.target2;
+    s.phase = Phase::Done;
+  };
+
+  // Tail of one CG iteration (r is up to date): new norms, direction
+  // update, loop-condition check.
+  auto finish_iteration = [&](St& s) {
+    const double rr_new = norm2(s.r);
+    xpay(s.r, rr_new / s.rr, s.p);
+    s.rr = rr_new;
+    ++s.stats.iterations;
+    if (s.rr > s.target2 && s.stats.iterations < params.max_iter) {
+      s.phase = Phase::MatvecP;
+    } else {
+      finalize(s);
+    }
+  };
+
+  for (;;) {
+    std::vector<Field*> outs;
+    std::vector<const Field*> ins;
+    std::vector<St*> ast;
+    for (St& s : st) {
+      if (s.phase == Phase::Done) continue;
+      outs.push_back(&s.ap);
+      ins.push_back(s.phase == Phase::MatvecP ? &s.p : s.x);
+      ast.push_back(&s);
+    }
+    if (ast.empty()) break;
+    a.apply_multi(outs, ins);
+    for (St* sp : ast) {
+      St& s = *sp;
+      ++s.stats.matvecs;
+      switch (s.phase) {
+        case Phase::Init:
+          copy(s.r, *s.b);
+          axpy(-1.0, s.ap, s.r);
+          copy(s.p, s.r);
+          s.rr = norm2(s.r);
+          if (s.rr > s.target2 && s.stats.iterations < params.max_iter) {
+            s.phase = Phase::MatvecP;
+          } else {
+            finalize(s);
+          }
+          break;
+        case Phase::MatvecP: {
+          const double pap = dot(s.p, s.ap).real();
+          if (pap <= 0) {  // loss of positive definiteness (breakdown)
+            finalize(s);
+            break;
+          }
+          s.alpha = s.rr / pap;
+          axpy(s.alpha, s.p, *s.x);
+          if (params.reliable_every > 0 &&
+              (s.stats.iterations + 1) % params.reliable_every == 0) {
+            s.phase = Phase::ReliableX;  // true residual next round
+          } else {
+            axpy(-s.alpha, s.ap, s.r);
+            finish_iteration(s);
+          }
+          break;
+        }
+        case Phase::ReliableX:
+          copy(s.r, *s.b);
+          axpy(-1.0, s.ap, s.r);
+          ++s.stats.restarts;
+          finish_iteration(s);
+          break;
+        default: break;
+      }
+    }
+  }
+
+  std::vector<SolverStats> out;
+  out.reserve(n);
+  for (St& s : st) out.push_back(std::move(s.stats));
+  return out;
+}
+
+}  // namespace lqcd

@@ -11,6 +11,7 @@
 
 #include "dirac/operator.h"
 #include "fields/blas.h"
+#include "obs/trace.h"
 #include "solvers/solver_stats.h"
 
 namespace lqcd {
@@ -38,7 +39,10 @@ SolverStats mr_solve(const LinearOperator<Field>& a, Field& x, const Field& b,
   if (low_store) low_store(r);
 
   for (int k = 0; k < params.steps; ++k) {
-    a.apply(ar, r);
+    {
+      ScopedSpan op_span("mr.op");
+      a.apply(ar, r);
+    }
     ++stats.matvecs;
     if (mask != nullptr) {
       const auto num = block_dot(ar, r, *mask);

@@ -1,0 +1,79 @@
+#include "tune/batch_policy.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "tune/tunable.h"
+#include "tune/tune_launch.h"
+#include "util/log.h"
+
+namespace lqcd {
+
+namespace {
+
+BatchSetting parse_batch_env() {
+  BatchSetting s;
+  const char* env = std::getenv("LQCD_SERVE_BATCH");
+  if (env == nullptr) return s;
+  const std::string v(env);
+  if (v == "tune") {
+    s.tune = true;
+    return s;
+  }
+  try {
+    const int w = std::stoi(v);
+    if (w >= 1) {
+      s.forced = w;
+      return s;
+    }
+  } catch (const std::exception&) {
+  }
+  if (!v.empty()) {
+    log_warn("LQCD_SERVE_BATCH=" + v +
+             " not understood (want a width >= 1 or tune); using defaults");
+  }
+  return s;
+}
+
+BatchSetting& mutable_setting() {
+  static BatchSetting s = parse_batch_env();
+  return s;
+}
+
+}  // namespace
+
+const BatchSetting& batch_setting() { return mutable_setting(); }
+
+void init_batch_from_env() { mutable_setting() = parse_batch_env(); }
+
+int select_batch_width(const std::string& kernel, std::string aux,
+                       std::int64_t volume, int fallback,
+                       const std::function<void(int)>& run_with) {
+  const BatchSetting& s = batch_setting();
+  if (s.forced.has_value()) return *s.forced;
+  if (!s.tune) return fallback;
+  // Candidate 0 must be the default (the caller's fallback).
+  std::vector<int> widths{fallback};
+  for (int w : {1, 2, 4, 8, 16}) {
+    if (std::find(widths.begin(), widths.end(), w) == widths.end()) {
+      widths.push_back(w);
+    }
+  }
+  int chosen = fallback;
+  std::vector<CallbackTunable::Candidate> cands;
+  cands.reserve(widths.size());
+  for (int w : widths) {
+    cands.push_back(
+        {"width=" + std::to_string(w), [&chosen, w] { chosen = w; }});
+  }
+  CallbackTunable t(kernel + "_batch", std::move(aux), volume,
+                    TuneClass::policy, std::move(cands),
+                    [&] { run_with(chosen); });
+  TuneOptions opts;
+  opts.allow_policy = true;
+  tune_launch(t, opts);
+  return chosen;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,51 @@
+#pragma once
+/// \file batch_policy.h
+/// \brief Serve batch-width policy: how many RHS a multi-RHS dispatch
+/// coalesces per solve.
+///
+/// Width is a *policy* knob, not a numerics-neutral one at the service
+/// level: wider batches change scheduling (a request may wait for batch-
+/// mates) and fault-rollback blast radius, even though each RHS's iterates
+/// stay bitwise identical.  So, like the gauge-reconstruction format
+/// (dirac/recon_policy.h), it follows the environment contract
+/// (`LQCD_SERVE_BATCH`):
+///  * unset       — the caller's fallback (kDefaultServeBatch for the
+///                  service).
+///  * `<n>`       — force width n everywhere.
+///  * `tune`      — sweep {fallback, 1, 2, 4, 8, 16} as a TuneClass::policy
+///                  tunable (key `<kernel>_batch`, param `width=N`): the
+///                  caller's closure runs a fixed amount of total work at
+///                  each width and the tunecache records the fastest.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace lqcd {
+
+/// Default coalescing width when LQCD_SERVE_BATCH is unset.
+inline constexpr int kDefaultServeBatch = 8;
+
+/// The parsed LQCD_SERVE_BATCH setting.
+struct BatchSetting {
+  std::optional<int> forced;  ///< set for a numeric value
+  bool tune = false;          ///< set for "tune"
+};
+
+/// Process-wide setting, parsed from LQCD_SERVE_BATCH on first use.
+const BatchSetting& batch_setting();
+
+/// Re-reads LQCD_SERVE_BATCH (test hook).
+void init_batch_from_env();
+
+/// Resolves the batch width for \p kernel per the environment contract.
+/// \p run_with is invoked as run_with(width) and must process the same
+/// total work at every width (e.g. a fixed RHS count in ceil(total/width)
+/// batches) so candidate timings are comparable; side effects must be
+/// confined to scratch state (the driver re-runs candidates).
+int select_batch_width(const std::string& kernel, std::string aux,
+                       std::int64_t volume, int fallback,
+                       const std::function<void(int)>& run_with);
+
+}  // namespace lqcd

@@ -455,5 +455,87 @@ TEST(Metrics, ExchangeMetricsMatchLegacyCounters) {
             static_cast<std::uint64_t>(part.num_ranks()));
 }
 
+TEST(Metrics, HistogramBucketsAndPercentiles) {
+  // Bucket math: power-of-two buckets from 1 ns, clamped at both ends.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMin), 0);
+  EXPECT_EQ(Histogram::bucket_index(3e-9), 1);
+  EXPECT_EQ(Histogram::bucket_index(1e12), Histogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(0), Histogram::kMin);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(3), 8.0 * Histogram::kMin);
+
+  Histogram& h = metric_histogram("obs.test.hist");
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(metrics_snapshot().histogram("obs.test.hist").percentile(
+                       0.5),
+                   0.0);  // empty -> 0
+
+  // All samples in one bucket: q=0 hits the bucket's lower edge exactly,
+  // q=1 its upper edge (linear interpolation inside the bucket).
+  for (int i = 0; i < 4; ++i) h.record(1.0);
+  const int idx = Histogram::bucket_index(1.0);
+  HistogramSnapshot snap = metrics_snapshot().histogram("obs.test.hist");
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 4.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1.0);
+  EXPECT_EQ(snap.buckets[static_cast<std::size_t>(idx)], 4u);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), Histogram::bucket_lower(idx));
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), Histogram::bucket_lower(idx + 1));
+  EXPECT_GT(snap.percentile(0.5), Histogram::bucket_lower(idx));
+  EXPECT_LT(snap.percentile(0.5), Histogram::bucket_lower(idx + 1));
+
+  // Bimodal body/tail: the median lands in the body bucket, the p99 in
+  // the tail bucket — the property the serve latency report relies on.
+  h.reset();
+  for (int i = 0; i < 90; ++i) h.record(1e-6);
+  for (int i = 0; i < 10; ++i) h.record(1.0);
+  snap = metrics_snapshot().histogram("obs.test.hist");
+  EXPECT_EQ(snap.count, 100u);
+  const int body = Histogram::bucket_index(1e-6);
+  const int tail = Histogram::bucket_index(1.0);
+  EXPECT_GE(snap.percentile(0.50), Histogram::bucket_lower(body));
+  EXPECT_LE(snap.percentile(0.50), Histogram::bucket_lower(body + 1));
+  EXPECT_GE(snap.percentile(0.99), Histogram::bucket_lower(tail));
+  EXPECT_LE(snap.percentile(0.99), Histogram::bucket_lower(tail + 1));
+  EXPECT_LT(snap.percentile(0.50), snap.percentile(0.95));
+
+  reset_metrics();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Metrics, HistogramKeyKeepsItsKind) {
+  Counter& c = metric_counter("obs.test.hkind.counter");
+  c.add();
+  EXPECT_THROW(metric_histogram("obs.test.hkind.counter"), std::logic_error);
+  Histogram& h = metric_histogram("obs.test.hkind.hist");
+  h.record(1.0);
+  EXPECT_THROW(metric_counter("obs.test.hkind.hist"), std::logic_error);
+  EXPECT_THROW(metric_gauge("obs.test.hkind.hist"), std::logic_error);
+  // Stable registration: the same key yields the same object.
+  EXPECT_EQ(&metric_histogram("obs.test.hkind.hist"), &h);
+}
+
+TEST(Metrics, ConcurrentHistogramRecordsAreLossless) {
+  Histogram& h = metric_histogram("obs.test.hist.concurrent");
+  h.reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(0.5);
+    });
+  }
+  for (auto& t : ts) t.join();
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), kTotal);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 * static_cast<double>(kTotal));
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(0.5)), kTotal);
+}
+
 }  // namespace
 }  // namespace lqcd
