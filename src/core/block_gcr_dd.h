@@ -72,9 +72,16 @@ class MultiRhsGcrDdWilsonSolver {
   /// `inner_iterations` is attributed per RHS by the block driver, so a
   /// reused solver or a long-lived service never leaks preconditioner work
   /// between requests.
+  ///
+  /// \p ckpt (optional) threads soak checkpoint I/O into the block driver
+  /// (solvers/block_gcr.h): capture freezes the whole batch mid-solve at a
+  /// driver-round boundary; resume requires the same RHS in the same order
+  /// (source preparation is recomputed — a pure function of b and the
+  /// gauge/clover fields) and continues every RHS bitwise.
   std::vector<SolverStats> solve(
       const std::vector<WilsonField<double>*>& xs,
-      const std::vector<const WilsonField<double>*>& bs) {
+      const std::vector<const WilsonField<double>*>& bs,
+      BlockGcrCheckpointIo<WilsonField<float>>* ckpt = nullptr) {
     const std::size_t n = xs.size();
     ScopedSpan span("block_gcrdd.solve");
     metric_counter("solver.gcrdd.solves").add(n);
@@ -111,7 +118,14 @@ class MultiRhsGcrDdWilsonSolver {
       low_store = [](WilsonField<float>& f) { half_roundtrip(f, Parity::Even); };
     }
     std::vector<SolverStats> stats = block_gcr_solve(
-        *multi_op_, x_ptr, b_hat_ptr, precond_.get(), gp, low_store);
+        *multi_op_, x_ptr, b_hat_ptr, precond_.get(), gp, low_store, ckpt);
+
+    // A kill-captured batch returns its partial stats; the iterates live in
+    // the checkpoint, so the output fields are left untouched.
+    if (ckpt != nullptr && ckpt->stop_after_capture &&
+        ckpt->captured != nullptr && ckpt->captured->valid()) {
+      return stats;
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
       if (op_part_) {

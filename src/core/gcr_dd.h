@@ -95,10 +95,28 @@ class GcrDdWilsonSolver {
   /// steps of *this* solve only (the preconditioner's own tally is
   /// cumulative across solves; we difference around the solve so a reused
   /// solver never reports inflated counts).
-  SolverStats solve(WilsonField<double>& x, const WilsonField<double>& b) {
+  ///
+  /// \p ckpt (optional) threads soak checkpoint I/O into the inner GCR
+  /// (solvers/gcr.h): capture freezes the float Schur-system state
+  /// mid-solve; resume requires the same gauge/clover/params and the same
+  /// \p b — the source preparation is recomputed (it is a pure function of
+  /// them), and the restored Krylov state continues bitwise.
+  SolverStats solve(WilsonField<double>& x, const WilsonField<double>& b,
+                    GcrCheckpointIo<WilsonField<float>>* ckpt = nullptr) {
     ScopedSpan span("gcrdd.solve");
     metric_counter("solver.gcrdd.solves").add();
     const int inner_before = precond_->inner_steps();
+    // A resumed solve continues the killed run's inner-iteration tally; a
+    // capture freezes the tally as of the checkpointed iteration.
+    const int inner_restored =
+        (ckpt != nullptr && ckpt->resume != nullptr && ckpt->resume->valid())
+            ? ckpt->resume->stats.inner_iterations
+            : 0;
+    if (ckpt != nullptr) {
+      ckpt->inner_iterations_now = [this, inner_before, inner_restored] {
+        return inner_restored + precond_->inner_steps() - inner_before;
+      };
+    }
     WilsonField<float> b_f = convert_field<float>(b);
     WilsonField<float> b_hat(b.geometry());
     if (op_part_) {
@@ -119,9 +137,16 @@ class GcrDdWilsonSolver {
     if (params_.half_krylov) {
       low_store = [](WilsonField<float>& f) { half_roundtrip(f, Parity::Even); };
     }
-    SolverStats stats =
-        gcr_solve(schur_operator(), x_f, b_hat, precond_.get(), gp, low_store);
-    stats.inner_iterations = precond_->inner_steps() - inner_before;
+    SolverStats stats = gcr_solve(schur_operator(), x_f, b_hat,
+                                  precond_.get(), gp, low_store, ckpt);
+    stats.inner_iterations =
+        inner_restored + precond_->inner_steps() - inner_before;
+    // A kill-captured solve returns its partial stats without touching x
+    // (the iterate lives inside the checkpoint, not the output field).
+    if (ckpt != nullptr && ckpt->stop_after_capture &&
+        ckpt->captured != nullptr && ckpt->captured->valid()) {
+      return stats;
+    }
 
     if (op_part_) {
       op_part_->reconstruct_solution(x_f, b_f);

@@ -132,6 +132,34 @@ void reset_metrics() {
   for (const auto& [key, h] : r.histograms) h->reset();
 }
 
+void restore_metrics(const MetricsSnapshot& s) {
+  // Register any keys the process has not touched yet (each registration
+  // takes the registry lock internally, so do it before the bulk update).
+  for (const auto& [key, v] : s.counters) metric_counter(key);
+  for (const auto& [key, v] : s.gauges) metric_gauge(key);
+  for (const auto& [key, h] : s.histograms) metric_histogram(key);
+
+  MetricsRegistry& r = registry();
+  std::unique_lock<std::mutex> lock(r.m);
+  for (const auto& [key, c] : r.counters) {
+    auto it = s.counters.find(key);
+    c->reset();
+    if (it != s.counters.end()) c->add(it->second);
+  }
+  for (const auto& [key, g] : r.gauges) {
+    auto it = s.gauges.find(key);
+    g->set(it == s.gauges.end() ? 0.0 : it->second);
+  }
+  for (const auto& [key, h] : r.histograms) {
+    auto it = s.histograms.find(key);
+    if (it == s.histograms.end()) {
+      h->reset();
+    } else {
+      h->restore(it->second.count, it->second.sum, it->second.buckets);
+    }
+  }
+}
+
 void print_metrics_report(std::FILE* out) {
   const MetricsSnapshot s = metrics_snapshot();
   std::fprintf(out, "\n== metrics ==\n");

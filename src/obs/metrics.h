@@ -99,6 +99,17 @@ class Histogram {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 
+  /// Overwrites the distribution with previously snapshotted totals
+  /// (checkpoint restore; not safe against concurrent recorders).
+  void restore(std::uint64_t count, double sum,
+               const std::array<std::uint64_t, 64>& buckets) {
+    count_.store(count, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i].store(buckets[i], std::memory_order_relaxed);
+    }
+  }
+
   /// Bucket index for sample \p x (clamped; non-positive samples -> 0).
   static int bucket_index(double x);
   /// Lower edge of bucket \p i (kMin * 2^i).
@@ -160,6 +171,15 @@ MetricsSnapshot metrics_snapshot();
 
 /// Zeroes every registered metric (registrations persist).
 void reset_metrics();
+
+/// Overwrites the registry with a previously captured snapshot: every key in
+/// \p s is registered (if new) and set to its snapshotted value, and every
+/// registered key absent from \p s is zeroed — after the call,
+/// metrics_snapshot() == \p s.  Used by checkpoint restore (soak/) so a
+/// resumed run's cumulative meters continue from where the killed run
+/// stopped.  Not safe against concurrent writers: call it from quiescent
+/// code only (same rule as reset_metrics()).
+void restore_metrics(const MetricsSnapshot& s);
 
 /// Prints a `== metrics ==` report of all non-zero metrics to \p out
 /// (benches call this at exit; zero-valued metrics are elided so the

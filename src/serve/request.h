@@ -31,6 +31,8 @@ enum class Status {
   Ok,              ///< solved; solutions/stats populated
   DeadlineExpired, ///< deadline passed before dispatch; nothing solved
   ShuttingDown,    ///< submitted after shutdown() closed the queue
+  Interrupted,     ///< batch was checkpoint-killed mid-solve (soak harness);
+                   ///< stats carry the partial trajectory, solutions empty
 };
 
 struct Request {

@@ -179,6 +179,23 @@ void SolveService::dispatch(std::vector<Pending> batch) {
   MultiRhsGcrDdWilsonSolver& solver = solver_for(key_of(batch.front().req));
   const auto start = std::chrono::steady_clock::now();
 
+  // Soak-harness checkpoint plumbing: pair this dispatch ordinal with the
+  // configured capture plan and/or the resume state (first dispatch only).
+  const std::uint64_t ordinal = dispatched_++;
+  BlockGcrCheckpointIo<WilsonField<float>> ckpt_io;
+  BlockGcrCheckpointIo<WilsonField<float>>* ckpt = nullptr;
+  if (cfg_.resume != nullptr && ordinal == 0) {
+    ckpt_io.resume = cfg_.resume;
+    ckpt = &ckpt_io;
+  }
+  if (cfg_.checkpoint.has_value() &&
+      cfg_.checkpoint->batch_ordinal == ordinal) {
+    ckpt_io.capture_at_round = cfg_.checkpoint->at_round;
+    ckpt_io.captured = cfg_.checkpoint->captured;
+    ckpt_io.stop_after_capture = cfg_.checkpoint->kill;
+    ckpt = &ckpt_io;
+  }
+
   // Solutions live in the results from the start so the solver writes the
   // final fields in place.
   std::vector<Result> results(batch.size());
@@ -193,8 +210,30 @@ void SolveService::dispatch(std::vector<Pending> batch) {
   }
 
   Stopwatch sw;
-  std::vector<SolverStats> stats = solver.solve(xs, bs);
+  std::vector<SolverStats> stats = solver.solve(xs, bs, ckpt);
   const double solve_s = sw.seconds();
+
+  // A checkpoint-killed batch completes typed: partial per-request stats,
+  // no solutions (the iterates live in the captured state).  Latency
+  // histograms are not fed — serve metrics describe completed work.
+  if (ckpt != nullptr && ckpt_io.stop_after_capture &&
+      ckpt_io.captured != nullptr && ckpt_io.captured->valid()) {
+    metric_counter("serve.batches.interrupted").add();
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Result r;
+      r.status = Status::Interrupted;
+      r.error = "batch checkpoint-killed mid-solve";
+      r.wait_s = seconds_between(batch[i].enqueued, start);
+      r.solve_s = solve_s;
+      const std::size_t w = batch[i].req.rhs.size();
+      r.stats.assign(stats.begin() + static_cast<std::ptrdiff_t>(at),
+                     stats.begin() + static_cast<std::ptrdiff_t>(at + w));
+      at += w;
+      batch[i].promise.set_value(std::move(r));
+    }
+    return;
+  }
 
   metric_counter("serve.batches").add();
   metric_histogram("serve.batch.occupancy")

@@ -25,10 +25,12 @@
 /// `serve.deadline_expired` counters, `serve.dispatch_s` busy-time gauge.
 
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -55,6 +57,28 @@ struct Config {
   /// Solver configuration shared by all cached solvers; `mass` and `tol`
   /// are overridden per request (they are part of the coalescing key).
   GcrDdParams solver;
+
+  /// Soak-harness checkpoint hook (soak/runner.h drives this): the dispatch
+  /// whose 0-based ordinal equals `batch_ordinal` runs with block-solver
+  /// checkpoint capture, freezing the whole batch at driver round
+  /// `at_round`.  With `kill` set the dispatch stops right after the
+  /// capture — its requests complete typed (Status::Interrupted) carrying
+  /// their partial per-request stats, and the frozen state lands in
+  /// `*captured`; subsequent batches proceed normally.
+  struct CheckpointPlan {
+    std::uint64_t batch_ordinal = 0;
+    std::int64_t at_round = 0;
+    bool kill = true;
+    BlockGcrCheckpoint<WilsonField<float>>* captured = nullptr;
+  };
+  std::optional<CheckpointPlan> checkpoint;
+
+  /// When set, the service's FIRST dispatch resumes from this captured
+  /// state instead of starting fresh.  The resubmitted requests must
+  /// reproduce the killed batch exactly (same RHS fields, same order, same
+  /// mass/tol) — the block solver enforces the RHS count and the restored
+  /// trajectory continues bitwise (tests/test_serve.cpp).
+  const BlockGcrCheckpoint<WilsonField<float>>* resume = nullptr;
 };
 
 class SolveService {
@@ -120,6 +144,9 @@ class SolveService {
   std::deque<Pending> carry_;
   /// One cached solver per parameter set; dispatcher-thread only.
   std::map<CompatKey, std::unique_ptr<MultiRhsGcrDdWilsonSolver>> solvers_;
+  /// Dispatch ordinal counter (dispatcher-thread only): pairs dispatches
+  /// with Config::checkpoint / Config::resume.
+  std::uint64_t dispatched_ = 0;
   std::thread dispatcher_;
 };
 

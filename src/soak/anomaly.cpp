@@ -1,0 +1,381 @@
+#include "soak/anomaly.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lqcd::soak {
+
+const char* anomaly_kind_name(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::LatencySpike: return "latency-spike";
+    case AnomalyKind::QueueDepthSpike: return "queue-depth-spike";
+    case AnomalyKind::ResidualStall: return "residual-stall";
+    case AnomalyKind::Divergence: return "divergence";
+    case AnomalyKind::BaselineRegression: return "baseline-regression";
+    case AnomalyKind::CheckpointDivergence: return "checkpoint-divergence";
+  }
+  return "unknown";
+}
+
+std::string AnomalyReport::to_string() const {
+  std::ostringstream os;
+  os << "anomaly report: " << anomalies.size() << " finding(s) over "
+     << latency_samples << " latency / " << queue_samples << " queue samples, "
+     << solves_checked << " solves, " << baseline_checks
+     << " baseline checks\n";
+  for (const Anomaly& a : anomalies) {
+    os << "ANOMALY kind=" << anomaly_kind_name(a.kind) << " metric=" << a.metric
+       << " observed=" << a.observed << " limit=" << a.limit << " at=" << a.at
+       << " :: " << a.what << "\n";
+  }
+  return os.str();
+}
+
+RollingWindow::RollingWindow(std::size_t cap) : buf_(cap == 0 ? 1 : cap) {}
+
+void RollingWindow::push(double v) {
+  buf_[next_] = v;
+  if (++next_ == buf_.size()) {
+    next_ = 0;
+    wrapped_ = true;
+  }
+}
+
+double RollingWindow::percentile(double q) const {
+  const std::size_t n = size();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted(buf_.begin(),
+                             buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least ceil(q * n) samples at
+  // or below it — exact over the window, no interpolation surprises.
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * double(n)));
+  if (rank > 0) --rank;
+  return sorted[rank];
+}
+
+void AnomalyDetector::record_latency(double seconds) {
+  const std::int64_t at = static_cast<std::int64_t>(report_.latency_samples++);
+  latency_.push(seconds);
+  if (t_.latency_p95_limit_s <= 0.0 || !latency_.full()) return;
+  const double p95 = latency_.percentile(0.95);
+  if (p95 > t_.latency_p95_limit_s) {
+    if (!latency_tripped_) {
+      latency_tripped_ = true;
+      report_.anomalies.push_back(
+          {AnomalyKind::LatencySpike, "serve.request_latency_s",
+           "rolling p95 latency over ceiling", p95, t_.latency_p95_limit_s,
+           at});
+    }
+  } else {
+    latency_tripped_ = false;
+  }
+}
+
+void AnomalyDetector::record_queue_depth(double depth) {
+  const std::int64_t at = static_cast<std::int64_t>(report_.queue_samples++);
+  queue_.push(depth);
+  if (t_.queue_depth_p95_limit <= 0.0 || !queue_.full()) return;
+  const double p95 = queue_.percentile(0.95);
+  if (p95 > t_.queue_depth_p95_limit) {
+    if (!queue_tripped_) {
+      queue_tripped_ = true;
+      report_.anomalies.push_back(
+          {AnomalyKind::QueueDepthSpike, "serve.queue_depth",
+           "rolling p95 queue depth over ceiling", p95,
+           t_.queue_depth_p95_limit, at});
+    }
+  } else {
+    queue_tripped_ = false;
+  }
+}
+
+void AnomalyDetector::record_residual_history(
+    const std::vector<double>& history) {
+  ++report_.solves_checked;
+  if (history.empty()) return;
+  const double start = history.front();
+  bool stalled = false;
+  bool diverged = false;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (!diverged && t_.divergence_factor > 0.0 && start > 0.0 &&
+        history[i] > t_.divergence_factor * start) {
+      diverged = true;
+      report_.anomalies.push_back(
+          {AnomalyKind::Divergence, "solver.residual",
+           "residual grew past divergence_factor * |r_0|", history[i],
+           t_.divergence_factor * start, static_cast<std::int64_t>(i)});
+    }
+    const std::size_t win = static_cast<std::size_t>(t_.stall_window);
+    if (!stalled && t_.stall_window > 0 && i >= win &&
+        history[i] > t_.stall_factor * history[i - win]) {
+      stalled = true;
+      report_.anomalies.push_back(
+          {AnomalyKind::ResidualStall, "solver.residual",
+           "residual failed to decay across stall_window iterations",
+           history[i], t_.stall_factor * history[i - win],
+           static_cast<std::int64_t>(i)});
+    }
+    if (stalled && diverged) break;
+  }
+}
+
+void AnomalyDetector::check_baselines(
+    const std::map<std::string, double>& baseline,
+    const std::vector<BaselineCheck>& checks) {
+  for (const BaselineCheck& c : checks) {
+    ++report_.baseline_checks;
+    auto it = baseline.find(c.key);
+    if (it == baseline.end() || it->second <= 0.0) continue;
+    const double base = it->second;
+    if (c.higher_is_worse) {
+      const double limit = base * (1.0 + t_.baseline_rel_tol);
+      if (c.observed > limit) {
+        report_.anomalies.push_back({AnomalyKind::BaselineRegression, c.key,
+                                     "observed exceeds baseline * (1 + tol)",
+                                     c.observed, limit, -1});
+      }
+    } else {
+      const double limit = base / (1.0 + t_.baseline_rel_tol);
+      if (c.observed < limit) {
+        report_.anomalies.push_back({AnomalyKind::BaselineRegression, c.key,
+                                     "observed below baseline / (1 + tol)",
+                                     c.observed, limit, -1});
+      }
+    }
+  }
+}
+
+void AnomalyDetector::record(Anomaly a) {
+  report_.anomalies.push_back(std::move(a));
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON flattener.
+
+namespace {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& s) : s_(s) {}
+
+  void flatten(std::map<std::string, double>& out) {
+    skip_ws();
+    value("", out);
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static std::string join(const std::string& prefix, const std::string& key) {
+    return prefix.empty() ? key : prefix + "." + key;
+  }
+
+  // Parses any value; numeric/bool leaves land in `out` under `path`.
+  void value(const std::string& path, std::map<std::string, double>& out) {
+    switch (peek()) {
+      case '{': object(path, out); return;
+      case '[': array(path, out); return;
+      case '"': string_lit(); return;  // string leaves are skipped
+      case 't':
+        literal("true");
+        if (!path.empty()) out[path] = 1.0;
+        return;
+      case 'f':
+        literal("false");
+        if (!path.empty()) out[path] = 0.0;
+        return;
+      case 'n': literal("null"); return;
+      default: {
+        double v = number();
+        if (!path.empty()) out[path] = v;
+        return;
+      }
+    }
+  }
+
+  void object(const std::string& path, std::map<std::string, double>& out) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_lit();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      value(join(path, key), out);
+      skip_ws();
+      char c = take();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  void array(const std::string& path, std::map<std::string, double>& out) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    std::size_t index = 0;
+    while (true) {
+      skip_ws();
+      // Arrays of named objects (google-benchmark's `benchmarks`) are keyed
+      // by their `name` field so baseline paths survive reordering.
+      std::string key = std::to_string(index);
+      if (peek() == '{') {
+        std::string name = peek_object_name();
+        if (!name.empty()) key = name;
+      }
+      value(join(path, key), out);
+      skip_ws();
+      char c = take();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']' in array");
+      ++index;
+    }
+  }
+
+  /// The string value of a top-level "name" key in the object starting at
+  /// pos_, found by a non-consuming scan ("" when absent).
+  std::string peek_object_name() {
+    const std::size_t saved = pos_;
+    std::map<std::string, double> sink;
+    std::string found;
+    expect('{');
+    skip_ws();
+    if (peek() != '}') {
+      while (true) {
+        skip_ws();
+        std::string key = string_lit();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        if (key == "name" && peek() == '"') {
+          found = string_lit();
+        } else {
+          value("", sink);
+        }
+        skip_ws();
+        char c = take();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}' in object");
+        if (!found.empty()) break;  // got the name; stop scanning early
+      }
+    }
+    pos_ = saved;
+    return found;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        char e = take();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Baseline files are ASCII; keep \u escapes lossy-but-lossless
+            // enough by passing the raw code unit through.
+            std::string hex;
+            for (int i = 0; i < 4; ++i) hex += take();
+            out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (take() != *p) fail(std::string("expected '") + lit + "'");
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    char* end = nullptr;
+    const std::string text = s_.substr(start, pos_ - start);
+    double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::map<std::string, double> flatten_json_numbers(const std::string& json) {
+  std::map<std::string, double> out;
+  JsonCursor(json).flatten(out);
+  return out;
+}
+
+std::map<std::string, double> flatten_json_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("json: cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  return flatten_json_numbers(text);
+}
+
+}  // namespace lqcd::soak

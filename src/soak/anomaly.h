@@ -1,0 +1,174 @@
+#pragma once
+/// \file anomaly.h
+/// \brief Streaming anomaly detection over the soak harness's metric
+/// streams, with typed findings.
+///
+/// Three detector families (ISSUE: anomaly gating):
+///
+///  * **Rolling-window tails** — per-request latency and queue-depth samples
+///    feed fixed-size rolling windows; once a window is full its exact p95
+///    is compared against a configured ceiling.  Detection is edge-
+///    triggered: one anomaly is recorded at the first sample whose window
+///    exceeds the ceiling, and the detector re-arms only after the tail
+///    drops back under — a sustained spike is one finding, not thousands.
+///
+///  * **Residual-trajectory checks** — a solve's residual history is
+///    scanned for stalls (no `stall_factor` decay across `stall_window`
+///    iterations) and divergence (growth beyond `divergence_factor` times
+///    the starting norm).  Findings carry the exact iteration index that
+///    triggered them (asserted in tests/test_soak.cpp).
+///
+///  * **Baseline regression** — observed throughput/latency figures are
+///    compared against the committed BENCH_*.json baselines with a
+///    configurable relative tolerance.  The JSON is read by a minimal
+///    flattener (below) producing dotted numeric paths, so the comparison
+///    is declarative: a check names a path, an observed value, and a
+///    direction.
+///
+/// All findings accumulate into an AnomalyReport; the soak runner fails the
+/// run iff the report is non-empty.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lqcd::soak {
+
+enum class AnomalyKind {
+  LatencySpike,          ///< rolling p95 request latency over the ceiling
+  QueueDepthSpike,       ///< rolling p95 queue depth over the ceiling
+  ResidualStall,         ///< residual failed to decay across the window
+  Divergence,            ///< residual grew past divergence_factor * start
+  BaselineRegression,    ///< observed figure worse than baseline * tolerance
+  CheckpointDivergence,  ///< restored run deviated from the reference run
+};
+
+const char* anomaly_kind_name(AnomalyKind k);
+
+/// One finding.  `at` is the sample ordinal (rolling windows) or iteration
+/// index (residual checks) that tripped the detector; -1 when positionless
+/// (baseline regressions).
+struct Anomaly {
+  AnomalyKind kind{};
+  std::string metric;  ///< metric key or dotted baseline path
+  std::string what;    ///< human-readable detail
+  double observed = 0.0;
+  double limit = 0.0;
+  std::int64_t at = -1;
+};
+
+/// The typed report the soak runner fails on.
+struct AnomalyReport {
+  std::vector<Anomaly> anomalies;
+  std::uint64_t latency_samples = 0;
+  std::uint64_t queue_samples = 0;
+  std::uint64_t solves_checked = 0;
+  std::uint64_t baseline_checks = 0;
+
+  bool ok() const { return anomalies.empty(); }
+  /// One `ANOMALY kind=... metric=... observed=... limit=... at=...` line
+  /// per finding, prefixed by a summary line.
+  std::string to_string() const;
+};
+
+struct AnomalyThresholds {
+  std::size_t window = 64;  ///< rolling-window length for tail checks
+
+  /// Rolling p95 ceilings; 0 disables the corresponding detector.
+  double latency_p95_limit_s = 0.0;
+  double queue_depth_p95_limit = 0.0;
+
+  /// A residual history stalls when history[i] > stall_factor *
+  /// history[i - stall_window] (the trajectory failed to decay by at least
+  /// stall_factor over stall_window iterations).  stall_window <= 0
+  /// disables the check.
+  int stall_window = 25;
+  double stall_factor = 0.9;
+
+  /// history[i] > divergence_factor * history[0] flags divergence;
+  /// <= 0 disables.
+  double divergence_factor = 1e3;
+
+  /// Baseline comparisons allow this relative slack: a higher-is-worse
+  /// figure regresses when observed > baseline * (1 + baseline_rel_tol); a
+  /// lower-is-worse figure when observed < baseline / (1 + baseline_rel_tol).
+  double baseline_rel_tol = 0.5;
+};
+
+/// Fixed-capacity rolling window with exact order-statistic percentiles.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t cap);
+
+  void push(double v);
+  std::size_t size() const { return wrapped_ ? buf_.size() : next_; }
+  bool full() const { return wrapped_; }
+
+  /// Exact percentile over the current contents (nearest-rank on the
+  /// sorted window; q in [0, 1]).  0 when empty.
+  double percentile(double q) const;
+
+ private:
+  std::vector<double> buf_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+};
+
+/// One declarative baseline comparison.
+struct BaselineCheck {
+  std::string key;  ///< dotted path into the flattened baseline JSON
+  double observed = 0.0;
+  bool higher_is_worse = true;  ///< latency-like; false for throughput-like
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyThresholds t = {}) : t_(t) {}
+
+  /// Streaming entry points.  Sample ordinals (0-based, per stream) become
+  /// the `at` of any finding they trigger.
+  void record_latency(double seconds);
+  void record_queue_depth(double depth);
+
+  /// Scans one solve's residual trajectory for stalls and divergence.
+  /// Records at most one stall and one divergence finding per call, each at
+  /// the first triggering iteration.
+  void record_residual_history(const std::vector<double>& history);
+
+  /// Compares observed figures against a flattened baseline.  Keys absent
+  /// from the baseline are skipped (a baseline predating a metric is not a
+  /// regression); non-positive baseline values are skipped likewise.
+  void check_baselines(const std::map<std::string, double>& baseline,
+                       const std::vector<BaselineCheck>& checks);
+
+  /// Records an externally detected finding (the runner uses this for
+  /// checkpoint divergence).
+  void record(Anomaly a);
+
+  const AnomalyReport& report() const { return report_; }
+  const AnomalyThresholds& thresholds() const { return t_; }
+
+ private:
+  AnomalyThresholds t_;
+  AnomalyReport report_;
+  RollingWindow latency_{t_.window};
+  RollingWindow queue_{t_.window};
+  bool latency_tripped_ = false;
+  bool queue_tripped_ = false;
+};
+
+/// Minimal JSON flattener for the BENCH_*.json baselines: returns every
+/// numeric leaf keyed by its dotted path (`request_latency_s.p95`).  Array
+/// elements are keyed by index — except arrays of objects carrying a string
+/// `name` field (google-benchmark's `benchmarks` list), which are keyed by
+/// that name (`benchmarks.BM_WilsonHop.real_time`).  Booleans count as 0/1;
+/// strings and nulls are skipped.  \throws std::runtime_error on malformed
+/// JSON.
+std::map<std::string, double> flatten_json_numbers(const std::string& json);
+
+/// flatten_json_numbers over a file.  \throws std::runtime_error (also on
+/// unreadable files).
+std::map<std::string, double> flatten_json_file(const std::string& path);
+
+}  // namespace lqcd::soak

@@ -1,0 +1,309 @@
+#include "soak/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "fault/fault.h"  // fnv1a
+
+namespace lqcd::soak {
+
+const char* CheckpointError::kind_name(Kind k) {
+  switch (k) {
+    case Kind::Io: return "io error";
+    case Kind::BadMagic: return "bad magic";
+    case Kind::VersionMismatch: return "version mismatch";
+    case Kind::Truncated: return "truncated";
+    case Kind::Corrupt: return "corrupt";
+    case Kind::MissingSection: return "missing section";
+    case Kind::BadPayload: return "bad payload";
+  }
+  return "unknown";
+}
+
+void CheckpointWriter::section(const std::string& name,
+                               std::vector<std::uint8_t> payload) {
+  for (auto& [n, p] : sections_) {
+    if (n == name) {
+      p = std::move(payload);
+      return;
+    }
+  }
+  sections_.emplace_back(name, std::move(payload));
+}
+
+std::vector<std::uint8_t> CheckpointWriter::bytes() const {
+  ByteWriter w;
+  w.raw(kCheckpointMagic, sizeof kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    w.str(name);
+    w.u64(payload.size());
+    w.u64(fnv1a(payload.data(), payload.size()));
+    w.raw(payload.data(), payload.size());
+  }
+  std::vector<std::uint8_t> out = w.take();
+  ByteWriter trailer;
+  trailer.u64(fnv1a(out.data(), out.size()));
+  const auto& t = trailer.bytes();
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+void CheckpointWriter::write(const std::string& path) const {
+  const std::vector<std::uint8_t> image = bytes();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      throw CheckpointError(CheckpointError::Kind::Io,
+                            "cannot open " + tmp + " for writing");
+    }
+    f.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw CheckpointError(CheckpointError::Kind::Io, "short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(CheckpointError::Kind::Io,
+                          "cannot rename " + tmp + " to " + path);
+  }
+}
+
+CheckpointReader CheckpointReader::from_bytes(std::vector<std::uint8_t> bytes) {
+  CheckpointReader r;
+  r.bytes_ = std::move(bytes);
+  const std::vector<std::uint8_t>& b = r.bytes_;
+
+  constexpr std::size_t kHeader = sizeof kCheckpointMagic + 4 + 4;
+  if (b.size() < sizeof kCheckpointMagic) {
+    throw CheckpointError(CheckpointError::Kind::Truncated,
+                          "file shorter than the magic");
+  }
+  if (std::memcmp(b.data(), kCheckpointMagic, sizeof kCheckpointMagic) != 0) {
+    throw CheckpointError(CheckpointError::Kind::BadMagic,
+                          "not a checkpoint file");
+  }
+  if (b.size() < kHeader + 8) {  // header + trailer minimum
+    throw CheckpointError(CheckpointError::Kind::Truncated,
+                          "file shorter than the fixed header");
+  }
+
+  // The trailer guards the directory structure itself (names, lengths):
+  // verify it before trusting any length field below.
+  auto rd_u32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[at + std::size_t(i)]} << (8 * i);
+    return v;
+  };
+  auto rd_u64 = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[at + std::size_t(i)]} << (8 * i);
+    return v;
+  };
+  const std::size_t body = b.size() - 8;
+  if (rd_u64(body) != fnv1a(b.data(), body)) {
+    throw CheckpointError(CheckpointError::Kind::Corrupt,
+                          "whole-file checksum mismatch");
+  }
+
+  const std::uint32_t version = rd_u32(sizeof kCheckpointMagic);
+  if (version != kCheckpointVersion) {
+    throw CheckpointError(
+        CheckpointError::Kind::VersionMismatch,
+        "checkpoint version " + std::to_string(version) + ", expected " +
+            std::to_string(kCheckpointVersion));
+  }
+  const std::uint32_t nsections = rd_u32(sizeof kCheckpointMagic + 4);
+
+  std::size_t pos = kHeader;
+  auto ensure = [&](std::size_t n) {
+    if (body < pos || body - pos < n) {
+      throw CheckpointError(CheckpointError::Kind::Truncated,
+                            "section table ends mid-entry");
+    }
+  };
+  for (std::uint32_t s = 0; s < nsections; ++s) {
+    ensure(4);
+    const std::uint32_t name_len = rd_u32(pos);
+    pos += 4;
+    ensure(name_len);
+    std::string name(reinterpret_cast<const char*>(b.data() + pos), name_len);
+    pos += name_len;
+    ensure(16);
+    const std::uint64_t payload_len = rd_u64(pos);
+    const std::uint64_t checksum = rd_u64(pos + 8);
+    pos += 16;
+    ensure(payload_len);
+    if (checksum != fnv1a(b.data() + pos, payload_len)) {
+      throw CheckpointError(CheckpointError::Kind::Corrupt,
+                            "section '" + name + "' checksum mismatch");
+    }
+    r.sections_[name] = {pos, static_cast<std::size_t>(payload_len)};
+    pos += payload_len;
+  }
+  if (pos != body) {
+    throw CheckpointError(CheckpointError::Kind::Corrupt,
+                          "trailing bytes after the last section");
+  }
+  return r;
+}
+
+CheckpointReader CheckpointReader::open(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw CheckpointError(CheckpointError::Kind::Io, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  if (f.bad()) {
+    throw CheckpointError(CheckpointError::Kind::Io, "read error on " + path);
+  }
+  return from_bytes(std::move(bytes));
+}
+
+std::vector<std::string> CheckpointReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, span] : sections_) names.push_back(name);
+  return names;
+}
+
+ByteReader CheckpointReader::section(const std::string& name) const {
+  auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    throw CheckpointError(CheckpointError::Kind::MissingSection,
+                          "no section '" + name + "'");
+  }
+  return ByteReader(std::span<const std::uint8_t>(
+      bytes_.data() + it->second.first, it->second.second));
+}
+
+// --------------------------------------------------------------------------
+// Component serializers.
+
+void put_rng(ByteWriter& w, const RngState& s) {
+  for (std::uint64_t word : s.s) w.u64(word);
+  w.f64(s.cached_gauss);
+  w.boolean(s.has_cached_gauss);
+}
+
+RngState get_rng(ByteReader& r) {
+  RngState s;
+  for (std::uint64_t& word : s.s) word = r.u64();
+  s.cached_gauss = r.f64();
+  s.has_cached_gauss = r.boolean();
+  return s;
+}
+
+void put_solver_stats(ByteWriter& w, const SolverStats& s) {
+  w.i32(s.iterations);
+  w.i32(s.matvecs);
+  w.i32(s.restarts);
+  w.f64(s.final_residual);
+  w.boolean(s.converged);
+  w.i32(s.inner_iterations);
+  w.u64(s.residual_history.size());
+  for (double v : s.residual_history) w.f64(v);
+  w.i32(s.rollbacks);
+  w.u64(s.rollback_iterations.size());
+  for (int v : s.rollback_iterations) w.i32(v);
+}
+
+SolverStats get_solver_stats(ByteReader& r) {
+  SolverStats s;
+  s.iterations = r.i32();
+  s.matvecs = r.i32();
+  s.restarts = r.i32();
+  s.final_residual = r.f64();
+  s.converged = r.boolean();
+  s.inner_iterations = r.i32();
+  s.residual_history.resize(r.u64());
+  for (double& v : s.residual_history) v = r.f64();
+  s.rollbacks = r.i32();
+  s.rollback_iterations.resize(r.u64());
+  for (int& v : s.rollback_iterations) v = r.i32();
+  return s;
+}
+
+void put_tune_entries(ByteWriter& w,
+                      const std::map<TuneKey, TuneResult>& entries) {
+  w.u64(entries.size());
+  for (const auto& [key, result] : entries) {
+    w.str(key.kernel);
+    w.str(key.aux);
+    w.i64(key.volume);
+    w.i32(key.workers);
+    w.str(result.param);
+    w.f64(result.best_us);
+    w.f64(result.default_us);
+  }
+}
+
+std::map<TuneKey, TuneResult> get_tune_entries(ByteReader& r) {
+  std::map<TuneKey, TuneResult> entries;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TuneKey key;
+    key.kernel = r.str();
+    key.aux = r.str();
+    key.volume = r.i64();
+    key.workers = r.i32();
+    TuneResult result;
+    result.param = r.str();
+    result.best_us = r.f64();
+    result.default_us = r.f64();
+    entries[key] = result;
+  }
+  return entries;
+}
+
+void put_metrics(ByteWriter& w, const MetricsSnapshot& s) {
+  w.u64(s.counters.size());
+  for (const auto& [key, v] : s.counters) {
+    w.str(key);
+    w.u64(v);
+  }
+  w.u64(s.gauges.size());
+  for (const auto& [key, v] : s.gauges) {
+    w.str(key);
+    w.f64(v);
+  }
+  w.u64(s.histograms.size());
+  for (const auto& [key, h] : s.histograms) {
+    w.str(key);
+    w.u64(h.count);
+    w.f64(h.sum);
+    for (std::uint64_t b : h.buckets) w.u64(b);
+  }
+}
+
+MetricsSnapshot get_metrics(ByteReader& r) {
+  MetricsSnapshot s;
+  const std::uint64_t nc = r.u64();
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    std::string key = r.str();
+    s.counters[key] = r.u64();
+  }
+  const std::uint64_t ng = r.u64();
+  for (std::uint64_t i = 0; i < ng; ++i) {
+    std::string key = r.str();
+    s.gauges[key] = r.f64();
+  }
+  const std::uint64_t nh = r.u64();
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    std::string key = r.str();
+    HistogramSnapshot h;
+    h.count = r.u64();
+    h.sum = r.f64();
+    for (std::uint64_t& b : h.buckets) b = r.u64();
+    s.histograms[key] = h;
+  }
+  return s;
+}
+
+}  // namespace lqcd::soak

@@ -1,0 +1,101 @@
+#pragma once
+/// \file runner.h
+/// \brief The soak/experiment runner: hours-scale chaos-seeded solve
+/// streams through serve::SolveService with declarative stop conditions,
+/// deterministic kill/restore cycles, and anomaly gating.
+///
+/// A soak run has three phases:
+///
+///  1. **Chaos stream** — waves of solve requests (sources drawn from a
+///     seed-deterministic RNG) flow through a SolveService, optionally
+///     under an LQCD_FAULTS-style fault plan.  Request latencies, queue
+///     depths, and residual trajectories stream into the AnomalyDetector.
+///     The stream ends on the first satisfied stop condition (wall clock,
+///     solve count, or divergence).
+///
+///  2. **Kill/restore cycles** — each cycle picks a (seeded-random) driver
+///     round, runs a reference solve to completion, re-runs it with a
+///     checkpoint kill at that round, persists the captured state through
+///     the soak/checkpoint.h container (write -> read back -> restore,
+///     exercising checksums and typed errors), resumes on a fresh service,
+///     and asserts the resumed results equal the reference bitwise — any
+///     deviation is a CheckpointDivergence anomaly.  Cycles run with fault
+///     injection cleared: a comm-retry fault's position in the message
+///     stream is relative to process start, so an interrupted+resumed
+///     stream would legitimately see faults land elsewhere — solver-level
+///     recovery state is checkpointed (and tested) separately, but bitwise
+///     comparison against an uninterrupted run is only defined fault-free.
+///
+///  3. **Baseline gating** — figures derived from the run's metrics
+///     (request-latency p95, batch occupancy, a dslash Mflops probe) are
+///     compared against the committed BENCH_serve.json / BENCH_dslash.json
+///     baselines with configurable relative tolerances.
+///
+/// The run *passes* iff the anomaly report is empty and every kill/restore
+/// cycle reproduced its reference run.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/gcr_dd.h"
+#include "soak/anomaly.h"
+
+namespace lqcd::soak {
+
+/// Declarative stop conditions for the chaos stream; zero disables a
+/// condition.  With every condition disabled the stream runs exactly one
+/// wave (a smoke run), so a misconfigured soak can never spin forever.
+struct StopConditions {
+  double wall_clock_s = 0.0;     ///< stop the stream after this much wall time
+  std::uint64_t max_solves = 0;  ///< stop after this many completed RHS
+  bool stop_on_divergence = true;  ///< stop at the first Divergence anomaly
+};
+
+struct SoakConfig {
+  std::array<int, 4> dims{8, 8, 8, 8};
+  std::uint64_t seed = 1;
+
+  /// Solver configuration for the service (mass/tol taken from here for
+  /// every generated request).
+  GcrDdParams solver;
+
+  int max_batch = 4;         ///< service batch width (0 = tuning probe)
+  int rhs_per_request = 2;   ///< RHS per generated request
+  int requests_per_wave = 2; ///< requests submitted per wave
+
+  /// LQCD_FAULTS-style chaos spec for the stream phase ("" = no faults).
+  std::string faults;
+
+  int kill_restore_cycles = 1;
+  /// Where kill/restore cycles persist their checkpoint (the file is
+  /// rewritten each cycle).
+  std::string checkpoint_path = "soak.ckpt";
+
+  /// Benchmark baselines ("" skips that comparison).
+  std::string baseline_serve;
+  std::string baseline_dslash;
+
+  StopConditions stop;
+  AnomalyThresholds thresholds;
+  bool verbose = false;  ///< narrate phases to stderr
+};
+
+struct SoakOutcome {
+  std::uint64_t solves = 0;  ///< RHS completed Ok across all phases
+  std::uint64_t waves = 0;
+  std::uint64_t cycles_run = 0;       ///< kill/restore cycles executed
+  std::uint64_t cycles_verified = 0;  ///< cycles whose capture+compare ran
+  std::uint64_t checkpoint_bytes = 0; ///< size of the last checkpoint image
+  double elapsed_s = 0.0;
+  std::string stop_reason;  ///< which stop condition ended the stream
+  AnomalyReport report;
+  bool passed = false;  ///< report.ok() — the soak gate
+
+  /// Multi-line human-readable summary (the CLI prints this).
+  std::string describe() const;
+};
+
+SoakOutcome run_soak(const SoakConfig& cfg);
+
+}  // namespace lqcd::soak

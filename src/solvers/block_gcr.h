@@ -43,6 +43,45 @@
 
 namespace lqcd {
 
+/// Frozen mid-solve state of a block_gcr_solve in flight: one per-RHS
+/// record (the lockstep driver's `St`, minus scratch) plus the driver round
+/// counter.  The capture boundary is the end of a driver round — every RHS
+/// has finished its post-operator arithmetic, so no RHS is mid-iteration
+/// and the whole batch resumes bitwise (same contract as GcrCheckpoint,
+/// batch-wide).  Serialized by soak/checkpoint.h; carried through the
+/// serve layer for kill-restore of an in-flight batch (DESIGN.md §15).
+template <typename Field>
+struct BlockGcrCheckpoint {
+  struct Rhs {
+    int phase = 0;  ///< driver phase ordinal (Init..Done, stable encoding)
+    int k = 0;
+    double b2 = 0.0, target = 0.0, rnorm = 0.0, cycle_start_norm = 0.0;
+    SolverStats stats;
+    std::optional<Field> x;
+    std::optional<Field> rhat;
+    std::vector<Field> p, z;
+    std::vector<std::vector<std::complex<double>>> beta;
+    std::vector<double> gamma;
+    std::vector<std::complex<double>> alpha;
+  };
+  std::uint64_t round = 0;  ///< completed driver rounds at capture
+  std::vector<Rhs> rhs;
+
+  bool valid() const { return !rhs.empty(); }
+};
+
+/// Checkpoint plumbing for one block_gcr_solve call (mirrors
+/// GcrCheckpointIo): capture fires at the end of driver round
+/// `capture_at_round` (1-based count of completed rounds); resume must be
+/// given the same number of RHS in the same order.
+template <typename Field>
+struct BlockGcrCheckpointIo {
+  const BlockGcrCheckpoint<Field>* resume = nullptr;
+  std::int64_t capture_at_round = -1;
+  BlockGcrCheckpoint<Field>* captured = nullptr;
+  bool stop_after_capture = false;
+};
+
 /// Solves A xs[r] = bs[r] for all r with right-preconditioned flexible
 /// GCR, batching operator work across RHS.  Uses each xs[r] as the initial
 /// guess.  \p precond may be null; \p low_store mirrors gcr_solve's.
@@ -53,7 +92,8 @@ std::vector<SolverStats> block_gcr_solve(
     const MultiRhsOperator<Field>& a, const std::vector<Field*>& xs,
     const std::vector<const Field*>& bs,
     const BlockPreconditioner<Field>* precond, const GcrParams& params,
-    const std::function<void(Field&)>& low_store = nullptr) {
+    const std::function<void(Field&)>& low_store = nullptr,
+    BlockGcrCheckpointIo<Field>* ckpt = nullptr) {
   const std::size_t n = xs.size();
   ScopedSpan solve_span("block_gcr.solve");
   metric_counter("solver.block_gcr.solves").add(n);
@@ -95,17 +135,57 @@ std::vector<SolverStats> block_gcr_solve(
 
   std::vector<St> st;
   st.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    st.emplace_back(geom, xs[i], bs[i], params.kmax);
-    St& s = st.back();
-    s.b2 = norm2(*s.b);
-    if (s.b2 == 0) {
-      set_zero(*s.x);
-      s.stats.converged = true;
-      s.phase = Phase::Done;
-      continue;
+  const bool resuming =
+      ckpt != nullptr && ckpt->resume != nullptr && ckpt->resume->valid();
+  if (resuming) {
+    // Restore every per-RHS record bit-for-bit: the continuation is
+    // arithmetic on bitwise-identical state, so the batch reproduces the
+    // uninterrupted run exactly.  norm2(b) is NOT recomputed (b2 is part of
+    // the capture), and the repair baseline restarts from the current
+    // counter — the restored process has its own fault stream.
+    const BlockGcrCheckpoint<Field>& c = *ckpt->resume;
+    if (c.rhs.size() != n) {
+      throw std::invalid_argument(
+          "block_gcr_solve: resume checkpoint holds " +
+          std::to_string(c.rhs.size()) + " RHS, caller passed " +
+          std::to_string(n));
     }
-    s.target = params.tol * std::sqrt(s.b2);
+    for (std::size_t i = 0; i < n; ++i) {
+      st.emplace_back(geom, xs[i], bs[i], params.kmax);
+      St& s = st.back();
+      const auto& cr = c.rhs[i];
+      s.phase = static_cast<Phase>(cr.phase);
+      s.k = cr.k;
+      s.b2 = cr.b2;
+      s.target = cr.target;
+      s.rnorm = cr.rnorm;
+      s.cycle_start_norm = cr.cycle_start_norm;
+      s.stats = cr.stats;
+      if (cr.x.has_value()) *s.x = *cr.x;
+      if (cr.rhat.has_value()) s.rhat = *cr.rhat;
+      s.p = cr.p;
+      s.z = cr.z;
+      s.beta = cr.beta;
+      s.beta.resize(static_cast<std::size_t>(params.kmax));
+      s.gamma = cr.gamma;
+      s.gamma.resize(static_cast<std::size_t>(params.kmax));
+      s.alpha = cr.alpha;
+      s.alpha.resize(static_cast<std::size_t>(params.kmax));
+      s.repairs_seen = comm_retries.value();
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      st.emplace_back(geom, xs[i], bs[i], params.kmax);
+      St& s = st.back();
+      s.b2 = norm2(*s.b);
+      if (s.b2 == 0) {
+        set_zero(*s.x);
+        s.stats.converged = true;
+        s.phase = Phase::Done;
+        continue;
+      }
+      s.target = params.tol * std::sqrt(s.b2);
+    }
   }
 
   // Implicit solution update — gcr_solve's `restart` lambda minus the
@@ -281,6 +361,8 @@ std::vector<SolverStats> block_gcr_solve(
     s.phase = Phase::Done;
   };
 
+  std::uint64_t round = resuming ? ckpt->resume->round : 0;
+  bool captured = false;
   for (;;) {
     // Preconditioner round: one batched apply for every RHS starting an
     // iteration (p_k = K rhat).
@@ -337,6 +419,44 @@ std::vector<SolverStats> block_gcr_solve(
         case Phase::Matvec: advance_iteration(*s); break;
         case Phase::Final: post_final(*s); break;
         default: break;
+      }
+    }
+    ++round;
+    // Checkpoint boundary: the end of a driver round — every RHS is parked
+    // between phases (no Krylov vector half-built, `tmp` fully consumed),
+    // so the frozen records are exactly what a resumed driver re-enters.
+    if (ckpt != nullptr && ckpt->captured != nullptr && !captured &&
+        ckpt->capture_at_round >= 0 &&
+        static_cast<std::int64_t>(round) >= ckpt->capture_at_round) {
+      captured = true;
+      BlockGcrCheckpoint<Field>& c = *ckpt->captured;
+      c.round = round;
+      c.rhs.clear();
+      c.rhs.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const St& s = st[i];
+        auto& cr = c.rhs[i];
+        cr.phase = static_cast<int>(s.phase);
+        cr.k = s.k;
+        cr.b2 = s.b2;
+        cr.target = s.target;
+        cr.rnorm = s.rnorm;
+        cr.cycle_start_norm = s.cycle_start_norm;
+        cr.stats = s.stats;
+        cr.x.emplace(*s.x);
+        cr.rhat.emplace(s.rhat);
+        cr.p = s.p;
+        cr.z = s.z;
+        cr.beta = s.beta;
+        cr.gamma = s.gamma;
+        cr.alpha = s.alpha;
+      }
+      if (ckpt->stop_after_capture) {
+        // Simulated kill: hand back the partial per-RHS stats.
+        std::vector<SolverStats> partial;
+        partial.reserve(n);
+        for (St& s : st) partial.push_back(s.stats);
+        return partial;
       }
     }
   }

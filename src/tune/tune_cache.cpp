@@ -147,6 +147,11 @@ std::map<TuneKey, TuneResult> TuneCache::entries() const {
   return entries_;
 }
 
+void TuneCache::import_entries(const std::map<TuneKey, TuneResult>& entries) {
+  std::unique_lock<std::mutex> lock(m_);
+  for (const auto& [key, res] : entries) entries_[key] = res;
+}
+
 namespace {
 
 /// Owns the global cache; saves it back to the configured path at process

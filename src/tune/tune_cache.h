@@ -63,6 +63,11 @@ class TuneCache {
   /// All entries, for reporting (kernel name -> result).
   std::map<TuneKey, TuneResult> entries() const;
 
+  /// Bulk-installs entries (checkpoint restore): existing rows are
+  /// overwritten, stats counters are untouched — restored rows are neither
+  /// hits nor misses, they simply pre-warm the cache like load() does.
+  void import_entries(const std::map<TuneKey, TuneResult>& entries);
+
  private:
   mutable std::mutex m_;
   std::map<TuneKey, TuneResult> entries_;

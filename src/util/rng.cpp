@@ -67,6 +67,26 @@ std::uint64_t Rng::below(std::uint64_t n) {
   return (*this)() % n;
 }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[static_cast<std::size_t>(i)] = s_[i];
+  st.cached_gauss = cached_gauss_;
+  st.has_cached_gauss = has_cached_gauss_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[static_cast<std::size_t>(i)];
+  cached_gauss_ = st.cached_gauss;
+  has_cached_gauss_ = st.has_cached_gauss;
+}
+
+Rng Rng::from_state(const RngState& st) {
+  Rng r;
+  r.set_state(st);
+  return r;
+}
+
 Rng Rng::for_site(std::uint64_t seed, std::uint64_t site, std::uint64_t slot) {
   std::uint64_t x = seed;
   std::uint64_t a = splitmix64(x);

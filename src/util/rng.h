@@ -9,10 +9,26 @@
 /// independent stream per (seed, site, slot) so a field filled in any
 /// traversal order — or split across virtual ranks — is bitwise identical.
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
 
 namespace lqcd {
+
+/// Complete serializable state of an Rng stream.  Capturing the four
+/// xoshiro words alone is NOT enough to continue a stream bitwise: the
+/// Box–Muller cache (gaussian() produces values in pairs) is part of the
+/// observable sequence, so it is part of the state.  Used by the soak
+/// checkpoint layer (soak/checkpoint.h) to freeze and resume RNG streams —
+/// including streams derived with Rng::for_site, which would otherwise
+/// *restart* from the site seed instead of continuing where they left off.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_gauss = 0.0;
+  bool has_cached_gauss = false;
+
+  bool operator==(const RngState&) const = default;
+};
 
 /// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -46,6 +62,16 @@ class Rng {
   /// splitmix64 mixing of the triple.
   static Rng for_site(std::uint64_t seed, std::uint64_t site,
                       std::uint64_t slot = 0);
+
+  /// Freezes the stream mid-sequence (state words + Box–Muller cache).
+  RngState state() const;
+
+  /// Resumes exactly where \p st was captured: the next draws — raw bits,
+  /// uniforms and gaussians alike — continue the original sequence bitwise.
+  void set_state(const RngState& st);
+
+  /// Convenience: a generator resumed from a captured state.
+  static Rng from_state(const RngState& st);
 
  private:
   std::uint64_t s_[4];

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 namespace lqcd {
 namespace {
@@ -91,6 +92,43 @@ TEST(Rng, ForSiteStreamsIndependent) {
   Rng a2 = Rng::for_site(5, 100, 2);
   EXPECT_NE(a2(), c());
   EXPECT_NE(a2(), d());
+}
+
+TEST(Rng, StateRoundTripContinuesStream) {
+  // Checkpoint contract: a stream restored from its captured state
+  // *continues* its sequence bitwise — including when the capture lands
+  // mid-Box-Muller, where one gaussian sits in the cache.
+  Rng rng(42);
+  for (int i = 0; i < 7; ++i) (void)rng();
+  (void)rng.gaussian();  // leaves the Box-Muller cache primed
+  const RngState snap = rng.state();
+  std::vector<double> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(rng.gaussian());
+  Rng restored = Rng::from_state(snap);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(expect[static_cast<std::size_t>(i)], restored.gaussian()) << i;
+  }
+}
+
+TEST(Rng, ForSiteStateCaptureContinuesDerivedStream) {
+  // Regression: restoring a for_site-derived stream must continue its
+  // sequence, not restart it from the derivation seed (which is what a
+  // restore that only kept (seed, site, slot) would do).
+  Rng derived = Rng::for_site(5, 100, 2);
+  (void)derived();
+  (void)derived.gaussian();  // advance past the derivation point, cache primed
+  const RngState snap = derived.state();
+  Rng resumed = Rng::from_state(snap);
+  Rng restarted = Rng::for_site(5, 100, 2);
+  const double next = derived.gaussian();
+  EXPECT_EQ(next, resumed.gaussian());
+  EXPECT_NE(next, restarted.gaussian());
+  // set_state equally rewinds a live stream onto the captured point.
+  Rng other(1);
+  other.set_state(snap);
+  EXPECT_EQ(next, other.gaussian());
+  EXPECT_EQ(derived.uniform(), other.uniform());
+  EXPECT_EQ(derived(), other());
 }
 
 TEST(Rng, SplitMixAdvances) {

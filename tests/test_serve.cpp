@@ -8,7 +8,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "obs/metrics.h"
 #include "serve/queue.h"
 #include "serve/service.h"
+#include "soak/checkpoint.h"
 #include "solvers/block_cg.h"
 #include "solvers/block_gcr.h"
 #include "solvers/cg.h"
@@ -615,6 +618,107 @@ TEST(SolveService, ChaosFaultedBatchRepairsTransparently) {
   // Transparent repair: both solutions still meet the tolerance.
   EXPECT_LT(true_residual(u, nullptr, 0.1, r.solutions[0], b1), 5e-5);
   EXPECT_LT(true_residual(u, nullptr, 0.1, r.solutions[1], b2), 5e-5);
+}
+
+TEST(SolveService, KillRestoreResumesBitwise) {
+  // The soak harness's core contract (ISSUE 7): checkpoint a batch
+  // mid-solve, drop the service, restore a fresh one from the persisted
+  // state, and the resumed requests finish with per-request SolverStats —
+  // the residual history included — and solution iterates bitwise
+  // identical to an uninterrupted run.  Exercised in both virtual-cluster
+  // rank modes with the checkpoint taking the full file round trip.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = thermalized(g, 331);
+  const WilsonField<double> b1 = gaussian_wilson_source(g, 332);
+  const WilsonField<double> b2 = gaussian_wilson_source(g, 333);
+  clear_fault_plan();  // bitwise comparison is only defined fault-free
+
+  for (RankMode mode : {RankMode::Seq, RankMode::Threads}) {
+    const RankMode prev = rank_mode();
+    set_rank_mode(mode);
+    const char* mode_name = rank_mode_name(mode);
+
+    serve::Config cfg = small_service_config(4);
+    cfg.solver.rank_grid = {{1, 1, 1, 2}};
+    auto make_request = [&] {
+      serve::Request req;
+      req.mass = cfg.solver.mass;
+      req.tol = cfg.solver.tol;
+      req.rhs.push_back(b1);
+      req.rhs.push_back(b2);
+      return req;
+    };
+
+    // Uninterrupted reference run.
+    serve::Result reference;
+    {
+      serve::SolveService svc(u, nullptr, cfg);
+      reference = svc.submit(make_request()).get();
+    }
+    ASSERT_EQ(reference.status, serve::Status::Ok) << mode_name;
+
+    // Killed run: capture at driver round 2, stop, drop the service.
+    BlockGcrCheckpoint<WilsonField<float>> captured;
+    serve::Result killed;
+    {
+      serve::Config kill_cfg = cfg;
+      kill_cfg.checkpoint.emplace();
+      kill_cfg.checkpoint->batch_ordinal = 0;
+      kill_cfg.checkpoint->at_round = 2;
+      kill_cfg.checkpoint->kill = true;
+      kill_cfg.checkpoint->captured = &captured;
+      serve::SolveService svc(u, nullptr, kill_cfg);
+      killed = svc.submit(make_request()).get();
+    }
+    ASSERT_TRUE(captured.valid()) << mode_name;
+    ASSERT_EQ(killed.status, serve::Status::Interrupted) << mode_name;
+    EXPECT_TRUE(killed.solutions.empty()) << mode_name;
+    ASSERT_EQ(killed.stats.size(), 2u) << mode_name;
+    // The killed run's partial history is a prefix of the reference's.
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto& partial = killed.stats[i].residual_history;
+      const auto& full = reference.stats[i].residual_history;
+      ASSERT_LE(partial.size(), full.size()) << mode_name;
+      for (std::size_t k = 0; k < partial.size(); ++k) {
+        EXPECT_EQ(partial[k], full[k]) << mode_name << " rhs " << i;
+      }
+    }
+
+    // Persist through the checkpoint container and read it back, so the
+    // restore takes the same path a real process restart would.
+    const std::string path =
+        std::string("test_serve_kill_restore_") + mode_name + ".ckpt";
+    {
+      soak::CheckpointWriter w;
+      soak::ByteWriter payload;
+      soak::put_block_gcr_checkpoint(payload, captured);
+      w.section("solver/block_gcr", payload.take());
+      w.write(path);
+    }
+    const soak::CheckpointReader reader = soak::CheckpointReader::open(path);
+    soak::ByteReader section = reader.section("solver/block_gcr");
+    const BlockGcrCheckpoint<WilsonField<float>> restored =
+        soak::get_block_gcr_checkpoint<WilsonField<float>>(section);
+    std::remove(path.c_str());
+
+    // Resumed run on a fresh service: must reproduce the reference bitwise.
+    serve::Result resumed;
+    {
+      serve::Config resume_cfg = cfg;
+      resume_cfg.resume = &restored;
+      serve::SolveService svc(u, nullptr, resume_cfg);
+      resumed = svc.submit(make_request()).get();
+    }
+    ASSERT_EQ(resumed.status, serve::Status::Ok) << mode_name;
+    ASSERT_EQ(resumed.stats.size(), 2u) << mode_name;
+    for (std::size_t i = 0; i < 2; ++i) {
+      expect_stats_equal(reference.stats[i], resumed.stats[i],
+                         "kill-restore stats");
+      expect_bitwise_equal(reference.solutions[i], resumed.solutions[i],
+                           "kill-restore solution");
+    }
+    set_rank_mode(prev);
+  }
 }
 
 }  // namespace

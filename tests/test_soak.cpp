@@ -1,0 +1,286 @@
+// Anomaly-detector unit tests with synthetic metric streams (exact trigger
+// positions, clean nominal passes, baseline regressions) plus a bounded
+// end-to-end soak-harness smoke run (soak/runner.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "soak/anomaly.h"
+#include "soak/runner.h"
+
+namespace lqcd {
+namespace {
+
+using soak::Anomaly;
+using soak::AnomalyDetector;
+using soak::AnomalyKind;
+using soak::AnomalyThresholds;
+using soak::BaselineCheck;
+using soak::RollingWindow;
+
+// ---------------------------------------------------------------------------
+// RollingWindow.
+// ---------------------------------------------------------------------------
+
+TEST(RollingWindow, ExactPercentilesOverWindow) {
+  RollingWindow w(5);
+  EXPECT_EQ(w.percentile(0.95), 0.0);  // empty
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) w.push(v);
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.percentile(0.0), 1.0);
+  EXPECT_EQ(w.percentile(0.5), 3.0);   // nearest-rank median of {1,1,3,4,5}
+  EXPECT_EQ(w.percentile(1.0), 5.0);
+  // Pushing evicts the oldest sample (the 3.0).
+  w.push(9.0);
+  EXPECT_EQ(w.percentile(1.0), 9.0);
+  EXPECT_EQ(w.percentile(0.0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rolling p95 spike detection: exact trigger sample, edge-triggered re-arm.
+// ---------------------------------------------------------------------------
+
+TEST(AnomalyDetector, LatencySpikeTriggersAtExactSample) {
+  AnomalyThresholds t;
+  t.window = 8;
+  t.latency_p95_limit_s = 1.0;
+  AnomalyDetector det(t);
+  // 20 nominal samples: window fills at sample 7, p95 stays at 0.1.
+  for (int i = 0; i < 20; ++i) det.record_latency(0.1);
+  EXPECT_TRUE(det.report().ok());
+  // Sample 20 is the injected spike: with nearest-rank p95 over an
+  // 8-sample window, one 10 s outlier lifts the p95 over the 1 s ceiling
+  // immediately — the finding must carry exactly this ordinal.
+  det.record_latency(10.0);
+  ASSERT_EQ(det.report().anomalies.size(), 1u);
+  EXPECT_EQ(det.report().anomalies[0].kind, AnomalyKind::LatencySpike);
+  EXPECT_EQ(det.report().anomalies[0].at, 20);
+  EXPECT_GT(det.report().anomalies[0].observed, 1.0);
+  // Edge-triggered: staying over the ceiling adds no further findings...
+  for (int i = 0; i < 4; ++i) det.record_latency(10.0);
+  EXPECT_EQ(det.report().anomalies.size(), 1u);
+  // ...until the tail drains under the ceiling and a fresh spike re-trips.
+  for (int i = 0; i < 8; ++i) det.record_latency(0.1);
+  det.record_latency(10.0);
+  ASSERT_EQ(det.report().anomalies.size(), 2u);
+  EXPECT_EQ(det.report().anomalies[1].at, 33);
+}
+
+TEST(AnomalyDetector, QueueDepthSpikeTriggersAtExactSample) {
+  AnomalyThresholds t;
+  t.window = 4;
+  t.queue_depth_p95_limit = 10.0;
+  AnomalyDetector det(t);
+  for (int i = 0; i < 6; ++i) det.record_queue_depth(2.0);
+  det.record_queue_depth(50.0);  // sample 6
+  ASSERT_EQ(det.report().anomalies.size(), 1u);
+  EXPECT_EQ(det.report().anomalies[0].kind, AnomalyKind::QueueDepthSpike);
+  EXPECT_EQ(det.report().anomalies[0].at, 6);
+}
+
+TEST(AnomalyDetector, NoSpikeBeforeWindowFills) {
+  AnomalyThresholds t;
+  t.window = 16;
+  t.latency_p95_limit_s = 1.0;
+  AnomalyDetector det(t);
+  // Over-ceiling samples while the window is still filling are withheld:
+  // a tail estimate over 3 samples is noise, not a finding.
+  for (int i = 0; i < 15; ++i) det.record_latency(5.0);
+  EXPECT_TRUE(det.report().ok());
+  det.record_latency(5.0);  // sample 15 completes the window
+  ASSERT_EQ(det.report().anomalies.size(), 1u);
+  EXPECT_EQ(det.report().anomalies[0].at, 15);
+}
+
+// ---------------------------------------------------------------------------
+// Residual-trajectory checks: exact trigger iteration.
+// ---------------------------------------------------------------------------
+
+TEST(AnomalyDetector, ResidualStallTriggersAtExactIteration) {
+  AnomalyThresholds t;
+  t.stall_window = 5;
+  t.stall_factor = 0.9;
+  AnomalyDetector det(t);
+  // Flat trajectory: the first iteration that can see a full stall window
+  // is i == stall_window, and 1.0 > 0.9 * 1.0 there.
+  det.record_residual_history(std::vector<double>(12, 1.0));
+  ASSERT_EQ(det.report().anomalies.size(), 1u);
+  EXPECT_EQ(det.report().anomalies[0].kind, AnomalyKind::ResidualStall);
+  EXPECT_EQ(det.report().anomalies[0].at, 5);
+  EXPECT_EQ(det.report().solves_checked, 1u);
+}
+
+TEST(AnomalyDetector, ConvergingHistoryPassesClean) {
+  AnomalyThresholds t;
+  t.stall_window = 5;
+  t.stall_factor = 0.9;
+  t.divergence_factor = 1e3;
+  AnomalyDetector det(t);
+  std::vector<double> hist;
+  double r = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    hist.push_back(r);
+    r *= 0.8;  // decays faster than the stall criterion asks
+  }
+  det.record_residual_history(hist);
+  EXPECT_TRUE(det.report().ok());
+}
+
+TEST(AnomalyDetector, DivergenceTriggersAtExactIteration) {
+  AnomalyThresholds t;
+  t.divergence_factor = 1e3;
+  t.stall_window = 0;  // isolate the divergence check
+  AnomalyDetector det(t);
+  det.record_residual_history({1.0, 10.0, 500.0, 2000.0, 3000.0});
+  ASSERT_EQ(det.report().anomalies.size(), 1u);
+  EXPECT_EQ(det.report().anomalies[0].kind, AnomalyKind::Divergence);
+  EXPECT_EQ(det.report().anomalies[0].at, 3);  // first sample past 1e3 * r0
+}
+
+TEST(AnomalyDetector, StallAndDivergenceReportedOncePerSolve) {
+  AnomalyThresholds t;
+  t.stall_window = 2;
+  t.stall_factor = 0.9;
+  t.divergence_factor = 10.0;
+  AnomalyDetector det(t);
+  det.record_residual_history({1.0, 20.0, 30.0, 40.0, 50.0, 60.0});
+  std::size_t stalls = 0, divergences = 0;
+  for (const Anomaly& a : det.report().anomalies) {
+    stalls += a.kind == AnomalyKind::ResidualStall ? 1u : 0u;
+    divergences += a.kind == AnomalyKind::Divergence ? 1u : 0u;
+  }
+  EXPECT_EQ(stalls, 1u);
+  EXPECT_EQ(divergences, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline regression.
+// ---------------------------------------------------------------------------
+
+TEST(AnomalyDetector, BaselineRegressionBothDirections) {
+  AnomalyThresholds t;
+  t.baseline_rel_tol = 0.5;
+  AnomalyDetector det(t);
+  const std::map<std::string, double> baseline = {
+      {"request_latency_s.p95", 2.0}, {"throughput", 10.0}};
+  det.check_baselines(
+      baseline,
+      {
+          {"request_latency_s.p95", 2.9, true},   // within 2.0 * 1.5: pass
+          {"request_latency_s.p95", 3.1, true},   // over: regression
+          {"throughput", 7.0, false},             // within 10 / 1.5: pass
+          {"throughput", 6.0, false},             // under: regression
+          {"not.in.baseline", 1e9, true},         // skipped silently
+      });
+  ASSERT_EQ(det.report().anomalies.size(), 2u);
+  for (const Anomaly& a : det.report().anomalies) {
+    EXPECT_EQ(a.kind, AnomalyKind::BaselineRegression);
+  }
+  EXPECT_EQ(det.report().anomalies[0].metric, "request_latency_s.p95");
+  EXPECT_EQ(det.report().anomalies[0].observed, 3.1);
+  EXPECT_EQ(det.report().anomalies[1].metric, "throughput");
+  EXPECT_EQ(det.report().baseline_checks, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON flattener (baseline ingestion).
+// ---------------------------------------------------------------------------
+
+TEST(JsonFlattener, DottedPathsAndNamedArrays) {
+  const std::string json = R"({
+    "bench": "bench_serve",
+    "request_latency_s": {"p50": 1.0, "p95": 2.5},
+    "flags": {"scaled": false, "pinned": true},
+    "loads": [0.1, 0.25],
+    "benchmarks": [
+      {"name": "BM_WilsonHop", "real_time": 0.17, "Mflops": 2265.0},
+      {"name": "BM_Other", "real_time": 0.5}
+    ]
+  })";
+  const auto flat = soak::flatten_json_numbers(json);
+  EXPECT_EQ(flat.at("request_latency_s.p50"), 1.0);
+  EXPECT_EQ(flat.at("request_latency_s.p95"), 2.5);
+  EXPECT_EQ(flat.at("flags.scaled"), 0.0);
+  EXPECT_EQ(flat.at("flags.pinned"), 1.0);
+  EXPECT_EQ(flat.at("loads.0"), 0.1);
+  EXPECT_EQ(flat.at("loads.1"), 0.25);
+  EXPECT_EQ(flat.at("benchmarks.BM_WilsonHop.Mflops"), 2265.0);
+  EXPECT_EQ(flat.at("benchmarks.BM_Other.real_time"), 0.5);
+  EXPECT_EQ(flat.count("bench"), 0u);  // string leaves skipped
+}
+
+TEST(JsonFlattener, CommittedBaselinesParse) {
+  // The committed BENCH files must stay ingestible; ctest runs from the
+  // build tree, so resolve them relative to the source dir when provided.
+  const char* src = std::getenv("LQCD_SOURCE_DIR");
+  const std::string root = src != nullptr ? std::string(src) + "/" : "";
+  for (const char* name : {"BENCH_serve.json", "BENCH_dslash.json"}) {
+    std::FILE* f = std::fopen((root + name).c_str(), "rb");
+    if (f == nullptr) GTEST_SKIP() << name << " not reachable from cwd";
+    std::fclose(f);
+    const auto flat = soak::flatten_json_file(root + name);
+    EXPECT_FALSE(flat.empty()) << name;
+  }
+}
+
+TEST(JsonFlattener, MalformedJsonThrows) {
+  EXPECT_THROW((void)soak::flatten_json_numbers("{\"a\": }"),
+               std::runtime_error);
+  EXPECT_THROW((void)soak::flatten_json_numbers("{\"a\": 1} trailing"),
+               std::runtime_error);
+  EXPECT_THROW((void)soak::flatten_json_file("no/such/file.json"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded end-to-end soak run: stream + kill/restore + gating all green.
+// ---------------------------------------------------------------------------
+
+TEST(SoakRunner, BoundedRunPassesWithKillRestore) {
+  soak::SoakConfig cfg;
+  cfg.dims = {4, 4, 4, 8};
+  cfg.seed = 3;
+  cfg.solver.mass = 0.1;
+  cfg.solver.tol = 1e-5;
+  cfg.solver.block_grid = {1, 1, 1, 2};
+  cfg.max_batch = 4;
+  cfg.rhs_per_request = 2;
+  cfg.requests_per_wave = 1;
+  cfg.stop.max_solves = 2;
+  cfg.kill_restore_cycles = 1;
+  cfg.checkpoint_path = "test_soak_smoke.ckpt";
+  cfg.thresholds.latency_p95_limit_s = 300.0;  // generous: smoke, not perf
+  cfg.thresholds.queue_depth_p95_limit = 1e6;
+
+  const soak::SoakOutcome out = soak::run_soak(cfg);
+  EXPECT_TRUE(out.passed) << out.describe();
+  EXPECT_EQ(out.stop_reason, "solve-count");
+  EXPECT_GE(out.solves, 2u);
+  EXPECT_EQ(out.cycles_run, 1u);
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  std::remove(cfg.checkpoint_path.c_str());
+}
+
+TEST(SoakRunner, DivergenceStopConditionFires) {
+  // A synthetic diverging trajectory through the detector also exercises
+  // the runner's stop plumbing indirectly; here we assert the detector
+  // side the runner consults (stop_on_divergence scans for this kind).
+  AnomalyThresholds t;
+  t.divergence_factor = 2.0;
+  t.stall_window = 0;
+  AnomalyDetector det(t);
+  det.record_residual_history({1.0, 3.0});
+  bool diverged = false;
+  for (const Anomaly& a : det.report().anomalies) {
+    diverged |= a.kind == AnomalyKind::Divergence;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace lqcd

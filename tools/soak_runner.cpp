@@ -1,0 +1,115 @@
+// soak_runner: CLI front end for the soak/experiment harness (soak/runner.h).
+//
+// Drives chaos-seeded solve streams through the batched solve service with
+// declarative stop conditions, deterministic kill/restore cycles, and
+// anomaly gating against the committed bench baselines.  Exit status is the
+// gate: 0 when the anomaly report is empty, 1 otherwise.
+//
+// Examples:
+//   soak_runner --seconds 600 --faults 'drop=0.02,corrupt=0.01'
+//               --kill-restore 3 --baseline-serve BENCH_serve.json
+//   soak_runner --solves 32 --seed 7 --dims 8x8x8x8 --verbose
+//
+// Flags (all optional; see --help):
+//   --dims LxLxLxT         lattice extents               (default 8x8x8x8)
+//   --seed N               master seed                   (default 1)
+//   --seconds S            wall-clock stop for the stream (0 = off)
+//   --solves N             solve-count stop for the stream (0 = off)
+//   --faults SPEC          LQCD_FAULTS-style chaos spec  (default none)
+//   --kill-restore N       kill/restore cycles           (default 1)
+//   --checkpoint PATH      checkpoint file               (default soak.ckpt)
+//   --rhs N                RHS per request               (default 2)
+//   --requests N           requests per wave             (default 2)
+//   --batch N              service batch width           (default 4)
+//   --mass M --tol T       solver parameters
+//   --latency-p95 S        rolling p95 latency ceiling (0 = off)
+//   --queue-p95 D          rolling p95 queue-depth ceiling (0 = off)
+//   --stall-window N       residual stall window         (default 25)
+//   --baseline-serve PATH  BENCH_serve.json comparison   (default off)
+//   --baseline-dslash PATH BENCH_dslash.json comparison  (default off)
+//   --baseline-tol F       baseline relative tolerance   (default 0.5)
+//   --verbose              narrate phases to stderr
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "soak/runner.h"
+#include "util/cli.h"
+
+namespace {
+
+std::array<int, 4> parse_dims(const std::string& text) {
+  std::array<int, 4> dims{8, 8, 8, 8};
+  std::size_t pos = 0;
+  for (int mu = 0; mu < 4; ++mu) {
+    std::size_t used = 0;
+    dims[static_cast<std::size_t>(mu)] =
+        std::stoi(text.substr(pos), &used);
+    pos += used;
+    if (mu < 3) {
+      if (pos >= text.size() || text[pos] != 'x') {
+        throw std::invalid_argument("--dims wants LxLxLxT, got " + text);
+      }
+      ++pos;
+    }
+  }
+  return dims;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lqcd::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: soak_runner [--seconds S] [--solves N] [--faults SPEC]\n"
+        "                   [--kill-restore N] [--checkpoint PATH]\n"
+        "                   [--dims LxLxLxT] [--seed N] [--rhs N]\n"
+        "                   [--requests N] [--batch N] [--mass M] [--tol T]\n"
+        "                   [--latency-p95 S] [--queue-p95 D]\n"
+        "                   [--stall-window N] [--baseline-serve PATH]\n"
+        "                   [--baseline-dslash PATH] [--baseline-tol F]\n"
+        "                   [--verbose]\n");
+    return 0;
+  }
+
+  lqcd::soak::SoakConfig cfg;
+  try {
+    cfg.dims = parse_dims(args.get("dims", "8x8x8x8"));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.stop.wall_clock_s = args.get_double("seconds", 0.0);
+    cfg.stop.max_solves =
+        static_cast<std::uint64_t>(args.get_int("solves", 0));
+    cfg.faults = args.get("faults", "");
+    cfg.kill_restore_cycles =
+        static_cast<int>(args.get_int("kill-restore", 1));
+    cfg.checkpoint_path = args.get("checkpoint", "soak.ckpt");
+    cfg.rhs_per_request = static_cast<int>(args.get_int("rhs", 2));
+    cfg.requests_per_wave = static_cast<int>(args.get_int("requests", 2));
+    cfg.max_batch = static_cast<int>(args.get_int("batch", 4));
+    cfg.solver.mass = args.get_double("mass", 0.1);
+    cfg.solver.tol = args.get_double("tol", 1e-5);
+    cfg.thresholds.latency_p95_limit_s = args.get_double("latency-p95", 0.0);
+    cfg.thresholds.queue_depth_p95_limit = args.get_double("queue-p95", 0.0);
+    cfg.thresholds.stall_window =
+        static_cast<int>(args.get_int("stall-window", 25));
+    cfg.baseline_serve = args.get("baseline-serve", "");
+    cfg.baseline_dslash = args.get("baseline-dslash", "");
+    cfg.thresholds.baseline_rel_tol = args.get_double("baseline-tol", 0.5);
+    cfg.verbose = args.has("verbose");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_runner: bad arguments: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    const lqcd::soak::SoakOutcome outcome = lqcd::soak::run_soak(cfg);
+    std::fputs(outcome.describe().c_str(), stdout);
+    return outcome.passed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_runner: fatal: %s\n", e.what());
+    return 2;
+  }
+}
