@@ -12,10 +12,12 @@
 #include "dirac/even_odd.h"
 #include "dirac/partitioned.h"
 #include "dirac/recon_policy.h"
+#include "dirac/soa_kernel.h"
 #include "dirac/staggered.h"
 #include "dirac/wilson_kernel.h"
 #include "dirac/wilson_ops.h"
 #include "fields/compressed_gauge.h"
+#include "fields/soa_field.h"
 #include "gauge/clover_leaf.h"
 #include "gauge/configure.h"
 #include "gauge/staggered_links.h"
@@ -33,6 +35,18 @@ int bench_extent() {
     if (v >= 4 && v % 2 == 0) return v;
   }
   return 8;
+}
+
+// Streamed bytes per Wilson hop application: per site, 8 neighbour spinor
+// loads + 1 spinor store (24 reals each) and 8 gauge links at the packed
+// width.  The same accounting for AoS and SoA runs makes their
+// bytes_per_second counters directly comparable in BENCH_dslash.json.
+double wilson_hop_bytes(const LatticeGeometry& g, Reconstruct scheme,
+                        int real_bytes) {
+  const double per_site =
+      (8.0 + 1.0) * 24.0 * real_bytes +
+      8.0 * reals_per_link(scheme) * real_bytes;
+  return per_site * static_cast<double>(g.volume());
 }
 
 struct WilsonFixture {
@@ -53,6 +67,10 @@ void BM_WilsonHop(benchmark::State& state) {
   state.counters["Mflops"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * kWilsonDslashFlopsPerSite *
           static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["bytes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          wilson_hop_bytes(f.g, Reconstruct::None, sizeof(double)),
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_WilsonHop)->Unit(benchmark::kMillisecond);
@@ -147,6 +165,59 @@ BENCHMARK(BM_WilsonHopRecon)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The lane-blocked SoA hop (dirac/soa_kernel.h) on the same volume and
+// gauge formats as BM_WilsonHopRecon: the bytes_per_second delta between
+// the two is the layout's streaming payoff (transmutes excluded — steady
+// state keeps fields resident in SoA form, as the SoA operator does).
+void BM_WilsonHopSoA(benchmark::State& state) {
+  WilsonFixture f;
+  const auto scheme = static_cast<Reconstruct>(state.range(0));
+  const SoAGaugeField<double> su(f.u, scheme);
+  SoAWilsonField<double> sin(f.g), sout(f.g);
+  to_soa(f.in, sin);
+  for (auto _ : state) {
+    wilson_hop_soa(sout, su, sin);
+    benchmark::DoNotOptimize(sout.raw().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWilsonDslashFlopsPerSite *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["bytes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          wilson_hop_bytes(f.g, scheme, sizeof(double)),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string("soa/recon") + to_string(scheme));
+}
+BENCHMARK(BM_WilsonHopSoA)
+    ->Arg(18)
+    ->Arg(12)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Single precision doubles the lane count (4 sites per 128-bit block).
+void BM_WilsonHopSoASinglePrecision(benchmark::State& state) {
+  WilsonFixture f;
+  const GaugeField<float> uf = convert_gauge<float>(f.u);
+  const WilsonField<float> inf = convert_field<float>(f.in);
+  const SoAGaugeField<float> su(uf, Reconstruct::None);
+  SoAWilsonField<float> sin(f.g), sout(f.g);
+  to_soa(inf, sin);
+  for (auto _ : state) {
+    wilson_hop_soa(sout, su, sin);
+    benchmark::DoNotOptimize(sout.raw().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWilsonDslashFlopsPerSite *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["bytes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          wilson_hop_bytes(f.g, Reconstruct::None, sizeof(float)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WilsonHopSoASinglePrecision)->Unit(benchmark::kMillisecond);
+
 // Half storage emulation on top of reconstruction (the paper's production
 // config): packed reals round-trip the int16 fixed-point codec.
 void BM_WilsonHopReconHalf(benchmark::State& state) {
@@ -202,6 +273,26 @@ void BM_StaggeredHop(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_StaggeredHop)->Unit(benchmark::kMillisecond);
+
+void BM_StaggeredHopSoA(benchmark::State& state) {
+  const LatticeGeometry g({8, 8, 8, 8});
+  const GaugeField<double> u = hot_gauge(g, 3);
+  const AsqtadLinks links = build_asqtad_links(u);
+  const StaggeredField<double> in = gaussian_staggered_source(g, 4);
+  const SoAGaugeField<double> fat(links.fat, Reconstruct::None);
+  const SoAGaugeField<double> lng(links.lng, Reconstruct::None);
+  SoAStaggeredField<double> sin(g), sout(g);
+  to_soa(in, sin);
+  for (auto _ : state) {
+    staggered_hop_soa(sout, fat, lng, sin);
+    benchmark::DoNotOptimize(sout.raw().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kStaggeredDslashFlopsPerSite *
+          static_cast<double>(g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StaggeredHopSoA)->Unit(benchmark::kMillisecond);
 
 void BM_StaggeredSchurApply(benchmark::State& state) {
   const LatticeGeometry g({8, 8, 8, 8});

@@ -1,0 +1,41 @@
+#include "dirac/layout_policy.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/log.h"
+
+namespace lqcd {
+
+namespace {
+
+LayoutSetting parse_layout_env() {
+  LayoutSetting s;
+  const char* env = std::getenv("LQCD_LAYOUT");
+  if (env == nullptr) return s;
+  const std::string v(env);
+  if (v == "tune") {
+    s.tune = true;
+  } else if (v == "aos") {
+    s.forced = Layout::AoS;
+  } else if (v == "soa") {
+    s.forced = Layout::SoA;
+  } else if (!v.empty()) {
+    log_warn("LQCD_LAYOUT=" + v + " not understood (want aos|soa|tune); "
+             "using operator defaults");
+  }
+  return s;
+}
+
+LayoutSetting& mutable_setting() {
+  static LayoutSetting s = parse_layout_env();
+  return s;
+}
+
+}  // namespace
+
+const LayoutSetting& layout_setting() { return mutable_setting(); }
+
+void init_layout_from_env() { mutable_setting() = parse_layout_env(); }
+
+}  // namespace lqcd

@@ -1,0 +1,78 @@
+#pragma once
+/// \file layout_policy.h
+/// \brief Selection of the data layout (AoS vs lane-blocked SoA) the dslash
+/// operators execute — the new tunable axis alongside link reconstruction
+/// (recon_policy.h) and site-loop chunking (tune/site_loop.h).
+///
+/// Environment contract (`LQCD_LAYOUT`):
+///  * unset    — operators use their constructor default (AoS; seed
+///               behaviour).
+///  * `aos`    — force the array-of-site layout everywhere.
+///  * `soa`    — force the lane-blocked SoA layout (fields/soa_field.h).
+///  * `tune`   — treat the layout as an autotuner axis: each operator
+///               times one application per layout and records the winner
+///               in the tunecache (key `<kernel>_layout`, param
+///               `layout=...`).  Unlike the recon policy this rides
+///               TuneClass::numerics_neutral: both layouts produce
+///               bit-identical operator applications (the SoA kernels'
+///               lane arithmetic is vertical — see dirac/soa_kernel.h),
+///               so the sweep cannot change any result.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tune/tunable.h"
+#include "tune/tune_launch.h"
+
+namespace lqcd {
+
+/// Data layout a dslash operator executes with.
+enum class Layout { AoS, SoA };
+
+inline const char* to_string(Layout l) {
+  return l == Layout::SoA ? "soa" : "aos";
+}
+
+/// The parsed LQCD_LAYOUT setting.
+struct LayoutSetting {
+  std::optional<Layout> forced;  ///< set for aos/soa
+  bool tune = false;             ///< set for "tune"
+};
+
+/// Process-wide setting, parsed from LQCD_LAYOUT on first use.
+const LayoutSetting& layout_setting();
+
+/// Re-reads LQCD_LAYOUT (test hook).
+void init_layout_from_env();
+
+/// Resolves the layout for kernel \p kernel:
+///  * LQCD_LAYOUT forced   — that layout, unconditionally;
+///  * LQCD_LAYOUT=tune     — sweep {aos, soa} as a numerics-neutral
+///    tunable (one timed call of \p run_with per candidate; candidate 0 is
+///    the AoS default) and return the tunecache winner;
+///  * otherwise            — \p fallback.
+/// \p run_with is invoked as run_with(Layout) and must execute one
+/// representative application whose side effects are confined to scratch
+/// state (the driver re-runs candidates for timing).
+template <typename RunFn>
+Layout select_layout(const std::string& kernel, std::string aux,
+                     std::int64_t volume, Layout fallback, RunFn&& run_with) {
+  const LayoutSetting& s = layout_setting();
+  if (s.forced.has_value()) return *s.forced;
+  if (!s.tune) return fallback;
+  Layout chosen = Layout::AoS;
+  std::vector<CallbackTunable::Candidate> cands;
+  for (Layout l : {Layout::AoS, Layout::SoA}) {
+    cands.push_back({std::string("layout=") + to_string(l),
+                     [&chosen, l] { chosen = l; }});
+  }
+  CallbackTunable t(kernel + "_layout", std::move(aux), volume,
+                    TuneClass::numerics_neutral, std::move(cands),
+                    [&] { run_with(chosen); });
+  tune_launch(t);
+  return chosen;
+}
+
+}  // namespace lqcd

@@ -28,6 +28,17 @@
 /// per-RHS projection/mat-vec/reconstruction arithmetic itself (the binding
 /// cost once the working set is cache-resident) without breaking the bitwise
 /// contract — see the lane-path comment in detail below.
+///
+/// This is one of two orthogonal SIMD axes in the repo.  The SoA layout
+/// (fields/soa_field.h, dirac/soa_kernel.h, DESIGN.md §16) vectorizes
+/// *across sites* of a single field; the kernels here vectorize *across
+/// right-hand sides* at a fixed site.  The batched path stays AoS by
+/// design: its lanes are already full of independent work at every site,
+/// so a site-blocked layout would add transmute traffic without widening
+/// anything, and keeping the RHS containers AoS lets the service accept
+/// and return caller-owned fields with no layout round trip.  Width-1
+/// batches fall back to the single-RHS operators, where LQCD_LAYOUT
+/// selects the SoA fast path.
 
 #include <algorithm>
 #include <optional>

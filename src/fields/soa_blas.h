@@ -1,0 +1,248 @@
+#pragma once
+/// \file soa_blas.h
+/// \brief Fused BLAS-1 sweeps over the lane-blocked SoA layout: one tuned
+/// loop iteration updates a whole lane block, each real component as one
+/// vertical vector op — the layout's streaming payoff for the solver's
+/// vector algebra, not just the hop.
+///
+/// **Elementwise ops** (copy/scale/axpy/xpay/axpby/caxpy) perform, per real
+/// component, exactly the scalar sequence fields/blas.h performs on the
+/// corresponding AoS site (multiply-then-add in the same order), so they
+/// are bitwise identical to transmuting, running the AoS op, and
+/// transmuting back.  Tail-block pad lanes are zero and stay closed under
+/// these ops (0 is absorbing for *, neutral for +), so whole blocks are
+/// processed without masking.
+///
+/// **Reductions** (norm2/cdot and the fused caxpy_norm2) accumulate in
+/// double on the fixed default chunk grid with partials combined in chunk
+/// order and, within a block, lanes in lane order — a fixed order, so
+/// results are bitwise independent of the worker count (the seq==threads
+/// contract).  The *summation order* differs from the AoS reductions
+/// (site-major there, lane-block-major here), so SoA reduction values may
+/// differ from AoS ones in the last ulp; solvers must use one layout's
+/// reductions consistently, which the operator wiring guarantees.
+///
+/// Pad-lane hygiene: pad lanes contribute exact zeros to every reduction
+/// because the containers zero-initialize them and the elementwise ops
+/// preserve zero.  Reductions skip them anyway (valid_lanes) so the
+/// invariant is belt-and-braces, not load-bearing.
+
+#include <complex>
+
+#include "fields/blas.h"
+#include "fields/soa_field.h"
+#include "linalg/simd.h"
+#include "tune/site_loop.h"
+#include "util/parallel_for.h"
+
+namespace lqcd {
+
+namespace detail {
+template <typename Site>
+std::string soa_blas_aux() {
+  using Real = typename SoAField<Site>::Real;
+  return site_aux<Site>() + soa_aux<Real>();
+}
+}  // namespace detail
+
+/// dst = src.
+template <typename Site>
+void soa_copy(SoAField<Site>& dst, const SoAField<Site>& src) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int kBlockReals = SoAField<Site>::kReals * SoAField<Site>::kLanes;
+  tuned_site_loop("blas_copy", detail::soa_blas_aux<Site>(), dst.raw(),
+                  dst.blocks(), [&](std::int64_t b) {
+    const Real* s = src.block_data(b);
+    Real* d = dst.block_data(b);
+    for (int k = 0; k < kBlockReals; k += SoAField<Site>::kLanes) {
+      lane_store<Real>(d + k, lane_load<Real>(s + k));
+    }
+  });
+}
+
+/// x *= a.
+template <typename Site>
+void soa_scale(double a, SoAField<Site>& x) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int kBlockReals = SoAField<Site>::kReals * SoAField<Site>::kLanes;
+  const auto av = lane_broadcast<Real>(static_cast<Real>(a));
+  tuned_site_loop("blas_scale", detail::soa_blas_aux<Site>(), x.raw(),
+                  x.blocks(), [&](std::int64_t b) {
+    Real* p = x.block_data(b);
+    for (int k = 0; k < kBlockReals; k += SoAField<Site>::kLanes) {
+      lane_store<Real>(p + k, lane_load<Real>(p + k) * av);
+    }
+  });
+}
+
+/// y += a x.
+template <typename Site>
+void soa_axpy(double a, const SoAField<Site>& x, SoAField<Site>& y) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int kBlockReals = SoAField<Site>::kReals * SoAField<Site>::kLanes;
+  const auto av = lane_broadcast<Real>(static_cast<Real>(a));
+  tuned_site_loop("blas_axpy", detail::soa_blas_aux<Site>(), y.raw(),
+                  y.blocks(), [&](std::int64_t b) {
+    const Real* xp = x.block_data(b);
+    Real* yp = y.block_data(b);
+    for (int k = 0; k < kBlockReals; k += SoAField<Site>::kLanes) {
+      // t = a*x computed first, then added — the scalar op order.
+      const auto t = lane_load<Real>(xp + k) * av;
+      lane_store<Real>(yp + k, lane_load<Real>(yp + k) + t);
+    }
+  });
+}
+
+/// y = x + a y.
+template <typename Site>
+void soa_xpay(const SoAField<Site>& x, double a, SoAField<Site>& y) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int kBlockReals = SoAField<Site>::kReals * SoAField<Site>::kLanes;
+  const auto av = lane_broadcast<Real>(static_cast<Real>(a));
+  tuned_site_loop("blas_xpay", detail::soa_blas_aux<Site>(), y.raw(),
+                  y.blocks(), [&](std::int64_t b) {
+    const Real* xp = x.block_data(b);
+    Real* yp = y.block_data(b);
+    for (int k = 0; k < kBlockReals; k += SoAField<Site>::kLanes) {
+      const auto t = lane_load<Real>(yp + k) * av;
+      lane_store<Real>(yp + k, t + lane_load<Real>(xp + k));
+    }
+  });
+}
+
+/// y = a x + b y.
+template <typename Site>
+void soa_axpby(double a, const SoAField<Site>& x, double b,
+               SoAField<Site>& y) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int kBlockReals = SoAField<Site>::kReals * SoAField<Site>::kLanes;
+  const auto av = lane_broadcast<Real>(static_cast<Real>(a));
+  const auto bv = lane_broadcast<Real>(static_cast<Real>(b));
+  tuned_site_loop("blas_axpby", detail::soa_blas_aux<Site>(), y.raw(),
+                  y.blocks(), [&](std::int64_t b_) {
+    const Real* xp = x.block_data(b_);
+    Real* yp = y.block_data(b_);
+    for (int k = 0; k < kBlockReals; k += SoAField<Site>::kLanes) {
+      const auto t = lane_load<Real>(xp + k) * av;
+      const auto v = lane_load<Real>(yp + k) * bv;
+      lane_store<Real>(yp + k, t + v);
+    }
+  });
+}
+
+/// y += a x, complex a.  Components are (re, im) pairs of adjacent lane
+/// slots; the per-pair update mirrors the scalar complex multiply-add
+/// (textbook product, then add) exactly.
+template <typename Site>
+void soa_caxpy(std::complex<double> a, const SoAField<Site>& x,
+               SoAField<Site>& y) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int L = SoAField<Site>::kLanes;
+  constexpr int kBlockReals = SoAField<Site>::kReals * L;
+  const auto ar = lane_broadcast<Real>(static_cast<Real>(a.real()));
+  const auto ai = lane_broadcast<Real>(static_cast<Real>(a.imag()));
+  tuned_site_loop("blas_caxpy", detail::soa_blas_aux<Site>(), y.raw(),
+                  y.blocks(), [&](std::int64_t b) {
+    const Real* xp = x.block_data(b);
+    Real* yp = y.block_data(b);
+    for (int k = 0; k < kBlockReals; k += 2 * L) {
+      const auto xr = lane_load<Real>(xp + k);
+      const auto xi = lane_load<Real>(xp + k + L);
+      const auto tr = xr * ar - xi * ai;
+      const auto ti = xr * ai + xi * ar;
+      lane_store<Real>(yp + k, lane_load<Real>(yp + k) + tr);
+      lane_store<Real>(yp + k + L, lane_load<Real>(yp + k + L) + ti);
+    }
+  });
+}
+
+/// ||x||^2, accumulated in double.  Fixed chunk grid + fixed lane order
+/// (see file comment on ordering vs the AoS reductions).
+template <typename Site>
+double soa_norm2(const SoAField<Site>& x) {
+  detail::count_blas_sweep();
+  constexpr int kReals = SoAField<Site>::kReals;
+  constexpr int L = SoAField<Site>::kLanes;
+  return parallel_reduce<double>(x.blocks(), [&](std::int64_t b) {
+    const auto* p = x.block_data(b);
+    const int nl = x.valid_lanes(b);
+    double acc = 0.0;
+    for (int l = 0; l < nl; ++l) {
+      for (int k = 0; k < kReals; ++k) {
+        const double v = static_cast<double>(p[k * L + l]);
+        acc += v * v;
+      }
+    }
+    return acc;
+  });
+}
+
+/// <x, y> = sum conj(x) y, accumulated in double.
+template <typename Site>
+std::complex<double> soa_cdot(const SoAField<Site>& x,
+                              const SoAField<Site>& y) {
+  detail::count_blas_sweep();
+  constexpr int kReals = SoAField<Site>::kReals;
+  constexpr int L = SoAField<Site>::kLanes;
+  return parallel_reduce<std::complex<double>>(
+      x.blocks(), [&](std::int64_t b) {
+        const auto* xp = x.block_data(b);
+        const auto* yp = y.block_data(b);
+        const int nl = x.valid_lanes(b);
+        std::complex<double> acc{};
+        for (int l = 0; l < nl; ++l) {
+          for (int k = 0; k < kReals; k += 2) {
+            const double xr = static_cast<double>(xp[k * L + l]);
+            const double xi = static_cast<double>(xp[(k + 1) * L + l]);
+            const double yr = static_cast<double>(yp[k * L + l]);
+            const double yi = static_cast<double>(yp[(k + 1) * L + l]);
+            acc += std::complex<double>(xr * yr + xi * yi,
+                                        xr * yi - xi * yr);
+          }
+        }
+        return acc;
+      });
+}
+
+/// Fused y += a x; returns ||y||^2 — one sweep instead of two (the SoA
+/// analogue of blas.h's caxpy_norm2).  The elementwise update is bitwise
+/// identical to soa_caxpy; the reduction runs on the fixed grid.
+template <typename Site>
+double soa_caxpy_norm2(std::complex<double> a, const SoAField<Site>& x,
+                       SoAField<Site>& y) {
+  detail::count_blas_sweep();
+  using Real = typename SoAField<Site>::Real;
+  constexpr int kReals = SoAField<Site>::kReals;
+  constexpr int L = SoAField<Site>::kLanes;
+  const auto ar = lane_broadcast<Real>(static_cast<Real>(a.real()));
+  const auto ai = lane_broadcast<Real>(static_cast<Real>(a.imag()));
+  return parallel_reduce<double>(y.blocks(), [&](std::int64_t b) {
+    const Real* xp = x.block_data(b);
+    Real* yp = y.block_data(b);
+    for (int k = 0; k < kReals * L; k += 2 * L) {
+      const auto xr = lane_load<Real>(xp + k);
+      const auto xi = lane_load<Real>(xp + k + L);
+      const auto tr = xr * ar - xi * ai;
+      const auto ti = xr * ai + xi * ar;
+      lane_store<Real>(yp + k, lane_load<Real>(yp + k) + tr);
+      lane_store<Real>(yp + k + L, lane_load<Real>(yp + k + L) + ti);
+    }
+    const int nl = y.valid_lanes(b);
+    double acc = 0.0;
+    for (int l = 0; l < nl; ++l) {
+      for (int k = 0; k < kReals; ++k) {
+        const double v = static_cast<double>(yp[k * L + l]);
+        acc += v * v;
+      }
+    }
+    return acc;
+  });
+}
+
+}  // namespace lqcd

@@ -7,12 +7,18 @@ namespace lqcd {
 
 float encode_site_half(std::span<const float> components,
                        std::span<std::int16_t> out) {
+  // Sanitize before the norm so a NaN cannot poison it (std::max would
+  // silently drop the NaN from the max but quantize_fixed would then cast
+  // NaN*inv to int16 — UB) and an Inf cannot zero every other component
+  // via inv == 0.  Must stay in lockstep with roundtrip_site_half_n.
   float norm = 0.0f;
-  for (float x : components) norm = std::max(norm, std::fabs(x));
+  for (float x : components) {
+    norm = std::max(norm, std::fabs(sanitize_half_component(x)));
+  }
   if (norm == 0.0f) norm = 1.0f;
   const float inv = 1.0f / norm;
   for (std::size_t i = 0; i < components.size(); ++i) {
-    out[i] = quantize_fixed(components[i], inv);
+    out[i] = quantize_fixed(sanitize_half_component(components[i]), inv);
   }
   return norm;
 }

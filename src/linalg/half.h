@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 
 #include "linalg/types.h"
@@ -24,15 +25,41 @@ namespace lqcd {
 
 inline constexpr float kHalfScale = 32767.0f;
 
+/// Deterministic pre-codec clamp/flush shared by every site encode path:
+/// NaN -> +0, +-Inf -> +-FLT_MAX, subnormals flushed to (signed) zero.
+/// After it, the codec arithmetic is NaN/Inf/denormal-free, so a
+/// non-finite component always quantizes to the same int16 — and hence
+/// decodes to the same bit pattern (for a clamped Inf the decode
+/// q * (norm / kHalfScale) may round back to +-Inf; that too is the same
+/// bits everywhere) — whichever entry point encoded it
+/// (encode_site_half, roundtrip_site_half, or the inline fixed-width twin
+/// below).  That path agreement is what the live-parity == full-field
+/// contract of fields/precision.h requires; without it a NaN reached
+/// std::min/max (which propagate it) and then an out-of-range
+/// float->int16 cast — undefined behaviour, realized as different bits on
+/// different paths.  Written as selects, no data-dependent branches.
+inline float sanitize_half_component(float x) {
+  x = std::isnan(x) ? 0.0f : x;
+  x = std::isinf(x) ? std::copysign(std::numeric_limits<float>::max(), x) : x;
+  x = std::fabs(x) < std::numeric_limits<float>::min() ? std::copysign(0.0f, x)
+                                                       : x;
+  return x;
+}
+
 /// Quantizes x in [-scale_bound, scale_bound] to int16 (round-to-nearest,
 /// saturating).  Branch-free: round half away from zero is expressed as
 /// v + copysign(0.5, v) then truncation, which matches the sign-tested
 /// form for every input (including -0.0: both truncate to 0) without a
-/// data-dependent branch.
+/// data-dependent branch.  The clamps put the constant first so a NaN
+/// (possible for direct callers that skip sanitize_half_component, e.g.
+/// the gauge codec on pathological links) collapses deterministically to
+/// the upper clamp instead of reaching the int16 cast (UB): std::min/max
+/// return their *first* argument when the comparison against a NaN is
+/// false, and for finite inputs the operand order is irrelevant.
 inline std::int16_t quantize_fixed(float x, float inv_scale_bound) {
   float v = x * inv_scale_bound * kHalfScale;
-  v = std::min(v, kHalfScale);
-  v = std::max(v, -kHalfScale);
+  v = std::min(kHalfScale, v);
+  v = std::max(-kHalfScale, v);
   return static_cast<std::int16_t>(v + std::copysign(0.5f, v));
 }
 
@@ -62,9 +89,13 @@ void roundtrip_site_half(std::span<float> components);
 /// bit ops; rounding via v + copysign(0.5, v) then truncation matches the
 /// branchy form for every input, including -0.0 (both yield q = 0).  The
 /// int32 intermediate is exact — values are already saturated to
-/// +/-kHalfScale.
+/// +/-kHalfScale.  The sanitize pass (also branch-free) must mirror
+/// encode_site_half exactly: both paths flush the same components before
+/// computing the norm, so NaN/Inf/denormal sites decode to identical bits
+/// here and there.
 template <int N>
 inline void roundtrip_site_half_n(float* x) {
+  for (int i = 0; i < N; ++i) x[i] = sanitize_half_component(x[i]);
   float norm = 0.0f;
   for (int i = 0; i < N; ++i) norm = std::max(norm, std::fabs(x[i]));
   if (norm == 0.0f) norm = 1.0f;
@@ -72,8 +103,8 @@ inline void roundtrip_site_half_n(float* x) {
   const float back = norm / kHalfScale;
   for (int i = 0; i < N; ++i) {
     float v = x[i] * inv * kHalfScale;
-    v = std::min(v, kHalfScale);
-    v = std::max(v, -kHalfScale);
+    v = std::min(kHalfScale, v);
+    v = std::max(-kHalfScale, v);
     const int q = static_cast<int>(v + std::copysign(0.5f, v));
     x[i] = static_cast<float>(q) * back;
   }

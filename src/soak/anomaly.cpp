@@ -17,6 +17,7 @@ const char* anomaly_kind_name(AnomalyKind k) {
     case AnomalyKind::ResidualStall: return "residual-stall";
     case AnomalyKind::Divergence: return "divergence";
     case AnomalyKind::BaselineRegression: return "baseline-regression";
+    case AnomalyKind::BaselineMissing: return "baseline-missing";
     case AnomalyKind::CheckpointDivergence: return "checkpoint-divergence";
   }
   return "unknown";
@@ -132,7 +133,22 @@ void AnomalyDetector::check_baselines(
   for (const BaselineCheck& c : checks) {
     ++report_.baseline_checks;
     auto it = baseline.find(c.key);
-    if (it == baseline.end() || it->second <= 0.0) continue;
+    if (it == baseline.end()) {
+      report_.anomalies.push_back(
+          {AnomalyKind::BaselineMissing, c.key,
+           "baseline present but metric absent (renamed benchmark?); "
+           "the gate cannot run",
+           c.observed, 0.0, -1});
+      continue;
+    }
+    if (it->second <= 0.0) {
+      report_.anomalies.push_back(
+          {AnomalyKind::BaselineMissing, c.key,
+           "baseline value non-positive; the relative comparison "
+           "cannot run",
+           c.observed, it->second, -1});
+      continue;
+    }
     const double base = it->second;
     if (c.higher_is_worse) {
       const double limit = base * (1.0 + t_.baseline_rel_tol);

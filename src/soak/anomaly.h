@@ -41,6 +41,7 @@ enum class AnomalyKind {
   ResidualStall,         ///< residual failed to decay across the window
   Divergence,            ///< residual grew past divergence_factor * start
   BaselineRegression,    ///< observed figure worse than baseline * tolerance
+  BaselineMissing,       ///< baseline present but the queried metric absent
   CheckpointDivergence,  ///< restored run deviated from the reference run
 };
 
@@ -136,9 +137,14 @@ class AnomalyDetector {
   /// the first triggering iteration.
   void record_residual_history(const std::vector<double>& history);
 
-  /// Compares observed figures against a flattened baseline.  Keys absent
-  /// from the baseline are skipped (a baseline predating a metric is not a
-  /// regression); non-positive baseline values are skipped likewise.
+  /// Compares observed figures against a flattened baseline.  A key absent
+  /// from the baseline (or carrying a non-positive value, which the
+  /// comparison math cannot use) is a BaselineMissing *finding*, not a
+  /// silent pass: the baseline file exists, so a metric it fails to answer
+  /// for means the gate never ran — historically this let regressions
+  /// through whenever a benchmark was renamed.  "No baseline file at all"
+  /// is the caller's case to handle (the soak runner warns and skips the
+  /// checks entirely rather than calling this).
   void check_baselines(const std::map<std::string, double>& baseline,
                        const std::vector<BaselineCheck>& checks);
 

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
@@ -239,6 +240,23 @@ double dslash_mflops_probe(const GaugeField<double>& u) {
          static_cast<double>(g.volume()) / 1e6 / s;
 }
 
+/// Baseline-gating file policy: a baseline file that does not exist is
+/// "no baseline yet" — warn (always, not just --verbose: a CI log must
+/// show why the gate was skipped) and run no checks, so the soak still
+/// passes.  A file that *does* exist gates strictly: a queried metric it
+/// cannot answer becomes a BaselineMissing finding inside
+/// check_baselines, and malformed JSON still throws out of
+/// flatten_json_file (exit 2 in soak_runner).  Previously both the
+/// missing-file and missing-metric cases silently passed.
+bool baseline_file_present(const std::string& path) {
+  if (std::filesystem::exists(path)) return true;
+  std::fprintf(stderr,
+               "[soak] WARNING: baseline file '%s' not found; skipping its "
+               "baseline checks (no baseline is not a regression)\n",
+               path.c_str());
+  return false;
+}
+
 }  // namespace
 
 std::string SoakOutcome::describe() const {
@@ -331,7 +349,7 @@ SoakOutcome run_soak(const SoakConfig& cfg) {
   }
 
   // Phase 3: baseline gating from the run's own metrics.
-  if (!cfg.baseline_serve.empty()) {
+  if (!cfg.baseline_serve.empty() && baseline_file_present(cfg.baseline_serve)) {
     const MetricsSnapshot m = metrics_snapshot();
     std::vector<BaselineCheck> checks;
     const HistogramSnapshot lat = m.histogram("serve.request.latency_s");
@@ -347,7 +365,8 @@ SoakOutcome run_soak(const SoakConfig& cfg) {
     }
     det.check_baselines(flatten_json_file(cfg.baseline_serve), checks);
   }
-  if (!cfg.baseline_dslash.empty()) {
+  if (!cfg.baseline_dslash.empty() &&
+      baseline_file_present(cfg.baseline_dslash)) {
     det.check_baselines(
         flatten_json_file(cfg.baseline_dslash),
         {{"benchmarks.BM_WilsonHop.Mflops", dslash_mflops_probe(u), false}});

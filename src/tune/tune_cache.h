@@ -50,7 +50,11 @@ class TuneCache {
   void note_bypass();
 
   /// Loads entries from \p path (TSV).  Returns false (leaving the cache
-  /// empty) on a missing file, malformed header, or version mismatch.
+  /// empty) on a missing file, malformed header, version mismatch, or a
+  /// header whose lane-configuration token (`lanes=fNdM`, from the
+  /// build-time LQCD_SIMD_BYTES) differs from this build's — tuned
+  /// parameters do not migrate between builds with different SoA lane
+  /// widths.
   bool load(const std::string& path);
 
   /// Writes all entries to \p path.  Returns false on I/O failure.

@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "fields/packed_half.h"
 #include "fields/precision.h"
@@ -61,6 +63,115 @@ TEST(Half, RoundTripIdempotent) {
   std::array<float, 24> again = site;
   roundtrip_site_half(again);
   for (std::size_t i = 0; i < site.size(); ++i) EXPECT_EQ(site[i], again[i]);
+}
+
+TEST(Half, QuantizeNonFiniteIsDeterministic) {
+  // A NaN reaching the clamps collapses to the upper clamp (std::min/max
+  // return their first argument on an unordered compare) — never the
+  // float->int16 UB cast of an unclamped value.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quantize_fixed(nan, 1.0f), 32767);
+  EXPECT_EQ(quantize_fixed(inf, 1.0f), 32767);
+  EXPECT_EQ(quantize_fixed(-inf, 1.0f), -32767);
+}
+
+TEST(Half, SanitizeClampsAndFlushes) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(sanitize_half_component(std::numeric_limits<float>::quiet_NaN()),
+            0.0f);
+  EXPECT_EQ(sanitize_half_component(inf), std::numeric_limits<float>::max());
+  EXPECT_EQ(sanitize_half_component(-inf),
+            -std::numeric_limits<float>::max());
+  // Subnormals flush to (signed) zero; normals pass through untouched.
+  EXPECT_EQ(sanitize_half_component(std::numeric_limits<float>::denorm_min()),
+            0.0f);
+  EXPECT_TRUE(
+      std::signbit(sanitize_half_component(-std::numeric_limits<float>::denorm_min())));
+  EXPECT_EQ(sanitize_half_component(0.25f), 0.25f);
+  EXPECT_EQ(sanitize_half_component(-std::numeric_limits<float>::min()),
+            -std::numeric_limits<float>::min());
+}
+
+TEST(Half, NonFiniteSiteEncodesIdenticallyOnEveryPath) {
+  // The regression this guards: a NaN/Inf/denormal component must decode
+  // to the same bit pattern whichever entry point encoded it — the
+  // spanwise codec (encode/decode), the in-place round trip, and the
+  // branch-free inline twin the mixed-precision solvers run.
+  std::array<float, 24> site{};
+  Rng rng(7);
+  for (auto& v : site) v = static_cast<float>(rng.gaussian());
+  site[0] = std::numeric_limits<float>::quiet_NaN();
+  site[5] = std::numeric_limits<float>::infinity();
+  site[11] = -std::numeric_limits<float>::infinity();
+  site[17] = std::numeric_limits<float>::denorm_min();
+  site[23] = -1e-41f;  // subnormal
+
+  std::array<float, 24> decoded{};
+  std::array<std::int16_t, 24> enc{};
+  const float norm = encode_site_half(site, enc);
+  decode_site_half(enc, norm, decoded);
+
+  std::array<float, 24> via_roundtrip = site;
+  roundtrip_site_half(via_roundtrip);
+
+  std::array<float, 24> via_inline = site;
+  roundtrip_site_half_n<24>(via_inline.data());
+
+  for (std::size_t i = 0; i < site.size(); ++i) {
+    EXPECT_FALSE(std::isnan(decoded[i])) << i;
+    EXPECT_EQ(std::memcmp(&decoded[i], &via_roundtrip[i], sizeof(float)), 0)
+        << i;
+    EXPECT_EQ(std::memcmp(&decoded[i], &via_inline[i], sizeof(float)), 0)
+        << i;
+  }
+  // The NaN collapsed to zero, not to a norm-scaled garbage value.  (The
+  // Inf slots are the site's norm, FLT_MAX after the clamp; their decode
+  // q * (norm / kHalfScale) may legitimately round back to +-Inf — what
+  // the codec guarantees for them is the same bits on every path, asserted
+  // above.)
+  EXPECT_EQ(decoded[0], 0.0f);
+}
+
+TEST(Half, PackedFieldMatchesEmulationOnNonFiniteSpinor) {
+  // Same contract at field level: the live-parity/packed path and the
+  // full-field emulation agree bitwise even when the spinor carries
+  // non-finite and denormal components.
+  LatticeGeometry g({4, 4, 4, 4});
+  WilsonField<float> f(g);
+  Rng rng(8);
+  for (auto& s : f.sites()) {
+    for (int sp = 0; sp < kNSpin; ++sp) {
+      for (int c = 0; c < kNColor; ++c) {
+        s[sp][c] = Cplx<float>(static_cast<float>(rng.gaussian()),
+                               static_cast<float>(rng.gaussian()));
+      }
+    }
+  }
+  f.at(0)[0][0] = Cplx<float>(std::numeric_limits<float>::quiet_NaN(), 1.0f);
+  f.at(1)[1][2] = Cplx<float>(std::numeric_limits<float>::infinity(),
+                              -std::numeric_limits<float>::infinity());
+  f.at(2)[3][1] = Cplx<float>(1e-41f, -std::numeric_limits<float>::denorm_min());
+
+  WilsonField<float> emulated = f;
+  half_roundtrip(emulated);
+
+  PackedHalfWilson packed(g);
+  packed.pack(f);
+  WilsonField<float> unpacked(g);
+  packed.unpack(unpacked);
+
+  EXPECT_EQ(std::memcmp(emulated.sites().data(), unpacked.sites().data(),
+                        emulated.sites().size_bytes()),
+            0);
+
+  // The parity-restricted round trip writes the same bits on its half.
+  WilsonField<float> by_parity = f;
+  half_roundtrip(by_parity, Parity::Even);
+  half_roundtrip(by_parity, Parity::Odd);
+  EXPECT_EQ(std::memcmp(emulated.sites().data(), by_parity.sites().data(),
+                        emulated.sites().size_bytes()),
+            0);
 }
 
 TEST(Half, PackedFieldMatchesEmulation) {

@@ -175,7 +175,6 @@ TEST(AnomalyDetector, BaselineRegressionBothDirections) {
           {"request_latency_s.p95", 3.1, true},   // over: regression
           {"throughput", 7.0, false},             // within 10 / 1.5: pass
           {"throughput", 6.0, false},             // under: regression
-          {"not.in.baseline", 1e9, true},         // skipped silently
       });
   ASSERT_EQ(det.report().anomalies.size(), 2u);
   for (const Anomaly& a : det.report().anomalies) {
@@ -184,7 +183,31 @@ TEST(AnomalyDetector, BaselineRegressionBothDirections) {
   EXPECT_EQ(det.report().anomalies[0].metric, "request_latency_s.p95");
   EXPECT_EQ(det.report().anomalies[0].observed, 3.1);
   EXPECT_EQ(det.report().anomalies[1].metric, "throughput");
-  EXPECT_EQ(det.report().baseline_checks, 5u);
+  EXPECT_EQ(det.report().baseline_checks, 4u);
+}
+
+TEST(AnomalyDetector, MissingBaselineMetricIsAGateFailure) {
+  // The baseline *exists* but cannot answer a queried key (renamed
+  // benchmark, or a non-positive value the relative comparison cannot
+  // use): that must fail the gate, not silently pass — the regression this
+  // fixes let renames disable the baseline check unnoticed.
+  AnomalyDetector det;
+  const std::map<std::string, double> baseline = {
+      {"present", 10.0}, {"nonpositive", 0.0}};
+  det.check_baselines(baseline, {
+                                    {"present", 10.0, false},     // gated, ok
+                                    {"absent.metric", 5.0, true},  // missing
+                                    {"nonpositive", 5.0, true},    // unusable
+                                });
+  ASSERT_EQ(det.report().anomalies.size(), 2u);
+  EXPECT_EQ(det.report().anomalies[0].kind, AnomalyKind::BaselineMissing);
+  EXPECT_EQ(det.report().anomalies[0].metric, "absent.metric");
+  EXPECT_EQ(det.report().anomalies[1].kind, AnomalyKind::BaselineMissing);
+  EXPECT_EQ(det.report().anomalies[1].metric, "nonpositive");
+  EXPECT_EQ(det.report().baseline_checks, 3u);
+  EXPECT_FALSE(det.report().ok());
+  EXPECT_NE(det.report().to_string().find("baseline-missing"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -256,6 +279,11 @@ TEST(SoakRunner, BoundedRunPassesWithKillRestore) {
   cfg.checkpoint_path = "test_soak_smoke.ckpt";
   cfg.thresholds.latency_p95_limit_s = 300.0;  // generous: smoke, not perf
   cfg.thresholds.queue_depth_p95_limit = 1e6;
+  // A baseline *file* that does not exist is "no baseline yet": the runner
+  // warns and skips those checks, and the run still passes (a metric
+  // missing from an existing file would instead be a gate failure).
+  cfg.baseline_serve = "no/such/dir/BENCH_serve.json";
+  cfg.baseline_dslash = "no/such/dir/BENCH_dslash.json";
 
   const soak::SoakOutcome out = soak::run_soak(cfg);
   EXPECT_TRUE(out.passed) << out.describe();

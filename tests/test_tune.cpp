@@ -18,6 +18,7 @@
 
 #include "comm/counters.h"
 #include "fields/blas.h"
+#include "linalg/simd.h"
 #include "tune/schwarz_policy.h"
 #include "tune/site_loop.h"
 #include "tune/tune_cache.h"
@@ -84,6 +85,44 @@ TEST_F(TuneTest, VersionMismatchInvalidatesWholeFile) {
   TuneCache cache;
   EXPECT_FALSE(cache.load(path));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(TuneTest, LaneConfigMismatchInvalidatesWholeFile) {
+  // The header carries the build's SoA lane widths (lanes=fNdM, from
+  // LQCD_SIMD_BYTES); a cache written by a build with different widths —
+  // or by an old build that wrote no token at all — must be discarded
+  // wholesale, never applied.
+  for (const char* stale_header :
+       {"lanes=f16d8", ""}) {  // wrong widths / pre-token format
+    const std::string path = temp_path("stale_lanes.tsv");
+    {
+      std::ofstream out(path);
+      out << "lqcd-tunecache " << TuneCache::kVersion;
+      if (*stale_header != '\0') out << ' ' << stale_header;
+      out << "\n";
+      out << "wilson_hop\tf64,soa2\t1024\t4\tchunks=32\t12.5\t40.0\n";
+    }
+    TuneCache cache;
+    EXPECT_FALSE(cache.load(path)) << "header token '" << stale_header << "'";
+    EXPECT_EQ(cache.size(), 0u);
+  }
+}
+
+TEST_F(TuneTest, SavedHeaderCarriesThisBuildsLaneConfig) {
+  TuneCache cache;
+  cache.store(key_of("wilson_hop", "f32,soa4", 512, 1), {"chunks=4", 1.0, 2.0});
+  const std::string path = temp_path("lanes_header.tsv");
+  ASSERT_TRUE(cache.save(path));
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const std::string want = "lanes=f" + std::to_string(kSoaLanes<float>) +
+                           "d" + std::to_string(kSoaLanes<double>);
+  EXPECT_NE(header.find(want), std::string::npos) << header;
+  // And it round-trips through load on the same build.
+  TuneCache loaded;
+  EXPECT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 1u);
 }
 
 TEST_F(TuneTest, MalformedHeaderIsRejected) {
