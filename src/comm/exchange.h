@@ -27,6 +27,14 @@
 /// before the wire, halving spinor ghost traffic (12 instead of 24 reals
 /// per site) — QUDA's standard optimization, assumed by the byte model.
 ///
+/// On top of the projection, the wire carries a *precision-truncated*
+/// image of the packed faces (comm/wire.h, LQCD_GHOST_PREC): the threads
+/// transport encodes at post time and decodes at scatter time, the seq
+/// transport round-trips the packed buffers through the same codec, so
+/// the two stay bitwise identical at every wire precision.  Byte meters
+/// charge the encoded wire size (wire_site_bytes), which degenerates to
+/// sizeof(GhostT) at the (default) native precision.
+///
 /// Reliability: when a FaultPlan is active (fault/fault.h), every posted
 /// face message carries a seq + FNV-1a checksum envelope, the sender keeps
 /// a pristine retained copy (the emulated send buffer a NACK would
@@ -50,6 +58,7 @@
 
 #include "comm/channel.h"
 #include "comm/counters.h"
+#include "comm/wire.h"
 #include "comm/error.h"
 #include "comm/ghost.h"
 #include "comm/virtual_cluster.h"
@@ -156,9 +165,14 @@ class AsyncGhostExchange {
   AsyncGhostExchange(const Partitioning& part, const NeighborTable& nt,
                      const std::vector<LatticeField<Site>>& locals,
                      std::vector<GhostZones<GhostT>>& ghosts,
-                     std::optional<Parity> source_parity = std::nullopt)
+                     std::optional<Parity> source_parity = std::nullopt,
+                     std::optional<Precision> wire = std::nullopt)
       : part_(part), nt_(nt), locals_(locals), ghosts_(ghosts),
-        source_parity_(source_parity), plan_(active_fault_plan()),
+        source_parity_(source_parity),
+        wire_prec_(wire.has_value() ? clamp_wire_precision<GhostT>(*wire)
+                                    : default_wire_precision<GhostT>()),
+        site_bytes_(wire_site_bytes<GhostT>(wire_prec_)),
+        plan_(active_fault_plan()),
         epoch_(plan_ != nullptr ? plan_->next_epoch() : 0),
         // An injected reorder + data + duplicate is three messages on one
         // channel; capacity 4 keeps the sender non-blocking under any
@@ -179,18 +193,24 @@ class AsyncGhostExchange {
       auto p = detail::pack_rank_faces<Packer>(part_.local(), nt_, body, mu,
                                                source_parity_);
       delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
-          (p.fwd_sites + p.bwd_sites) * sizeof(GhostT);
+          (p.fwd_sites + p.bwd_sites) * site_bytes_;
       delta.messages += 2;
       const int dst_fwd = part_.neighbor_rank(r, mu, -1);
       const int dst_bwd = part_.neighbor_rank(r, mu, +1);
+      // The wire image: what actually travels (and what the envelope
+      // checksums and fault injections operate on).
+      FaceMessage<unsigned char> fwd{{}, p.fwd_sites};
+      FaceMessage<unsigned char> bwd{{}, p.bwd_sites};
+      encode_face<GhostT>(std::span<const GhostT>(p.fwd), wire_prec_,
+                          fwd.payload);
+      encode_face<GhostT>(std::span<const GhostT>(p.bwd), wire_prec_,
+                          bwd.payload);
       if (plan_ == nullptr) {
-        mesh_.at(dst_fwd, mu, 0).send({std::move(p.fwd), p.fwd_sites});
-        mesh_.at(dst_bwd, mu, 1).send({std::move(p.bwd), p.bwd_sites});
+        mesh_.at(dst_fwd, mu, 0).send(std::move(fwd));
+        mesh_.at(dst_bwd, mu, 1).send(std::move(bwd));
       } else {
-        post_with_faults(r, dst_fwd, mu, 0,
-                         FaceMessage<GhostT>{std::move(p.fwd), p.fwd_sites});
-        post_with_faults(r, dst_bwd, mu, 1,
-                         FaceMessage<GhostT>{std::move(p.bwd), p.bwd_sites});
+        post_with_faults(r, dst_fwd, mu, 0, std::move(fwd));
+        post_with_faults(r, dst_bwd, mu, 1, std::move(bwd));
       }
     }
   }
@@ -201,14 +221,15 @@ class AsyncGhostExchange {
     for (int mu = 0; mu < kNDim; ++mu) {
       if (!nt_.partitioned(mu)) continue;
       for (int dir = 0; dir < 2; ++dir) {
-        FaceMessage<GhostT> msg = plan_ == nullptr
-                                      ? mesh_.at(r, mu, dir).recv()
-                                      : recv_reliable(r, mu, dir);
+        FaceMessage<unsigned char> msg = plan_ == nullptr
+                                             ? mesh_.at(r, mu, dir).recv()
+                                             : recv_reliable(r, mu, dir);
         auto dst = zones.zone(mu, dir);
-        assert(msg.payload.size() == dst.size());
-        std::copy(msg.payload.begin(), msg.payload.end(), dst.begin());
+        assert(msg.payload.size() == dst.size() * site_bytes_);
+        decode_face<GhostT>(std::span<const unsigned char>(msg.payload),
+                            wire_prec_, dst);
         recv_bytes_[static_cast<std::size_t>(r)] +=
-            msg.packed_sites * sizeof(GhostT);
+            msg.packed_sites * site_bytes_;
       }
     }
   }
@@ -229,6 +250,9 @@ class AsyncGhostExchange {
     return t;
   }
 
+  /// Resolved wire precision of this exchange (post-clamp).
+  Precision wire_precision() const { return wire_prec_; }
+
  private:
   /// The emulated sender-side send buffer: the pristine enveloped message,
   /// retained so the receiver's NACK path can "retransmit" without a
@@ -238,24 +262,23 @@ class AsyncGhostExchange {
   struct RetainSlot {
     std::mutex m;
     bool ready = false;  // guarded by m
-    FaceMessage<GhostT> msg;
+    FaceMessage<unsigned char> msg;
   };
 
   RetainSlot& retain(int dst, int mu, int dir) {
     return retain_[static_cast<std::size_t>((dst * kNDim + mu) * 2 + dir)];
   }
 
-  static bool envelope_ok(const FaceMessage<GhostT>& msg) {
+  static bool envelope_ok(const FaceMessage<unsigned char>& msg) {
     return msg.seq == kFaceDataSeq &&
-           msg.checksum == fnv1a(msg.payload.data(),
-                                 msg.payload.size() * sizeof(GhostT));
+           msg.checksum == fnv1a(msg.payload.data(), msg.payload.size());
   }
 
-  static void corrupt_one_bit(FaceMessage<GhostT>& msg,
+  static void corrupt_one_bit(FaceMessage<unsigned char>& msg,
                               std::uint64_t entropy) {
-    const std::size_t nbytes = msg.payload.size() * sizeof(GhostT);
+    const std::size_t nbytes = msg.payload.size();
     if (nbytes == 0) return;
-    auto* bytes = reinterpret_cast<unsigned char*>(msg.payload.data());
+    unsigned char* bytes = msg.payload.data();
     const std::size_t bit = static_cast<std::size_t>(entropy % (nbytes * 8));
     bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
   }
@@ -263,10 +286,9 @@ class AsyncGhostExchange {
   /// Envelopes, retains, then posts one face message, applying the plan's
   /// injections for this (epoch, src, mu, dir) slot.
   void post_with_faults(int src, int dst, int mu, int dir,
-                        FaceMessage<GhostT> msg) {
+                        FaceMessage<unsigned char> msg) {
     msg.seq = kFaceDataSeq;
-    msg.checksum =
-        fnv1a(msg.payload.data(), msg.payload.size() * sizeof(GhostT));
+    msg.checksum = fnv1a(msg.payload.data(), msg.payload.size());
     RetainSlot& slot = retain(dst, mu, dir);
     {
       std::lock_guard<std::mutex> lock(slot.m);
@@ -283,7 +305,7 @@ class AsyncGhostExchange {
     if (d.reorder) {
       // A stale message from "a previous exchange" arrives first.
       meter_fault_injected(FaultKind::Reorder);
-      FaceMessage<GhostT> stale = msg;
+      FaceMessage<unsigned char> stale = msg;
       stale.seq = kFaceStaleSeq;
       ch.send(std::move(stale));
     }
@@ -295,11 +317,11 @@ class AsyncGhostExchange {
     }
     if (d.flip) {
       meter_fault_injected(FaultKind::BitFlip);
-      FaceMessage<GhostT> bad = msg;
+      FaceMessage<unsigned char> bad = msg;
       corrupt_one_bit(bad, d.flip_entropy);
       ch.send(std::move(bad));
     } else {
-      ch.send(FaceMessage<GhostT>(msg));
+      ch.send(FaceMessage<unsigned char>(msg));
     }
     if (d.duplicate) {
       meter_fault_injected(FaultKind::Duplicate);
@@ -312,7 +334,7 @@ class AsyncGhostExchange {
   /// bounded exponential-backoff repair from the sender's retained copy on
   /// loss or corruption.  Throws a typed CommError when the budget runs out
   /// or the cluster goes down — never hangs.
-  FaceMessage<GhostT> recv_reliable(int r, int mu, int dir) {
+  FaceMessage<unsigned char> recv_reliable(int r, int mu, int dir) {
     static Counter& retries_meter = metric_counter("comm.retries");
     static Counter& discards_meter = metric_counter("comm.discards");
     const FaultSpec& spec = plan_->spec();
@@ -320,7 +342,7 @@ class AsyncGhostExchange {
     auto backoff = spec.backoff;
     int attempts = 0;
     for (;;) {
-      FaceMessage<GhostT> msg;
+      FaceMessage<unsigned char> msg;
       const ChanStatus st = ch.recv_for(msg, spec.recv_timeout);
       if (st == ChanStatus::Closed) {
         throw CommError(CommErrc::Closed,
@@ -366,9 +388,11 @@ class AsyncGhostExchange {
   const std::vector<LatticeField<Site>>& locals_;
   std::vector<GhostZones<GhostT>>& ghosts_;
   std::optional<Parity> source_parity_;
+  Precision wire_prec_;      // resolved (clamped) wire precision
+  std::size_t site_bytes_;   // wire bytes per packed ghost site
   FaultPlan* plan_;       // nullptr = fault-free fast path
   std::uint64_t epoch_;   // this exchange's slot in the decision stream
-  ChannelMesh<GhostT> mesh_;
+  ChannelMesh<unsigned char> mesh_;
   std::vector<ExchangeCounters> send_deltas_;
   std::vector<std::uint64_t> recv_bytes_;
   std::vector<RetainSlot> retain_;
@@ -394,13 +418,18 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
                      const std::vector<LatticeField<Site>>& locals,
                      std::vector<GhostZones<typename Packer::ghost_type>>& ghosts,
                      ExchangeCounters* counters = nullptr,
-                     std::optional<Parity> source_parity = std::nullopt) {
+                     std::optional<Parity> source_parity = std::nullopt,
+                     std::optional<Precision> wire = std::nullopt) {
   using GhostT = typename Packer::ghost_type;
+  const Precision wire_prec = wire.has_value()
+                                  ? clamp_wire_precision<GhostT>(*wire)
+                                  : default_wire_precision<GhostT>();
+  const std::size_t site_bytes = wire_site_bytes<GhostT>(wire_prec);
   ExchangeCounters delta;
   if (rank_mode() == RankMode::Threads && part.num_ranks() > 1 &&
       !in_rank_task()) {
     AsyncGhostExchange<Packer, Site> ex(part, nt, locals, ghosts,
-                                        source_parity);
+                                        source_parity, wire_prec);
     run_ranks(part.num_ranks(), [&](int r) {
       ex.post_sends(r);
       ex.wait_all(r);
@@ -408,12 +437,21 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
     delta = ex.total_sent();
   } else {
     const LatticeGeometry& local = part.local();
+    std::vector<unsigned char> scratch;
     for (int n = 0; n < part.num_ranks(); ++n) {
       const auto& body = locals[static_cast<std::size_t>(n)];
       for (int mu = 0; mu < kNDim; ++mu) {
         if (!nt.partitioned(mu)) continue;
         auto p = detail::pack_rank_faces<Packer>(local, nt, body, mu,
                                                  source_parity);
+        // The reference transport never leaves the address space, so the
+        // wire is emulated by an in-place encode/decode of the packed
+        // buffers (a no-op at native precision) — the scattered ghosts are
+        // bitwise what the threads transport delivers.
+        wire_roundtrip_face<GhostT>(std::span<GhostT>(p.fwd), wire_prec,
+                                    scratch);
+        wire_roundtrip_face<GhostT>(std::span<GhostT>(p.bwd), wire_prec,
+                                    scratch);
         // Bottom slices -> backward neighbour's forward ghost (dir 0),
         // top slices -> forward neighbour's backward ghost (dir 1).
         auto fwd_dst =
@@ -425,7 +463,7 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
         std::copy(p.fwd.begin(), p.fwd.end(), fwd_dst.begin());
         std::copy(p.bwd.begin(), p.bwd.end(), bwd_dst.begin());
         delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
-            (p.fwd_sites + p.bwd_sites) * sizeof(GhostT);
+            (p.fwd_sites + p.bwd_sites) * site_bytes;
         delta.messages += 2;
       }
     }

@@ -1,0 +1,46 @@
+#include "comm/wire.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/log.h"
+
+namespace lqcd {
+
+namespace {
+
+GhostPrecSetting parse_ghost_prec_env() {
+  GhostPrecSetting s;
+  const char* env = std::getenv("LQCD_GHOST_PREC");
+  if (env == nullptr) return s;
+  const std::string v(env);
+  if (v == "tune") {
+    s.tune = true;
+  } else if (v == "double") {
+    s.forced = Precision::Double;
+  } else if (v == "float" || v == "single") {
+    s.forced = Precision::Single;
+  } else if (v == "half") {
+    s.forced = Precision::Half;
+  } else if (!v.empty()) {
+    log_warn("LQCD_GHOST_PREC=" + v +
+             " not understood (want double|float|half|tune); ghosts stay at "
+             "native precision");
+  }
+  return s;
+}
+
+GhostPrecSetting& mutable_ghost_prec() {
+  static GhostPrecSetting s = parse_ghost_prec_env();
+  return s;
+}
+
+}  // namespace
+
+const GhostPrecSetting& ghost_prec_setting() { return mutable_ghost_prec(); }
+
+void init_ghost_prec_from_env() {
+  mutable_ghost_prec() = parse_ghost_prec_env();
+}
+
+}  // namespace lqcd

@@ -1,0 +1,213 @@
+#pragma once
+/// \file wire.h
+/// \brief Wire-precision policy for ghost faces (DESIGN.md §17).
+///
+/// The paper's strong-scaling wins come from running the inner solver in
+/// half precision; QUDA pairs that with *compressed* faces — spin
+/// projection plus reduced wire precision — so the comm-bound regime
+/// shrinks with the precision.  This header supplies the codec between a
+/// packed face buffer (GhostT sites: spin-projected HalfSpinor for Wilson,
+/// ColorVector for staggered) and its wire image at a chosen Precision:
+///
+///  * double / single — raw reals, a per-component widening/narrowing cast
+///    (lossless when the wire matches the field's native Real);
+///  * half            — the QUDA fixed-point envelope: per packed site one
+///    float norm followed by kReals int16 components, produced by the
+///    exact codec of linalg/half.h (sanitize -> norm -> quantize), so a
+///    half wire site costs 4 + 2*kReals bytes (28 for a Wilson half
+///    spinor vs 96 double — 29.2%; 16 vs 48 for a staggered color vector).
+///
+/// Determinism contract: encode is a pure elementwise function of the
+/// packed buffer (per-site norms, no cross-site state), so both transports
+/// (comm/exchange.h) produce bitwise-identical ghosts from identical
+/// packs: the threads path encodes on the sender and decodes on the
+/// receiver; the seq path round-trips the packed buffer through the same
+/// codec before scattering.  Parity holes are value-initialized zeros,
+/// which encode (norm 1, all-zero payload) and decode back to exact zeros.
+///
+/// The policy env is `LQCD_GHOST_PREC` (unset = native, i.e. lossless;
+/// `double` / `float` / `half` force a wire precision, clamped to the
+/// field's native precision — upcasting the wire buys nothing; `tune`
+/// makes it an autotuner policy axis, see dirac/recon_policy.h for the
+/// sibling pattern).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fields/precision.h"
+#include "linalg/gamma.h"
+#include "linalg/half.h"
+#include "linalg/types.h"
+
+namespace lqcd {
+
+/// Storage precision of a field built on Real scalars.
+template <typename Real>
+struct NativePrecision;
+template <>
+struct NativePrecision<double> {
+  static constexpr Precision value = Precision::Double;
+};
+template <>
+struct NativePrecision<float> {
+  static constexpr Precision value = Precision::Single;
+};
+
+namespace detail {
+
+/// Per-ghost-site shape the wire codec needs: the scalar type and the
+/// number of real components (the sites are standard-layout arrays of
+/// std::complex<Real>, so memcpy staging through a flat real array is
+/// exact).
+template <typename GhostT>
+struct WireSiteTraits;
+
+template <typename Real>
+struct WireSiteTraits<HalfSpinor<Real>> {
+  using real_type = Real;
+  static constexpr int kReals = 12;  // 2 spins x 3 colors x complex
+};
+
+template <typename Real>
+struct WireSiteTraits<ColorVector<Real>> {
+  using real_type = Real;
+  static constexpr int kReals = 6;  // 3 colors x complex
+};
+
+}  // namespace detail
+
+/// Narrower-than-storage wire precisions only: a request wider than the
+/// field's native precision is clamped to native (the sender has no extra
+/// bits to put on the wire).
+template <typename GhostT>
+constexpr Precision clamp_wire_precision(Precision p) {
+  using Real = typename detail::WireSiteTraits<GhostT>::real_type;
+  constexpr Precision native = NativePrecision<Real>::value;
+  return static_cast<int>(p) < static_cast<int>(native) ? native : p;
+}
+
+/// Exact wire bytes of one packed ghost site at precision \p p.  At the
+/// native precision this equals sizeof(GhostT) (the sites are padding-free
+/// complex arrays), which is what the pre-policy byte meters charged.
+template <typename GhostT>
+constexpr std::size_t wire_site_bytes(Precision p) {
+  constexpr auto n =
+      static_cast<std::size_t>(detail::WireSiteTraits<GhostT>::kReals);
+  switch (p) {
+    case Precision::Double: return n * sizeof(double);
+    case Precision::Single: return n * sizeof(float);
+    case Precision::Half: return sizeof(float) + n * sizeof(std::int16_t);
+  }
+  return 0;
+}
+
+/// Encodes a packed face buffer to its wire image (resizing \p out to
+/// exactly sites.size() * wire_site_bytes).  Native precision is a single
+/// memcpy — the fault machinery (checksums, retained copies, bit flips)
+/// operates on these bytes either way.
+template <typename GhostT>
+void encode_face(std::span<const GhostT> sites, Precision p,
+                 std::vector<unsigned char>& out) {
+  using Traits = detail::WireSiteTraits<GhostT>;
+  using Real = typename Traits::real_type;
+  constexpr int n = Traits::kReals;
+  const std::size_t site_bytes = wire_site_bytes<GhostT>(p);
+  out.resize(sites.size() * site_bytes);
+  if (p == NativePrecision<Real>::value) {
+    std::memcpy(out.data(), sites.data(), sites.size() * sizeof(GhostT));
+    return;
+  }
+  assert(p != Precision::Double && "wire precision must be clamped to native");
+  unsigned char* dst = out.data();
+  for (const GhostT& site : sites) {
+    Real reals[n];
+    std::memcpy(reals, &site, sizeof(GhostT));
+    float staged[n];
+    for (int i = 0; i < n; ++i) staged[i] = static_cast<float>(reals[i]);
+    if (p == Precision::Single) {
+      std::memcpy(dst, staged, sizeof(staged));
+    } else {
+      std::int16_t q[n];
+      const float norm = encode_site_half({staged, n}, {q, n});
+      std::memcpy(dst, &norm, sizeof(norm));
+      std::memcpy(dst + sizeof(norm), q, sizeof(q));
+    }
+    dst += site_bytes;
+  }
+}
+
+/// Decodes a wire image back into ghost sites (the receive-side scatter).
+template <typename GhostT>
+void decode_face(std::span<const unsigned char> bytes, Precision p,
+                 std::span<GhostT> sites) {
+  using Traits = detail::WireSiteTraits<GhostT>;
+  using Real = typename Traits::real_type;
+  constexpr int n = Traits::kReals;
+  const std::size_t site_bytes = wire_site_bytes<GhostT>(p);
+  assert(bytes.size() == sites.size() * site_bytes);
+  if (p == NativePrecision<Real>::value) {
+    std::memcpy(sites.data(), bytes.data(), bytes.size());
+    return;
+  }
+  const unsigned char* src = bytes.data();
+  for (GhostT& site : sites) {
+    float staged[n];
+    if (p == Precision::Single) {
+      std::memcpy(staged, src, sizeof(staged));
+    } else {
+      float norm;
+      std::int16_t q[n];
+      std::memcpy(&norm, src, sizeof(norm));
+      std::memcpy(q, src + sizeof(norm), sizeof(q));
+      decode_site_half({q, n}, norm, {staged, n});
+    }
+    Real reals[n];
+    for (int i = 0; i < n; ++i) reals[i] = static_cast<Real>(staged[i]);
+    std::memcpy(&site, reals, sizeof(GhostT));
+    src += site_bytes;
+  }
+}
+
+/// In-place encode-then-decode of a packed buffer: what the seq transport
+/// applies before scattering, so its ghosts match the threads transport's
+/// wire-travelled ghosts bitwise.  A no-op at the native precision.
+template <typename GhostT>
+void wire_roundtrip_face(std::span<GhostT> sites, Precision p,
+                         std::vector<unsigned char>& scratch) {
+  using Real = typename detail::WireSiteTraits<GhostT>::real_type;
+  if (p == NativePrecision<Real>::value) return;
+  encode_face<GhostT>(sites, p, scratch);
+  decode_face<GhostT>(scratch, p, sites);
+}
+
+/// The parsed LQCD_GHOST_PREC setting.
+struct GhostPrecSetting {
+  std::optional<Precision> forced;  ///< set for double/float/half
+  bool tune = false;                ///< set for "tune"
+};
+
+/// Process-wide setting, parsed from LQCD_GHOST_PREC on first use.
+const GhostPrecSetting& ghost_prec_setting();
+
+/// Re-reads LQCD_GHOST_PREC (test hook).
+void init_ghost_prec_from_env();
+
+/// The wire precision an exchange of GhostT uses when the caller does not
+/// pass one explicitly: the env-forced precision clamped to native, else
+/// native (lossless).  The `tune` mode resolves per *operator* (see
+/// select_ghost_precision in dirac/recon_policy.h), not here — a bare
+/// exchange under LQCD_GHOST_PREC=tune stays lossless.
+template <typename GhostT>
+Precision default_wire_precision() {
+  using Real = typename detail::WireSiteTraits<GhostT>::real_type;
+  const GhostPrecSetting& s = ghost_prec_setting();
+  if (s.forced.has_value()) return clamp_wire_precision<GhostT>(*s.forced);
+  return NativePrecision<Real>::value;
+}
+
+}  // namespace lqcd

@@ -38,6 +38,17 @@ class MultiRhsGcrDdWilsonSolver {
     if (clover != nullptr) {
       clover_single_ = convert_clover<float>(*clover);
     }
+    if (params.twisted_mu != 0.0) {
+      // Same twist fold as GcrDdWilsonSolver: the batched operator stack
+      // (outer, Dirichlet-cut, multi-RHS) is built from this clover copy.
+      if (!clover_single_.has_value()) {
+        clover_single_.emplace(u.geometry());
+      }
+      for (std::int64_t s = 0; s < u.geometry().volume(); ++s) {
+        add_twist(clover_single_->at(s),
+                  static_cast<float>(params.twisted_mu), params.twist_flavor);
+      }
+    }
     half_roundtrip(u_half_);
     if (params.rank_grid) {
       op_part_ = std::make_unique<PartitionedWilsonCloverSchur<float>>(

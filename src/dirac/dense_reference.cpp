@@ -98,6 +98,26 @@ DenseMatrix<double> dense_wilson_clover(const GaugeField<double>& u,
   return m;
 }
 
+DenseMatrix<double> dense_twisted_mass(const GaugeField<double>& u,
+                                       const CloverField<double>* a,
+                                       double mass, double mu_tm,
+                                       int flavor_sign) {
+  DenseMatrix<double> m = dense_wilson_clover(u, a, mass);
+  const LatticeGeometry& g = u.geometry();
+  const double mu = flavor_sign >= 0 ? mu_tm : -mu_tm;
+  for (std::int64_t s = 0; s < g.volume(); ++s) {
+    for (int spin = 0; spin < kNSpin; ++spin) {
+      const Cplx<double> tw(
+          0.0, mu * kGamma5Sign[static_cast<std::size_t>(spin)]);
+      for (int color = 0; color < 3; ++color) {
+        const int idx = static_cast<int>(12 * s + 3 * spin + color);
+        m(idx, idx) += tw;
+      }
+    }
+  }
+  return m;
+}
+
 DenseMatrix<double> dense_staggered(const GaugeField<double>& fat,
                                     const GaugeField<double>& lng,
                                     double mass) {

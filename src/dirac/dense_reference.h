@@ -20,6 +20,15 @@ DenseMatrix<double> dense_wilson_clover(const GaugeField<double>& u,
                                         const CloverField<double>* a,
                                         double mass);
 
+/// Dense twisted-mass(-clover) matrix for one flavor of the degenerate
+/// doublet: dense_wilson_clover plus i*mu*flavor_sign*gamma5 on the spin
+/// diagonal (gamma5 = diag(+1,+1,-1,-1) in this basis).  Same index
+/// convention as dense_wilson_clover.
+DenseMatrix<double> dense_twisted_mass(const GaugeField<double>& u,
+                                       const CloverField<double>* a,
+                                       double mass, double mu_tm,
+                                       int flavor_sign = +1);
+
 /// Dense improved staggered matrix M = m + D/2, dimension 3 V; index
 /// = 3 * eo_index + color.  \p fat and \p lng carry KS phases and the Naik
 /// coefficient, as produced by build_asqtad_links.

@@ -163,9 +163,30 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     ensure_compressed(recon_);
     if (recon_ != Reconstruct::Twelve) u12_.clear();
     if (recon_ != Reconstruct::Eight) u8_.clear();
+    // Spinor-ghost wire precision (comm/wire.h): forced/clamped by
+    // LQCD_GHOST_PREC, swept as a policy tunable under `tune` (timing a
+    // full exchanging apply per candidate), native otherwise.  Operators
+    // with comms off never exchange, so the policy is moot there.
+    if (comms_) {
+      ghost_prec_ = select_ghost_precision(
+          "wilson_part", detail::dslash_aux<Real>(std::nullopt, false),
+          part.local().volume(), NativePrecision<Real>::value,
+          [&](Precision p) {
+            if (!tin) {
+              tin = std::make_unique<WilsonField<Real>>(part.global());
+              tout = std::make_unique<WilsonField<Real>>(part.global());
+            }
+            const Precision keep = ghost_prec_;
+            ghost_prec_ = p;
+            run(*tout, *tin, std::nullopt, /*hop_only=*/false);
+            ghost_prec_ = keep;
+          });
+    }
   }
 
   Reconstruct recon() const { return recon_; }
+  /// Resolved spinor-ghost wire precision (native unless LQCD_GHOST_PREC).
+  Precision ghost_precision() const { return ghost_prec_; }
 
   void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
     this->count_application();
@@ -193,8 +214,10 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     } else {
       if (comms_) {
         ScopedSpan span("dslash.exchange");
-        exchange_ghosts<WilsonProjectPacker<Real>>(
-            part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor, source);
+        exchange_ghosts<WilsonProjectPacker<Real>>(part_, nt_, in_local_,
+                                                   spinor_ghosts_,
+                                                   &traffic_.spinor, source,
+                                                   ghost_prec_);
       }
       for (int r = 0; r < part_.num_ranks(); ++r) {
         interior_kernel(r, target, hop_only);
@@ -224,7 +247,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     std::vector<detail::OverlapSample> samples(static_cast<std::size_t>(nr));
     if (comms_) {
       AsyncGhostExchange<WilsonProjectPacker<Real>, WilsonSpinor<Real>> ex(
-          part_, nt_, in_local_, spinor_ghosts_, source);
+          part_, nt_, in_local_, spinor_ghosts_, source, ghost_prec_);
       run_ranks(nr, [&](int r) {
         auto& sample = samples[static_cast<std::size_t>(r)];
         Stopwatch sw;
@@ -452,6 +475,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
   double mass_;
   bool comms_;
   Reconstruct recon_ = Reconstruct::None;
+  Precision ghost_prec_ = NativePrecision<Real>::value;
   std::int64_t interior_links_ = 0;
   std::vector<GaugeField<Real>> u_local_;
   std::vector<CompressedGaugeField<Real>> u12_;
@@ -492,7 +516,16 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
                       StaggeredField<Real>(part.local()));
     spinor_ghosts_.assign(static_cast<std::size_t>(part.num_ranks()),
                           GhostZones<ColorVector<Real>>(nt_));
+    // Env-forced wire precision applies here too; the tuned policy axis
+    // lives on the Wilson hop only (the staggered ghost is already 4x
+    // smaller per site), so `tune` leaves staggered ghosts lossless.
+    if (comms_) {
+      ghost_prec_ = default_wire_precision<ColorVector<Real>>();
+    }
   }
+
+  /// Resolved spinor-ghost wire precision (native unless LQCD_GHOST_PREC).
+  Precision ghost_precision() const { return ghost_prec_; }
 
   void apply(StaggeredField<Real>& out,
              const StaggeredField<Real>& in) const override {
@@ -505,7 +538,8 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
       if (comms_) {
         ScopedSpan span("dslash.exchange");
         exchange_ghosts<IdentityPacker<ColorVector<Real>>>(
-            part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor);
+            part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor,
+            std::nullopt, ghost_prec_);
       }
       for (int r = 0; r < part_.num_ranks(); ++r) interior_kernel(r);
       if (comms_) {
@@ -533,7 +567,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
     std::vector<detail::OverlapSample> samples(static_cast<std::size_t>(nr));
     if (comms_) {
       AsyncGhostExchange<IdentityPacker<ColorVector<Real>>, ColorVector<Real>>
-          ex(part_, nt_, in_local_, spinor_ghosts_);
+          ex(part_, nt_, in_local_, spinor_ghosts_, std::nullopt, ghost_prec_);
       run_ranks(nr, [&](int r) {
         auto& sample = samples[static_cast<std::size_t>(r)];
         Stopwatch sw;
@@ -665,6 +699,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
   NeighborTable nt_;
   double mass_;
   bool comms_;
+  Precision ghost_prec_ = NativePrecision<Real>::value;
   std::vector<GaugeField<Real>> fat_local_;
   std::vector<GaugeField<Real>> lng_local_;
   std::vector<GhostZones<Matrix3<Real>>> fat_ghosts_;

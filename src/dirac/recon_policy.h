@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "comm/wire.h"
 #include "linalg/reconstruct.h"
 #include "obs/metrics.h"
 #include "tune/tunable.h"
@@ -80,6 +81,43 @@ Reconstruct select_reconstruct(const std::string& kernel, std::string aux,
                      [&chosen, r] { chosen = r; }});
   }
   CallbackTunable t(kernel + "_recon", std::move(aux), volume,
+                    TuneClass::policy, std::move(cands),
+                    [&] { run_with(chosen); });
+  TuneOptions opts;
+  opts.allow_policy = true;
+  tune_launch(t, opts);
+  return chosen;
+}
+
+/// Resolves the ghost wire precision (comm/wire.h) for kernel \p kernel,
+/// mirroring select_reconstruct:
+///  * LQCD_GHOST_PREC forced — that precision, clamped to \p native;
+///  * LQCD_GHOST_PREC=tune   — sweep the precisions no wider than
+///    \p native as a policy tunable (key `<kernel>_ghost_prec`, param
+///    `ghost=<prec>`) and return the tunecache winner.  Like recon-8,
+///    a truncated wire changes the numbers, hence the policy opt-in;
+///  * otherwise               — \p native (lossless seed behaviour).
+/// \p run_with is invoked as run_with(Precision) and must execute one
+/// representative exchanging application against scratch state.
+template <typename RunFn>
+Precision select_ghost_precision(const std::string& kernel, std::string aux,
+                                 std::int64_t volume, Precision native,
+                                 RunFn&& run_with) {
+  const GhostPrecSetting& s = ghost_prec_setting();
+  if (s.forced.has_value()) {
+    return static_cast<int>(*s.forced) < static_cast<int>(native)
+               ? native
+               : *s.forced;
+  }
+  if (!s.tune) return native;
+  Precision chosen = native;
+  std::vector<CallbackTunable::Candidate> cands;
+  for (Precision p : {Precision::Double, Precision::Single, Precision::Half}) {
+    if (static_cast<int>(p) < static_cast<int>(native)) continue;
+    cands.push_back({std::string("ghost=") + to_string(p),
+                     [&chosen, p] { chosen = p; }});
+  }
+  CallbackTunable t(kernel + "_ghost_prec", std::move(aux), volume,
                     TuneClass::policy, std::move(cands),
                     [&] { run_with(chosen); });
   TuneOptions opts;

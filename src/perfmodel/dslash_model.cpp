@@ -73,7 +73,11 @@ DslashModelResult model_dslash(const DslashModelConfig& cfg,
     StreamScheduleInput::Dim dim;
     dim.mu = mu;
     dim.message_bytes =
-        face_message_bytes(part, cfg.kind, cfg.precision, mu) * site_fraction;
+        (cfg.ghost_wire.has_value()
+             ? compressed_face_message_bytes(part, cfg.kind, *cfg.ghost_wire,
+                                             mu)
+             : face_message_bytes(part, cfg.kind, cfg.precision, mu)) *
+        site_fraction;
     // Gather kernel: read + write the face payload at memory bandwidth.
     dim.gather_kernel_us = gpu.kernel_launch_us +
                            2.0 * dim.message_bytes / (gpu.mem_bw_gbs * 1e3);

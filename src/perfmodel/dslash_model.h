@@ -5,6 +5,8 @@
 /// the Fig. 4 stream schedule, producing the per-GPU Gflops curves of
 /// Figs. 5 and 6.
 
+#include <optional>
+
 #include "lattice/partition.h"
 #include "perfmodel/stencil.h"
 #include "perfmodel/stream_schedule.h"
@@ -18,6 +20,11 @@ struct DslashModelConfig {
   StencilKind kind = StencilKind::Wilson;
   Precision precision = Precision::Single;
   Reconstruct recon = Reconstruct::Twelve;
+  /// When set, ghost faces travel at this wire precision (the
+  /// LQCD_GHOST_PREC policy of comm/wire.h) and message bytes are priced
+  /// by the compressed formulas; unset keeps the legacy fp32-staged wire
+  /// the historical figures assume.
+  std::optional<Precision> ghost_wire;
   ClusterSpec cluster;
 };
 

@@ -91,4 +91,47 @@ inline double total_face_bytes(const Partitioning& part, StencilKind k,
   return total;
 }
 
+/// Packed ghost sites per boundary site (the unit the compressed wire's
+/// per-site norm is attached to): Wilson sends one spin-projected half
+/// spinor, staggered one color vector per reachable layer (3).
+inline double ghost_packed_sites_per_face_site(StencilKind k) {
+  return k == StencilKind::ImprovedStaggered ? 3.0 : 1.0;
+}
+
+/// Wire bytes per boundary site under the precision-truncated ghost policy
+/// (comm/wire.h, LQCD_GHOST_PREC).  Unlike wire_bytes_per_real above —
+/// the legacy SC'11 fp32-staged wire the historical figures assume — this
+/// prices the envelope the exchange actually meters: raw reals at
+/// double/float, and at half a 4-byte norm per packed site plus an int16
+/// per real (28 bytes for a Wilson half-spinor face site vs 96 double,
+/// i.e. 29.2%).
+inline double compressed_ghost_bytes_per_face_site(StencilKind k,
+                                                   Precision wire) {
+  const double reals = ghost_reals_per_face_site(k);
+  if (wire == Precision::Half) {
+    return 2.0 * reals + 4.0 * ghost_packed_sites_per_face_site(k);
+  }
+  return reals * bytes_per_real(wire);
+}
+
+/// face_message_bytes under the compressed-wire policy.
+inline double compressed_face_message_bytes(const Partitioning& part,
+                                            StencilKind k, Precision wire,
+                                            int mu) {
+  if (!part.partitioned(mu)) return 0.0;
+  const double face_sites =
+      static_cast<double>(part.local().volume()) / part.local().dim(mu);
+  return face_sites * compressed_ghost_bytes_per_face_site(k, wire);
+}
+
+/// total_face_bytes under the compressed-wire policy.
+inline double compressed_total_face_bytes(const Partitioning& part,
+                                          StencilKind k, Precision wire) {
+  double total = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    total += 2.0 * compressed_face_message_bytes(part, k, wire, mu);
+  }
+  return total;
+}
+
 }  // namespace lqcd

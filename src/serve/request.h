@@ -21,10 +21,12 @@
 
 namespace lqcd::serve {
 
-/// The Dirac action a request runs against.  The service currently backs
-/// WilsonClover (the paper's production solver); the field is part of the
-/// compatibility key so a future staggered backend coalesces separately.
-enum class Action { WilsonClover };
+/// The Dirac action a request runs against.  The service backs
+/// WilsonClover (the paper's production solver) and TwistedMass (the
+/// twist folded into the cached solver's clover copy, see
+/// dirac/twisted_mass.h); the field is part of the compatibility key so
+/// actions — and twisted requests with different mu — coalesce separately.
+enum class Action { WilsonClover, TwistedMass };
 
 /// Terminal state of a request.
 enum class Status {
@@ -39,6 +41,10 @@ struct Request {
   Action action = Action::WilsonClover;
   double mass = -0.2;
   double tol = 1e-5;
+  /// Twisted-mass mu (read only when action == TwistedMass; part of the
+  /// compatibility key there, ignored — and normalized to 0 in the key —
+  /// for WilsonClover requests).
+  double twisted_mu = 0.0;
   /// RHS batch: one or more full-lattice sources solved with identical
   /// parameters (kept together through scheduling — a request is the unit
   /// of completion).

@@ -95,6 +95,7 @@ MultiRhsGcrDdWilsonSolver& SolveService::solver_for(const CompatKey& key) {
     GcrDdParams params = cfg_.solver;
     params.mass = key.mass;
     params.tol = key.tol;
+    params.twisted_mu = key.action == Action::TwistedMass ? key.twisted_mu : 0.0;
     it = solvers_
              .emplace(key, std::make_unique<MultiRhsGcrDdWilsonSolver>(
                                *u_, clover_, params))

@@ -118,15 +118,21 @@ class SolveService {
     Action action;
     double mass;
     double tol;
+    double twisted_mu;
     bool operator<(const CompatKey& o) const {
-      return std::tie(action, mass, tol) < std::tie(o.action, o.mass, o.tol);
+      return std::tie(action, mass, tol, twisted_mu) <
+             std::tie(o.action, o.mass, o.tol, o.twisted_mu);
     }
     bool operator==(const CompatKey& o) const {
-      return action == o.action && mass == o.mass && tol == o.tol;
+      return action == o.action && mass == o.mass && tol == o.tol &&
+             twisted_mu == o.twisted_mu;
     }
   };
   static CompatKey key_of(const Request& r) {
-    return CompatKey{r.action, r.mass, r.tol};
+    // mu participates only for twisted requests, so a stray twisted_mu on
+    // a WilsonClover request cannot split its coalescing class.
+    return CompatKey{r.action, r.mass, r.tol,
+                     r.action == Action::TwistedMass ? r.twisted_mu : 0.0};
   }
 
   void dispatcher_loop();

@@ -1,0 +1,655 @@
+// Precision-truncated ghost wire (comm/wire.h, LQCD_GHOST_PREC): the
+// pack -> encode -> wire -> decode -> scatter round trip across all three
+// wire precisions, both actions and parity restrictions; exact byte
+// metering against wire_site_bytes; the <= 30% compression acceptance
+// bound of the half wire; seq==threads bitwise determinism at every
+// precision; and chaos-repair stability (a retried send reproduces the
+// identical compressed payload, so the repaired result is bitwise equal
+// to the fault-free run).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/domain_map.h"
+#include "comm/exchange.h"
+#include "comm/virtual_cluster.h"
+#include "comm/wire.h"
+#include "dirac/partitioned.h"
+#include "dirac/wilson_ops.h"
+#include "fault/fault.h"
+#include "fields/blas.h"
+#include "gauge/configure.h"
+#include "gauge/staggered_links.h"
+#include "linalg/half.h"
+#include "obs/metrics.h"
+
+namespace lqcd {
+namespace {
+
+using std::chrono::microseconds;
+
+/// Restores the rank mode on scope exit.
+class ScopedRankMode {
+ public:
+  explicit ScopedRankMode(RankMode m) : prev_(rank_mode()) { set_rank_mode(m); }
+  ~ScopedRankMode() { set_rank_mode(prev_); }
+
+ private:
+  RankMode prev_;
+};
+
+/// Forces LQCD_GHOST_PREC for the scope (re-reading the policy), and
+/// restores the previous environment — and policy — on exit.
+class ScopedGhostPrec {
+ public:
+  explicit ScopedGhostPrec(const char* value) {
+    const char* prev = std::getenv("LQCD_GHOST_PREC");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) saved_ = prev;
+    if (value != nullptr) {
+      setenv("LQCD_GHOST_PREC", value, 1);
+    } else {
+      unsetenv("LQCD_GHOST_PREC");
+    }
+    init_ghost_prec_from_env();
+  }
+  ~ScopedGhostPrec() {
+    if (had_prev_) {
+      setenv("LQCD_GHOST_PREC", saved_.c_str(), 1);
+    } else {
+      unsetenv("LQCD_GHOST_PREC");
+    }
+    init_ghost_prec_from_env();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Wire codec unit properties.
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, SiteBytesMatchEnvelopeFormat) {
+  // Wilson spin-projected face site: 12 reals.
+  EXPECT_EQ(wire_site_bytes<HalfSpinor<double>>(Precision::Double), 96u);
+  EXPECT_EQ(wire_site_bytes<HalfSpinor<double>>(Precision::Single), 48u);
+  // Half envelope: 4-byte norm + 12 int16 payload.
+  EXPECT_EQ(wire_site_bytes<HalfSpinor<double>>(Precision::Half), 28u);
+  // Staggered color-vector face site: 6 reals.
+  EXPECT_EQ(wire_site_bytes<ColorVector<double>>(Precision::Double), 48u);
+  EXPECT_EQ(wire_site_bytes<ColorVector<double>>(Precision::Single), 24u);
+  EXPECT_EQ(wire_site_bytes<ColorVector<double>>(Precision::Half), 16u);
+  // At the native precision the wire is the raw site (memcpy fast path).
+  EXPECT_EQ(wire_site_bytes<HalfSpinor<double>>(Precision::Double),
+            sizeof(HalfSpinor<double>));
+  EXPECT_EQ(wire_site_bytes<HalfSpinor<float>>(Precision::Single),
+            sizeof(HalfSpinor<float>));
+}
+
+TEST(WireCodec, ClampNeverUpcastsBeyondNative) {
+  // A float-native ghost cannot widen to a double wire...
+  EXPECT_EQ(clamp_wire_precision<HalfSpinor<float>>(Precision::Double),
+            Precision::Single);
+  EXPECT_EQ(clamp_wire_precision<ColorVector<float>>(Precision::Double),
+            Precision::Single);
+  // ...but any narrowing request passes through unchanged.
+  EXPECT_EQ(clamp_wire_precision<HalfSpinor<double>>(Precision::Double),
+            Precision::Double);
+  EXPECT_EQ(clamp_wire_precision<HalfSpinor<double>>(Precision::Single),
+            Precision::Single);
+  EXPECT_EQ(clamp_wire_precision<HalfSpinor<double>>(Precision::Half),
+            Precision::Half);
+  EXPECT_EQ(clamp_wire_precision<HalfSpinor<float>>(Precision::Half),
+            Precision::Half);
+}
+
+TEST(WireCodec, EnvPolicyContract) {
+  {
+    ScopedGhostPrec env("half");
+    EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Half);
+    EXPECT_FALSE(ghost_prec_setting().tune);
+  }
+  {
+    ScopedGhostPrec env("float");
+    EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Single);
+    EXPECT_EQ(default_wire_precision<ColorVector<float>>(), Precision::Single);
+  }
+  {
+    ScopedGhostPrec env("double");
+    EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Double);
+    // Clamped at the float-native ghost: no upcast.
+    EXPECT_EQ(default_wire_precision<HalfSpinor<float>>(), Precision::Single);
+  }
+  {
+    ScopedGhostPrec env("tune");
+    EXPECT_TRUE(ghost_prec_setting().tune);
+    // tune resolves per-operator; the bare default stays native.
+    EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Double);
+  }
+  {
+    ScopedGhostPrec env("bogus");  // warns, stays native
+    EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Double);
+    EXPECT_FALSE(ghost_prec_setting().tune);
+  }
+  {
+    ScopedGhostPrec env(nullptr);
+    EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Double);
+  }
+}
+
+std::vector<HalfSpinor<double>> fuzz_faces(std::uint64_t seed, std::size_t n) {
+  // Deterministic pseudo-random face payloads, including exact zeros (the
+  // parity holes of a parity-restricted pack) and large-magnitude sites.
+  std::vector<HalfSpinor<double>> faces(n);
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ull + 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<double>(static_cast<std::int64_t>(s >> 12)) / (1ll << 51);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 7 == 3) continue;  // leave value-initialized zero sites in
+    const double scale = i % 5 == 0 ? 1e4 : 1.0;
+    for (int sp = 0; sp < 2; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        faces[i].h[sp].c[c] = Cplx<double>(next() * scale, next() * scale);
+      }
+    }
+  }
+  return faces;
+}
+
+TEST(WireCodec, RoundTripLosslessAtDoubleAndFloat) {
+  const std::vector<HalfSpinor<double>> ref = fuzz_faces(11, 64);
+  std::vector<unsigned char> scratch;
+
+  // Double wire on a double ghost is the native memcpy fast path:
+  // bit-exact identity on arbitrary payloads.
+  std::vector<HalfSpinor<double>> faces = ref;
+  wire_roundtrip_face<HalfSpinor<double>>(std::span<HalfSpinor<double>>(faces),
+                                          Precision::Double, scratch);
+  EXPECT_EQ(std::memcmp(faces.data(), ref.data(),
+                        faces.size() * sizeof(HalfSpinor<double>)),
+            0);
+
+  // Float wire: the first trip truncates to fp32 (bounded, tiny); every
+  // further trip is bit-exact identity — the wire is lossless on its own
+  // image, so repeated exchanges (and chaos re-sends) cannot drift.
+  faces = ref;
+  wire_roundtrip_face<HalfSpinor<double>>(std::span<HalfSpinor<double>>(faces),
+                                          Precision::Single, scratch);
+  for (std::size_t i = 0; i < faces.size(); ++i) {
+    for (int sp = 0; sp < 2; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        const Cplx<double> got = faces[i].h[sp].c[c];
+        const Cplx<double> want = ref[i].h[sp].c[c];
+        EXPECT_LE(std::abs(got - want), 1e-7 * (1.0 + std::abs(want)))
+            << "site " << i;
+      }
+    }
+  }
+  const std::vector<HalfSpinor<double>> once = faces;
+  wire_roundtrip_face<HalfSpinor<double>>(std::span<HalfSpinor<double>>(faces),
+                                          Precision::Single, scratch);
+  EXPECT_EQ(std::memcmp(faces.data(), once.data(),
+                        faces.size() * sizeof(HalfSpinor<double>)),
+            0);
+}
+
+TEST(WireCodec, HalfRoundTripDeterministicAndBounded) {
+  std::vector<HalfSpinor<double>> faces = fuzz_faces(13, 64);
+  const std::vector<HalfSpinor<double>> ref = faces;
+
+  std::vector<unsigned char> wire_a, wire_b;
+  encode_face<HalfSpinor<double>>(std::span<const HalfSpinor<double>>(faces),
+                                  Precision::Half, wire_a);
+  encode_face<HalfSpinor<double>>(std::span<const HalfSpinor<double>>(faces),
+                                  Precision::Half, wire_b);
+  ASSERT_EQ(wire_a.size(), faces.size() * 28u);
+  // Same input -> same bytes, run to run: the determinism contract the
+  // chaos-repair path (identical re-sent payloads) rests on.
+  EXPECT_EQ(wire_a, wire_b);
+
+  decode_face<HalfSpinor<double>>(std::span<const unsigned char>(wire_a),
+                                  Precision::Half,
+                                  std::span<HalfSpinor<double>>(faces));
+  for (std::size_t i = 0; i < faces.size(); ++i) {
+    float norm = 0.0f;
+    for (int sp = 0; sp < 2; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        norm = std::max(
+            norm, std::fabs(static_cast<float>(ref[i].h[sp].c[c].real())));
+        norm = std::max(
+            norm, std::fabs(static_cast<float>(ref[i].h[sp].c[c].imag())));
+      }
+    }
+    const double bound =
+        static_cast<double>(half_error_bound(norm == 0.0f ? 1.0f : norm)) +
+        1e-12;
+    for (int sp = 0; sp < 2; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_LE(std::fabs(faces[i].h[sp].c[c].real() -
+                            ref[i].h[sp].c[c].real()),
+                  bound)
+            << "site " << i;
+        EXPECT_LE(std::fabs(faces[i].h[sp].c[c].imag() -
+                            ref[i].h[sp].c[c].imag()),
+                  bound)
+            << "site " << i;
+      }
+    }
+    // Exact zero sites decode exactly (norm forced to 1 at encode).
+    if (i % 7 == 3) {
+      EXPECT_EQ(std::memcmp(&faces[i], &ref[i], sizeof(faces[i])), 0);
+    }
+  }
+
+  // Re-encoding the decoded values reproduces the identical wire image:
+  // the codec is idempotent past the first quantization, so a repaired
+  // exchange can never ratchet precision away.
+  std::vector<unsigned char> wire_c;
+  encode_face<HalfSpinor<double>>(std::span<const HalfSpinor<double>>(faces),
+                                  Precision::Half, wire_c);
+  decode_face<HalfSpinor<double>>(std::span<const unsigned char>(wire_c),
+                                  Precision::Half,
+                                  std::span<HalfSpinor<double>>(faces));
+  std::vector<unsigned char> wire_d;
+  encode_face<HalfSpinor<double>>(std::span<const HalfSpinor<double>>(faces),
+                                  Precision::Half, wire_d);
+  EXPECT_EQ(wire_c, wire_d);
+}
+
+// ---------------------------------------------------------------------------
+// Property fuzz: the full exchange round trip across wire precision x
+// action x parity restriction, in both rank modes.
+// ---------------------------------------------------------------------------
+
+struct ExchangeCase {
+  const char* prec;        // LQCD_GHOST_PREC value
+  std::optional<Parity> parity;
+};
+
+class GhostWireExchangeTest : public ::testing::TestWithParam<ExchangeCase> {};
+
+TEST_P(GhostWireExchangeTest, WilsonFacesSeqThreadsBitwiseAndLossless) {
+  const ExchangeCase c = GetParam();
+  Partitioning part(LatticeGeometry({4, 4, 4, 8}), {1, 1, 2, 2});
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  const WilsonField<double> global = gaussian_wilson_source(part.global(), 71);
+  std::vector<WilsonField<double>> locals;
+  map.scatter(global, locals);
+
+  auto run = [&](RankMode m) {
+    ScopedRankMode scoped(m);
+    std::vector<GhostZones<HalfSpinor<double>>> ghosts(
+        static_cast<std::size_t>(part.num_ranks()),
+        GhostZones<HalfSpinor<double>>(nt));
+    exchange_ghosts<WilsonProjectPacker<double>>(part, nt, locals, ghosts,
+                                                 nullptr, c.parity);
+    return ghosts;
+  };
+
+  // Baseline at the default (native, lossless) wire.
+  std::vector<GhostZones<HalfSpinor<double>>> baseline;
+  {
+    ScopedGhostPrec env(nullptr);
+    baseline = run(RankMode::Seq);
+  }
+
+  ScopedGhostPrec env(c.prec);
+  const auto seq = run(RankMode::Seq);
+  const auto thr = run(RankMode::Threads);
+  const auto seq_again = run(RankMode::Seq);
+  const bool lossless = std::string(c.prec) != "half";
+
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!part.partitioned(mu)) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        const auto a = seq[static_cast<std::size_t>(r)].zone(mu, dir);
+        const auto b = thr[static_cast<std::size_t>(r)].zone(mu, dir);
+        const auto a2 = seq_again[static_cast<std::size_t>(r)].zone(mu, dir);
+        const auto base = baseline[static_cast<std::size_t>(r)].zone(mu, dir);
+        ASSERT_EQ(a.size(), b.size());
+        // Determinism: seq == threads, and run == rerun, at every
+        // precision — the truncation is a pure function of the payload.
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0)
+            << c.prec << " rank " << r << " mu " << mu << " dir " << dir;
+        EXPECT_EQ(std::memcmp(a.data(), a2.data(), a.size_bytes()), 0)
+            << c.prec << " rank " << r << " mu " << mu << " dir " << dir;
+        if (lossless) {
+          // double/float wires are lossless for double-precision spinors
+          // projected into them... float only up to the fp32 cast, so
+          // assert value equality with the exact-bits baseline only for
+          // "double"; for "float" bound the cast error instead.
+          if (std::string(c.prec) == "double") {
+            EXPECT_EQ(std::memcmp(a.data(), base.data(), a.size_bytes()), 0)
+                << "rank " << r << " mu " << mu << " dir " << dir;
+          } else {
+            for (std::size_t i = 0; i < a.size(); ++i) {
+              for (int sp = 0; sp < 2; ++sp) {
+                for (int cc = 0; cc < 3; ++cc) {
+                  const Cplx<double> got = a[i].h[sp].c[cc];
+                  const Cplx<double> want = base[i].h[sp].c[cc];
+                  EXPECT_EQ(got.real(), static_cast<double>(static_cast<float>(
+                                            want.real())));
+                  EXPECT_EQ(got.imag(), static_cast<double>(static_cast<float>(
+                                            want.imag())));
+                }
+              }
+            }
+          }
+        } else {
+          // Half: bounded by the per-site norm quantization step.
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            float norm = 0.0f;
+            for (int sp = 0; sp < 2; ++sp) {
+              for (int cc = 0; cc < 3; ++cc) {
+                norm = std::max(norm, std::fabs(static_cast<float>(
+                                          base[i].h[sp].c[cc].real())));
+                norm = std::max(norm, std::fabs(static_cast<float>(
+                                          base[i].h[sp].c[cc].imag())));
+              }
+            }
+            const double bound =
+                static_cast<double>(
+                    half_error_bound(norm == 0.0f ? 1.0f : norm)) +
+                1e-12;
+            for (int sp = 0; sp < 2; ++sp) {
+              for (int cc = 0; cc < 3; ++cc) {
+                EXPECT_LE(std::fabs(a[i].h[sp].c[cc].real() -
+                                    base[i].h[sp].c[cc].real()),
+                          bound);
+                EXPECT_LE(std::fabs(a[i].h[sp].c[cc].imag() -
+                                    base[i].h[sp].c[cc].imag()),
+                          bound);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GhostWireExchangeTest, StaggeredFacesSeqThreadsBitwise) {
+  const ExchangeCase c = GetParam();
+  Partitioning part(LatticeGeometry({4, 4, 4, 8}), {1, 1, 2, 2});
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  const StaggeredField<double> global =
+      gaussian_staggered_source(part.global(), 73);
+  std::vector<StaggeredField<double>> locals;
+  map.scatter(global, locals);
+
+  ScopedGhostPrec env(c.prec);
+  auto run = [&](RankMode m) {
+    ScopedRankMode scoped(m);
+    std::vector<GhostZones<ColorVector<double>>> ghosts(
+        static_cast<std::size_t>(part.num_ranks()),
+        GhostZones<ColorVector<double>>(nt));
+    exchange_ghosts<IdentityPacker<ColorVector<double>>>(
+        part, nt, locals, ghosts, nullptr, c.parity);
+    return ghosts;
+  };
+  const auto seq = run(RankMode::Seq);
+  const auto thr = run(RankMode::Threads);
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!part.partitioned(mu)) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        const auto a = seq[static_cast<std::size_t>(r)].zone(mu, dir);
+        const auto b = thr[static_cast<std::size_t>(r)].zone(mu, dir);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0)
+            << c.prec << " rank " << r << " mu " << mu << " dir " << dir;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionsAndParities, GhostWireExchangeTest,
+    ::testing::Values(ExchangeCase{"double", std::nullopt},
+                      ExchangeCase{"double", Parity::Even},
+                      ExchangeCase{"float", std::nullopt},
+                      ExchangeCase{"float", Parity::Odd},
+                      ExchangeCase{"half", std::nullopt},
+                      ExchangeCase{"half", Parity::Even},
+                      ExchangeCase{"half", Parity::Odd}));
+
+// ---------------------------------------------------------------------------
+// Operator level: the wire policy composes with every gauge reconstruction
+// format, stays bitwise deterministic across rank modes, and is lossless
+// (exact single-domain agreement) above half.
+// ---------------------------------------------------------------------------
+
+struct OpCase {
+  const char* prec;
+  Reconstruct recon;
+};
+
+class GhostWireOperatorTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GhostWireOperatorTest, PartitionedWilsonAcrossReconFormats) {
+  const OpCase c = GetParam();
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 75);
+  const double mass = -0.1;
+  Partitioning part(g, {1, 1, 2, 2});
+  const WilsonField<double> in = gaussian_wilson_source(g, 76);
+
+  WilsonField<double> ref(g);
+  WilsonCloverOperator<double> ref_op(u, nullptr, mass);
+  ref_op.apply(ref, in);
+
+  ScopedGhostPrec env(c.prec);
+  PartitionedWilsonClover<double> op(part, u, nullptr, mass, /*comms=*/true,
+                                     c.recon);
+
+  WilsonField<double> seq_out(g), thr_out(g), seq_rerun(g);
+  {
+    ScopedRankMode scoped(RankMode::Seq);
+    op.apply(seq_out, in);
+    op.apply(seq_rerun, in);
+  }
+  {
+    ScopedRankMode scoped(RankMode::Threads);
+    op.apply(thr_out, in);
+  }
+  EXPECT_EQ(std::memcmp(seq_out.sites().data(), thr_out.sites().data(),
+                        seq_out.sites().size_bytes()),
+            0)
+      << "seq != threads at " << c.prec;
+  EXPECT_EQ(std::memcmp(seq_out.sites().data(), seq_rerun.sites().data(),
+                        seq_out.sites().size_bytes()),
+            0)
+      << "rerun differs at " << c.prec;
+
+  WilsonField<double> diff = seq_out;
+  axpy(-1.0, ref, diff);
+  if (std::string(c.prec) == "half") {
+    // The truncation perturbs only the face terms; the relative error of
+    // the full stencil stays well under the quantization step.
+    EXPECT_LT(std::sqrt(norm2(diff) / norm2(ref)), 1e-4);
+    EXPECT_GT(norm2(diff), 0.0);  // compression genuinely happened
+  } else if (std::string(c.prec) == "float") {
+    // Float wire: one fp32 cast on the face terms (~1e-8 relative) plus
+    // whatever the reconstruction format costs — far under the half step.
+    EXPECT_LT(std::sqrt(norm2(diff) / norm2(ref)), 1e-6);
+  } else {
+    // Double wire is a memcpy: any deviation from the single-domain
+    // reference is the partitioned interior/exterior summation-order
+    // roundoff (plus reconstruction roundoff), same as the uncompressed
+    // partitioned-operator equivalence bound.
+    EXPECT_LT(std::sqrt(norm2(diff) / norm2(ref)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionsAndRecon, GhostWireOperatorTest,
+    ::testing::Values(OpCase{"double", Reconstruct::None},
+                      OpCase{"double", Reconstruct::Twelve},
+                      OpCase{"double", Reconstruct::Eight},
+                      OpCase{"float", Reconstruct::None},
+                      OpCase{"float", Reconstruct::Twelve},
+                      OpCase{"float", Reconstruct::Eight},
+                      OpCase{"half", Reconstruct::None},
+                      OpCase{"half", Reconstruct::Twelve},
+                      OpCase{"half", Reconstruct::Eight}));
+
+// ---------------------------------------------------------------------------
+// Byte metering: exact wire-byte accounting per (precision, action, face)
+// and the compression acceptance bound.
+// ---------------------------------------------------------------------------
+
+TEST(GhostWireBytes, MeteredBytesMatchWireFormulaPerFace) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 81);
+  Partitioning part(g, {1, 1, 2, 2});
+  const WilsonField<double> in = gaussian_wilson_source(g, 82);
+
+  // Staggered long links reach three sites: partitioned extents >= 4.
+  const LatticeGeometry sg({4, 4, 8, 8});
+  const GaugeField<double> su = hot_gauge(sg, 84);
+  Partitioning spart(sg, {1, 1, 2, 2});
+  const AsqtadLinks links = build_asqtad_links(su);
+  const StaggeredField<double> sin_ = gaussian_staggered_source(sg, 83);
+
+  struct Expect {
+    const char* prec;
+    Precision wire;
+  };
+  for (const Expect e : {Expect{"double", Precision::Double},
+                         Expect{"float", Precision::Single},
+                         Expect{"half", Precision::Half}}) {
+    ScopedGhostPrec env(e.prec);
+
+    // Wilson: depth-1 spin-projected half-spinor faces.
+    PartitionedWilsonClover<double> wop(part, u, nullptr, -0.1);
+    ASSERT_EQ(wop.ghost_precision(), e.wire);
+    WilsonField<double> wout(g);
+    wop.apply(wout, in);
+    const std::uint64_t wsite = wire_site_bytes<HalfSpinor<double>>(e.wire);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      std::uint64_t expect = 0;
+      if (part.partitioned(mu)) {
+        const std::uint64_t fv = static_cast<std::uint64_t>(
+            part.local().volume() / part.local().dim(mu));
+        expect = static_cast<std::uint64_t>(part.num_ranks()) * 2u * fv * wsite;
+      }
+      EXPECT_EQ(wop.traffic().spinor.bytes_by_dim[static_cast<std::size_t>(mu)],
+                expect)
+          << e.prec << " wilson mu=" << mu;
+    }
+
+    // Staggered: depth-3 color-vector faces (3 packed sites per face site).
+    PartitionedStaggered<double> sop(spart, links.fat, links.lng, 0.05);
+    ASSERT_EQ(sop.ghost_precision(), e.wire);
+    StaggeredField<double> sout(sg);
+    sop.apply(sout, sin_);
+    const std::uint64_t ssite = wire_site_bytes<ColorVector<double>>(e.wire);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      std::uint64_t expect = 0;
+      if (spart.partitioned(mu)) {
+        const std::uint64_t fv = static_cast<std::uint64_t>(
+            spart.local().volume() / spart.local().dim(mu));
+        expect = static_cast<std::uint64_t>(spart.num_ranks()) * 2u * 3u * fv *
+                 ssite;
+      }
+      EXPECT_EQ(sop.traffic().spinor.bytes_by_dim[static_cast<std::size_t>(mu)],
+                expect)
+          << e.prec << " staggered mu=" << mu;
+    }
+  }
+}
+
+TEST(GhostWireBytes, HalfSpinorFacesWithinThirtyPercentOfDouble) {
+  // The acceptance bound of the compressed wire: half spinor faces must
+  // cost <= 30% of the double baseline (format: 28 vs 96 bytes = 29.2%).
+  const double ratio =
+      static_cast<double>(wire_site_bytes<HalfSpinor<double>>(Precision::Half)) /
+      static_cast<double>(
+          wire_site_bytes<HalfSpinor<double>>(Precision::Double));
+  EXPECT_LE(ratio, 0.30);
+
+  // And the same bound must hold for the bytes the exchange actually
+  // meters on a partitioned Wilson hop, not just the per-site format.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 85);
+  Partitioning part(g, {1, 1, 2, 2});
+  const WilsonField<double> in = gaussian_wilson_source(g, 86);
+  WilsonField<double> out(g);
+
+  std::uint64_t bytes_double = 0, bytes_half = 0;
+  {
+    ScopedGhostPrec env("double");
+    PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+    op.apply(out, in);
+    bytes_double = op.traffic().spinor.total_bytes();
+  }
+  {
+    ScopedGhostPrec env("half");
+    PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+    op.apply(out, in);
+    bytes_half = op.traffic().spinor.total_bytes();
+  }
+  ASSERT_GT(bytes_double, 0u);
+  EXPECT_LE(static_cast<double>(bytes_half),
+            0.30 * static_cast<double>(bytes_double));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: a fault-repaired exchange re-sends the identical compressed
+// payload, so the repaired result is bitwise equal to the fault-free run
+// and the retry is metered.
+// ---------------------------------------------------------------------------
+
+TEST(GhostWireChaos, RepairedBitFlipTransparentUnderHalfWire) {
+  ScopedRankMode mode(RankMode::Threads);
+  ScopedGhostPrec env("half");
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 91);
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WilsonField<double> in = gaussian_wilson_source(g, 92);
+
+  clear_fault_plan();
+  WilsonField<double> expect(g);
+  op.apply(expect, in);  // fault-free half-wire reference
+
+  FaultSpec spec;
+  spec.seed = 6;
+  spec.once[static_cast<int>(FaultKind::BitFlip)] = 2;  // corrupt one message
+  spec.recv_timeout = microseconds(50000);
+  spec.max_retries = 4;
+  spec.backoff = microseconds(100);
+  set_fault_plan(spec);
+  const std::uint64_t retries_before = metric_counter("comm.retries").value();
+
+  WilsonField<double> got(g);
+  op.apply(got, in);
+  clear_fault_plan();
+
+  // The flip lands on the encoded wire bytes; the envelope checksum (also
+  // computed over the wire bytes) catches it, and the retry re-encodes the
+  // same faces into the same payload — bitwise-identical result.
+  EXPECT_EQ(std::memcmp(expect.sites().data(), got.sites().data(),
+                        expect.sites().size_bytes()),
+            0);
+  EXPECT_GE(metric_counter("comm.retries").value(), retries_before + 1);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
+#include "comm/wire.h"
+#include "core/gcr_dd.h"
 #include "core/mixed_bicgstab.h"
 #include "core/staggered_multishift.h"
 #include "dirac/wilson_ops.h"
@@ -105,6 +109,60 @@ TEST(MixedPrecision, StaggeredTwoStageStrategy) {
   for (const auto& refine : result.refines) {
     EXPECT_LT(refine.inner_iterations, 3 * result.multishift.iterations + 50);
   }
+}
+
+TEST(MixedPrecision, GcrDdWithHalfGhostWireReachesOuterTolerance) {
+  // The full mixed-precision stack with compressed ghosts: a double
+  // precision system solved by the single-precision GCR-DD engine over a
+  // partitioned cluster whose ghost faces travel in HALF precision
+  // (LQCD_GHOST_PREC=half, comm/wire.h).
+  //
+  // What to gate on: NOT the iterate bits.  The half wire quantizes every
+  // exchanged face (relative error ~1/32767 per site), so each operator
+  // application — and with it the whole Krylov trajectory — differs from
+  // the uncompressed run from the first iteration on.  What the
+  // compression must NOT change is what the solver promises: the returned
+  // x solves the original double-precision system to the outer tolerance.
+  // We therefore gate on the final true residual, measured against the
+  // exact (uncompressed, double) operator.  The 5e-5 bound is the same
+  // slack the uncompressed GcrDd convergence test grants a 1e-5 single
+  // precision inner target; the per-application quantization error (~3e-5
+  // on face terms only, ~1/8 of the stencil) sits below that slack, so no
+  // extra tolerance is needed for the compression.
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = weak_gauge(g, 151, 0.4);
+  const CloverField<double> a = build_clover_field(u, 1.0);
+  const WilsonField<double> b = gaussian_wilson_source(g, 152);
+
+  const char* prev = std::getenv("LQCD_GHOST_PREC");
+  const std::string saved = prev != nullptr ? prev : "";
+  setenv("LQCD_GHOST_PREC", "half", 1);
+  init_ghost_prec_from_env();
+
+  GcrDdParams p;
+  p.mass = 0.2;
+  p.tol = 1e-5;
+  p.block_grid = {1, 1, 1, 2};
+  p.rank_grid = {{1, 1, 1, 2}};  // partitioned: ghosts actually on the wire
+  GcrDdWilsonSolver solver(u, &a, p);
+  ASSERT_NE(solver.partitioned_operator(), nullptr);
+  WilsonField<double> x(g);
+  const SolverStats stats = solver.solve(x, b);
+
+  if (prev != nullptr) {
+    setenv("LQCD_GHOST_PREC", saved.c_str(), 1);
+  } else {
+    unsetenv("LQCD_GHOST_PREC");
+  }
+  init_ghost_prec_from_env();
+
+  EXPECT_TRUE(stats.converged);
+  WilsonCloverOperator<double> m(u, &a, p.mass);
+  WilsonField<double> r(g);
+  m.apply(r, x);
+  scale(-1.0, r);
+  axpy(1.0, b, r);
+  EXPECT_LT(std::sqrt(norm2(r) / norm2(b)), 5e-5);
 }
 
 TEST(MixedPrecision, ConversionRoundTripAccuracy) {

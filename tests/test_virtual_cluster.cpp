@@ -18,6 +18,7 @@
 #include "comm/domain_map.h"
 #include "comm/exchange.h"
 #include "comm/virtual_cluster.h"
+#include "comm/wire.h"
 #include "gauge/configure.h"
 
 namespace lqcd {
@@ -383,14 +384,18 @@ TEST_P(ClusterExchangeTest, SendRecvBytesMatchAnalyticFaceFormula) {
       RankMode::Threads);
 
   const ExchangeCounters sent = ex.total_sent();
+  // Byte accounting is in wire units: each packed face site costs
+  // wire_site_bytes at the active LQCD_GHOST_PREC policy (== the raw
+  // sizeof at the default, uncompressed, native precision).
+  const std::uint64_t site_bytes = wire_site_bytes<HalfSpinor<double>>(
+      default_wire_precision<HalfSpinor<double>>());
   std::uint64_t expect_total = 0;
   for (int mu = 0; mu < kNDim; ++mu) {
     std::uint64_t expect = 0;
     if (part.partitioned(mu)) {
       expect = 2ull * static_cast<std::uint64_t>(part.num_ranks()) *
                static_cast<std::uint64_t>(nt.ghost_depth()) *
-               static_cast<std::uint64_t>(nt.face_volume(mu)) *
-               sizeof(HalfSpinor<double>);
+               static_cast<std::uint64_t>(nt.face_volume(mu)) * site_bytes;
     }
     EXPECT_EQ(sent.bytes_by_dim[static_cast<std::size_t>(mu)], expect)
         << "mu=" << mu;
