@@ -386,6 +386,56 @@ BENCHMARK(BM_PartitionedWilsonHalfGhost)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PartitionedWilsonReconGhost(benchmark::State& state) {
+  // The joint wire compression: unit-form reconstruction *and* half
+  // precision (LQCD_GHOST_RECON=min + LQCD_GHOST_PREC=half) — faces
+  // travel as norm + meta byte + 11 int16 direction components, 27 wire
+  // bytes per face site vs 96 at double (28.1%, under the 28-byte
+  // full-recon half envelope of BM_PartitionedWilsonHalfGhost); gauge
+  // ghosts travel 12-real compressed.  wire_bytes_frac again reports
+  // metered compressed bytes over the uncompressed baseline.
+  const RankMode mode = state.range(0) == 0 ? RankMode::Seq : RankMode::Threads;
+  const RankMode prev = rank_mode();
+  set_rank_mode(mode);
+  WilsonFixture f;
+  Partitioning part(f.g, {1, 1, 2, 2});
+  PartitionedWilsonClover<double> op_full(part, f.u, &f.clover, -0.1);
+  setenv("LQCD_GHOST_PREC", "half", 1);
+  setenv("LQCD_GHOST_RECON", "min", 1);
+  init_ghost_prec_from_env();
+  init_ghost_recon_from_env();
+  PartitionedWilsonClover<double> op(part, f.u, &f.clover, -0.1);
+  unsetenv("LQCD_GHOST_PREC");
+  unsetenv("LQCD_GHOST_RECON");
+  init_ghost_prec_from_env();
+  init_ghost_recon_from_env();
+  for (auto _ : state) {
+    op.apply(f.out, f.in);
+    benchmark::DoNotOptimize(f.out.sites().data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          dslash_flops_per_site(StencilKind::WilsonClover) *
+          static_cast<double>(f.g.volume()) / 1e6,
+      benchmark::Counter::kIsRate);
+  op_full.apply(f.out, f.in);
+  const double full_bytes = static_cast<double>(
+      op_full.traffic().spinor.total_bytes() /
+      std::max<std::int64_t>(op_full.traffic().applications, 1));
+  const double recon_bytes =
+      static_cast<double>(op.traffic().spinor.total_bytes()) /
+      static_cast<double>(std::max<std::int64_t>(op.traffic().applications, 1));
+  if (full_bytes > 0) {
+    state.counters["wire_bytes_frac"] = recon_bytes / full_bytes;
+  }
+  state.SetLabel(rank_mode_name(mode));
+  set_rank_mode(prev);
+}
+BENCHMARK(BM_PartitionedWilsonReconGhost)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DirichletWilsonHop(benchmark::State& state) {
   // The Schwarz preconditioner's kernel: hopping with the block cut.
   WilsonFixture f;

@@ -27,13 +27,14 @@
 /// before the wire, halving spinor ghost traffic (12 instead of 24 reals
 /// per site) — QUDA's standard optimization, assumed by the byte model.
 ///
-/// On top of the projection, the wire carries a *precision-truncated*
-/// image of the packed faces (comm/wire.h, LQCD_GHOST_PREC): the threads
-/// transport encodes at post time and decodes at scatter time, the seq
-/// transport round-trips the packed buffers through the same codec, so
-/// the two stay bitwise identical at every wire precision.  Byte meters
-/// charge the encoded wire size (wire_site_bytes), which degenerates to
-/// sizeof(GhostT) at the (default) native precision.
+/// On top of the projection, the wire carries a *compressed* image of the
+/// packed faces (comm/wire.h): precision truncation (LQCD_GHOST_PREC) and
+/// unit-form reconstruction (LQCD_GHOST_RECON), jointly a WireFormat.
+/// The threads transport encodes at post time and decodes at scatter
+/// time, the seq transport round-trips the packed buffers through the
+/// same codec, so the two stay bitwise identical at every wire format.
+/// Byte meters charge the encoded wire size (wire_site_bytes), which
+/// degenerates to sizeof(GhostT) at the (default) full/native format.
 ///
 /// Reliability: when a FaultPlan is active (fault/fault.h), every posted
 /// face message carries a seq + FNV-1a checksum envelope, the sender keeps
@@ -166,12 +167,12 @@ class AsyncGhostExchange {
                      const std::vector<LatticeField<Site>>& locals,
                      std::vector<GhostZones<GhostT>>& ghosts,
                      std::optional<Parity> source_parity = std::nullopt,
-                     std::optional<Precision> wire = std::nullopt)
+                     std::optional<WireFormat> wire = std::nullopt)
       : part_(part), nt_(nt), locals_(locals), ghosts_(ghosts),
         source_parity_(source_parity),
-        wire_prec_(wire.has_value() ? clamp_wire_precision<GhostT>(*wire)
-                                    : default_wire_precision<GhostT>()),
-        site_bytes_(wire_site_bytes<GhostT>(wire_prec_)),
+        wire_(wire.has_value() ? clamp_wire_format<GhostT>(*wire)
+                               : default_wire_format<GhostT>()),
+        site_bytes_(wire_site_bytes<GhostT>(wire_)),
         plan_(active_fault_plan()),
         epoch_(plan_ != nullptr ? plan_->next_epoch() : 0),
         // An injected reorder + data + duplicate is three messages on one
@@ -201,10 +202,8 @@ class AsyncGhostExchange {
       // checksums and fault injections operate on).
       FaceMessage<unsigned char> fwd{{}, p.fwd_sites};
       FaceMessage<unsigned char> bwd{{}, p.bwd_sites};
-      encode_face<GhostT>(std::span<const GhostT>(p.fwd), wire_prec_,
-                          fwd.payload);
-      encode_face<GhostT>(std::span<const GhostT>(p.bwd), wire_prec_,
-                          bwd.payload);
+      encode_face<GhostT>(std::span<const GhostT>(p.fwd), wire_, fwd.payload);
+      encode_face<GhostT>(std::span<const GhostT>(p.bwd), wire_, bwd.payload);
       if (plan_ == nullptr) {
         mesh_.at(dst_fwd, mu, 0).send(std::move(fwd));
         mesh_.at(dst_bwd, mu, 1).send(std::move(bwd));
@@ -227,7 +226,7 @@ class AsyncGhostExchange {
         auto dst = zones.zone(mu, dir);
         assert(msg.payload.size() == dst.size() * site_bytes_);
         decode_face<GhostT>(std::span<const unsigned char>(msg.payload),
-                            wire_prec_, dst);
+                            wire_, dst);
         recv_bytes_[static_cast<std::size_t>(r)] +=
             msg.packed_sites * site_bytes_;
       }
@@ -251,7 +250,9 @@ class AsyncGhostExchange {
   }
 
   /// Resolved wire precision of this exchange (post-clamp).
-  Precision wire_precision() const { return wire_prec_; }
+  Precision wire_precision() const { return wire_.prec; }
+  /// Resolved full wire format (recon x precision).
+  WireFormat wire_format() const { return wire_; }
 
  private:
   /// The emulated sender-side send buffer: the pristine enveloped message,
@@ -388,7 +389,7 @@ class AsyncGhostExchange {
   const std::vector<LatticeField<Site>>& locals_;
   std::vector<GhostZones<GhostT>>& ghosts_;
   std::optional<Parity> source_parity_;
-  Precision wire_prec_;      // resolved (clamped) wire precision
+  WireFormat wire_;          // resolved (clamped) wire format
   std::size_t site_bytes_;   // wire bytes per packed ghost site
   FaultPlan* plan_;       // nullptr = fault-free fast path
   std::uint64_t epoch_;   // this exchange's slot in the decision stream
@@ -419,17 +420,17 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
                      std::vector<GhostZones<typename Packer::ghost_type>>& ghosts,
                      ExchangeCounters* counters = nullptr,
                      std::optional<Parity> source_parity = std::nullopt,
-                     std::optional<Precision> wire = std::nullopt) {
+                     std::optional<WireFormat> wire = std::nullopt) {
   using GhostT = typename Packer::ghost_type;
-  const Precision wire_prec = wire.has_value()
-                                  ? clamp_wire_precision<GhostT>(*wire)
-                                  : default_wire_precision<GhostT>();
-  const std::size_t site_bytes = wire_site_bytes<GhostT>(wire_prec);
+  const WireFormat wire_fmt = wire.has_value()
+                                  ? clamp_wire_format<GhostT>(*wire)
+                                  : default_wire_format<GhostT>();
+  const std::size_t site_bytes = wire_site_bytes<GhostT>(wire_fmt);
   ExchangeCounters delta;
   if (rank_mode() == RankMode::Threads && part.num_ranks() > 1 &&
       !in_rank_task()) {
     AsyncGhostExchange<Packer, Site> ex(part, nt, locals, ghosts,
-                                        source_parity, wire_prec);
+                                        source_parity, wire_fmt);
     run_ranks(part.num_ranks(), [&](int r) {
       ex.post_sends(r);
       ex.wait_all(r);
@@ -446,11 +447,11 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
                                                  source_parity);
         // The reference transport never leaves the address space, so the
         // wire is emulated by an in-place encode/decode of the packed
-        // buffers (a no-op at native precision) — the scattered ghosts are
-        // bitwise what the threads transport delivers.
-        wire_roundtrip_face<GhostT>(std::span<GhostT>(p.fwd), wire_prec,
+        // buffers (a no-op at the full/native format) — the scattered
+        // ghosts are bitwise what the threads transport delivers.
+        wire_roundtrip_face<GhostT>(std::span<GhostT>(p.fwd), wire_fmt,
                                     scratch);
-        wire_roundtrip_face<GhostT>(std::span<GhostT>(p.bwd), wire_prec,
+        wire_roundtrip_face<GhostT>(std::span<GhostT>(p.bwd), wire_fmt,
                                     scratch);
         // Bottom slices -> backward neighbour's forward ghost (dir 0),
         // top slices -> forward neighbour's backward ghost (dir 1).
@@ -482,15 +483,30 @@ void exchange_ghosts(const Partitioning& part, const NeighborTable& nt,
 /// \p depth may be smaller than the table's ghost depth when only the
 /// near layers are needed (fat links need one layer, long links three);
 /// unfilled layers are never addressed by the corresponding hop lookups.
+///
+/// \p wire selects the link wire scheme (comm/wire.h gauge codec): at
+/// recon-12/8 the face travels as the minimal SU(3) parameterization and
+/// is *reconstructed into the halo* — even on this in-address-space
+/// transport the faces round-trip the codec, so the stored ghosts are
+/// exactly what a networked receiver would decode.  Unset defers to the
+/// LQCD_GHOST_RECON policy (ghost_recon_setting().gauge).  Callers whose
+/// links are not unitary (fat/long staggered links are smeared sums)
+/// must pass Reconstruct::None explicitly — the 12/8 schemes assume
+/// unitarity.  Bytes are metered at the encoded wire size.
 template <typename Real>
 void exchange_gauge_ghosts(const Partitioning& part, const NeighborTable& nt,
                            const std::vector<GaugeField<Real>>& locals,
                            std::vector<GhostZones<Matrix3<Real>>>& ghosts,
                            ExchangeCounters* counters = nullptr,
-                           int depth = -1) {
+                           int depth = -1,
+                           std::optional<Reconstruct> wire = std::nullopt) {
   const LatticeGeometry& local = part.local();
   if (depth < 0) depth = nt.ghost_depth();
+  const Reconstruct recon =
+      wire.has_value() ? *wire : ghost_recon_setting().gauge;
   ExchangeCounters delta;
+  std::vector<Matrix3<Real>> packed;
+  std::vector<unsigned char> encoded;
   for (int n = 0; n < part.num_ranks(); ++n) {
     const auto& body = locals[static_cast<std::size_t>(n)];
     for (int mu = 0; mu < kNDim; ++mu) {
@@ -500,16 +516,35 @@ void exchange_gauge_ghosts(const Partitioning& part, const NeighborTable& nt,
       auto bwd_dst =
           ghosts[static_cast<std::size_t>(part.neighbor_rank(n, mu, +1))]
               .zone(mu, 1);
-      for (int l = 0; l < depth; ++l) {
-        for (std::int64_t f = 0; f < fv; ++f) {
-          const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
-          bwd_dst[static_cast<std::size_t>(l * fv + f)] =
-              body.link(mu, local.eo_index(top));
+      if (recon == Reconstruct::None) {
+        for (int l = 0; l < depth; ++l) {
+          for (std::int64_t f = 0; f < fv; ++f) {
+            const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
+            bwd_dst[static_cast<std::size_t>(l * fv + f)] =
+                body.link(mu, local.eo_index(top));
+          }
         }
+      } else {
+        // Dense gather (gauge faces have no parity holes), then the
+        // codec round trip into the halo: the decoded links are what a
+        // networked receiver reconstructs, bitwise.
+        packed.resize(static_cast<std::size_t>(depth) *
+                      static_cast<std::size_t>(fv));
+        for (int l = 0; l < depth; ++l) {
+          for (std::int64_t f = 0; f < fv; ++f) {
+            const Coord top = face.face_coords(f, local.dim(mu) - 1 - l);
+            packed[static_cast<std::size_t>(l * fv + f)] =
+                body.link(mu, local.eo_index(top));
+          }
+        }
+        encode_gauge_face<Real>(std::span<const Matrix3<Real>>(packed), recon,
+                                encoded);
+        decode_gauge_face<Real>(std::span<const unsigned char>(encoded), recon,
+                                bwd_dst.first(packed.size()));
       }
       delta.bytes_by_dim[static_cast<std::size_t>(mu)] +=
           static_cast<std::uint64_t>(depth) * static_cast<std::uint64_t>(fv) *
-          sizeof(Matrix3<Real>);
+          gauge_wire_site_bytes<Real>(recon);
       delta.messages += 1;
     }
   }

@@ -23,9 +23,16 @@ GhostPrecSetting parse_ghost_prec_env() {
   } else if (v == "half") {
     s.forced = Precision::Half;
   } else if (!v.empty()) {
-    log_warn("LQCD_GHOST_PREC=" + v +
-             " not understood (want double|float|half|tune); ghosts stay at "
-             "native precision");
+    // Warn once per process, not per parse: init_ghost_prec_from_env is a
+    // test/bench hook called freely, and a misspelt env would otherwise
+    // spam one warning per re-read of the same unchanged value.
+    static const bool warned = [&v] {
+      log_warn("LQCD_GHOST_PREC=" + v +
+               " not understood (want double|float|half|tune); ghosts stay at "
+               "native precision");
+      return true;
+    }();
+    (void)warned;
   }
   return s;
 }
@@ -35,12 +42,55 @@ GhostPrecSetting& mutable_ghost_prec() {
   return s;
 }
 
+GhostReconSetting parse_ghost_recon_env() {
+  GhostReconSetting s;
+  const char* env = std::getenv("LQCD_GHOST_RECON");
+  if (env == nullptr) return s;
+  const std::string v(env);
+  if (v == "tune") {
+    // Spinor axis joins the joint policy sweep; gauge ghosts take
+    // recon-12 outright — they travel once per solve, and 12 strictly
+    // shrinks the face while staying exact for unitary links.
+    s.tune = true;
+    s.gauge = Reconstruct::Twelve;
+  } else if (v == "full" || v == "none") {
+    s.forced = WireRecon::Full;
+    s.gauge = Reconstruct::None;
+  } else if (v == "min" || v == "unit" || v == "12") {
+    s.forced = WireRecon::Unit;
+    s.gauge = Reconstruct::Twelve;
+  } else if (v == "8") {
+    s.forced = WireRecon::Unit;
+    s.gauge = Reconstruct::Eight;
+  } else if (!v.empty()) {
+    static const bool warned = [&v] {
+      log_warn("LQCD_GHOST_RECON=" + v +
+               " not understood (want full|min|12|8|tune); ghosts stay "
+               "uncompressed");
+      return true;
+    }();
+    (void)warned;
+  }
+  return s;
+}
+
+GhostReconSetting& mutable_ghost_recon() {
+  static GhostReconSetting s = parse_ghost_recon_env();
+  return s;
+}
+
 }  // namespace
 
 const GhostPrecSetting& ghost_prec_setting() { return mutable_ghost_prec(); }
 
 void init_ghost_prec_from_env() {
   mutable_ghost_prec() = parse_ghost_prec_env();
+}
+
+const GhostReconSetting& ghost_recon_setting() { return mutable_ghost_recon(); }
+
+void init_ghost_recon_from_env() {
+  mutable_ghost_recon() = parse_ghost_recon_env();
 }
 
 }  // namespace lqcd

@@ -1,6 +1,6 @@
 #pragma once
 /// \file wire.h
-/// \brief Wire-precision policy for ghost faces (DESIGN.md §17).
+/// \brief Wire-format policy for ghost faces (DESIGN.md §17-18).
 ///
 /// The paper's strong-scaling wins come from running the inner solver in
 /// half precision; QUDA pairs that with *compressed* faces — spin
@@ -30,6 +30,23 @@
 /// field's native precision — upcasting the wire buys nothing; `tune`
 /// makes it an autotuner policy axis, see dirac/recon_policy.h for the
 /// sibling pattern).
+///
+/// Orthogonal to the precision, the wire carries a *reconstruction* axis
+/// (comm/wire_format.h, env `LQCD_GHOST_RECON`): at WireRecon::Unit a
+/// spinor site travels as one float norm, one meta byte (index + sign of
+/// the dropped component) and n-1 unit-direction scalars
+/// (linalg/unit_spinor.h), recovering the dropped magnitude from
+/// unitarity on decode.  At half the direction components are int16 at
+/// the fixed unit scale — no second norm — so a Wilson half-spinor site
+/// costs 4 + 1 + 11*2 = 27 bytes (28.1% of the 96-byte double wire,
+/// under the 28-byte full-recon half envelope).  The unit form stages
+/// through fp32 at every precision (like the SC'11 transfer path), so
+/// `unit,double` is near-lossless-at-fp32, not bitwise.
+///
+/// Gauge-link ghost faces get the same treatment via the 12/8-real SU(3)
+/// schemes of linalg/reconstruct.h (encode_gauge_face/decode_gauge_face):
+/// recon-12 is exact for exactly-unitary links, so the decoded halo is
+/// bitwise identical to the uncompressed path on codec-unitarized fields.
 
 #include <cassert>
 #include <cstddef>
@@ -39,10 +56,13 @@
 #include <span>
 #include <vector>
 
+#include "comm/wire_format.h"
 #include "fields/precision.h"
 #include "linalg/gamma.h"
 #include "linalg/half.h"
+#include "linalg/reconstruct.h"
 #include "linalg/types.h"
+#include "linalg/unit_spinor.h"
 
 namespace lqcd {
 
@@ -91,6 +111,13 @@ constexpr Precision clamp_wire_precision(Precision p) {
   return static_cast<int>(p) < static_cast<int>(native) ? native : p;
 }
 
+/// Format-level clamp: only the precision axis clamps (reconstruction is
+/// meaningful at every precision).
+template <typename GhostT>
+constexpr WireFormat clamp_wire_format(WireFormat f) {
+  return WireFormat(clamp_wire_precision<GhostT>(f.prec), f.recon);
+}
+
 /// Exact wire bytes of one packed ghost site at precision \p p.  At the
 /// native precision this equals sizeof(GhostT) (the sites are padding-free
 /// complex arrays), which is what the pre-policy byte meters charged.
@@ -104,6 +131,33 @@ constexpr std::size_t wire_site_bytes(Precision p) {
     case Precision::Half: return sizeof(float) + n * sizeof(std::int16_t);
   }
   return 0;
+}
+
+namespace detail {
+
+/// Payload scalar width of one unit-direction component: int16 at half
+/// (fixed unit scale, no second norm), raw float/double otherwise.
+constexpr std::size_t unit_scalar_bytes(Precision p) {
+  switch (p) {
+    case Precision::Double: return sizeof(double);
+    case Precision::Single: return sizeof(float);
+    case Precision::Half: return sizeof(std::int16_t);
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+/// Exact wire bytes of one packed ghost site at format \p f.  The unit
+/// form costs a float norm + one meta byte + (kReals - 1) direction
+/// scalars: 93/49/27 for a Wilson half spinor at double/single/half
+/// (vs 96/48/28 full recon), 45/25/15 for a staggered color vector.
+template <typename GhostT>
+constexpr std::size_t wire_site_bytes(WireFormat f) {
+  if (f.recon == WireRecon::Full) return wire_site_bytes<GhostT>(f.prec);
+  constexpr auto n =
+      static_cast<std::size_t>(detail::WireSiteTraits<GhostT>::kReals);
+  return sizeof(float) + 1 + (n - 1) * detail::unit_scalar_bytes(f.prec);
 }
 
 /// Encodes a packed face buffer to its wire image (resizing \p out to
@@ -185,6 +239,157 @@ void wire_roundtrip_face(std::span<GhostT> sites, Precision p,
   decode_face<GhostT>(scratch, p, sites);
 }
 
+namespace detail {
+
+/// Unit-form site encode: sanitized fp32 staging -> double-accumulated
+/// normalize -> drop the argmax component (index + sign into the meta
+/// byte) -> n-1 direction scalars at the wire precision.  Pure and
+/// branch-stable per site, so both transports emit identical bytes.
+template <int N>
+inline void encode_site_unit(const float* staged, Precision p,
+                             unsigned char* dst) {
+  float u[N];
+  const float norm = unit_normalize(staged, u, N);
+  const int k = unit_argmax(u, N);
+  const std::uint8_t meta = unit_meta(k, std::signbit(u[k]));
+  std::memcpy(dst, &norm, sizeof(norm));
+  dst[sizeof(norm)] = meta;
+  unsigned char* payload = dst + sizeof(norm) + 1;
+  if (p == Precision::Half) {
+    auto* q = reinterpret_cast<std::int16_t*>(payload);
+    for (int i = 0; i < N; ++i) {
+      if (i == k) continue;
+      // |u_i| <= 1, so the fixed unit scale of the half codec applies
+      // with no per-site norm of its own.
+      *q++ = quantize_fixed(u[i], 1.0f);
+    }
+  } else if (p == Precision::Single) {
+    auto* s = reinterpret_cast<float*>(payload);
+    for (int i = 0; i < N; ++i) {
+      if (i == k) continue;
+      *s++ = u[i];
+    }
+  } else {
+    auto* d = reinterpret_cast<double*>(payload);
+    for (int i = 0; i < N; ++i) {
+      if (i == k) continue;
+      *d++ = static_cast<double>(u[i]);
+    }
+  }
+}
+
+/// Unit-form site decode: read the surviving direction components at the
+/// wire precision, recover the dropped one from unitarity (on the
+/// *decoded* values, so sender and receiver agree bitwise), rescale by
+/// the norm.  A zero norm decodes to exact zeros.
+template <int N>
+inline void decode_site_unit(const unsigned char* src, Precision p,
+                             float* staged) {
+  float norm;
+  std::memcpy(&norm, src, sizeof(norm));
+  if (norm == 0.0f) {
+    for (int i = 0; i < N; ++i) staged[i] = 0.0f;
+    return;
+  }
+  const std::uint8_t meta = src[sizeof(norm)];
+  // Defensive clamp: a corrupted (but checksum-passing-by-miracle) meta
+  // byte must not index out of bounds.
+  const int k = std::min(unit_meta_index(meta), N - 1);
+  const unsigned char* payload = src + sizeof(norm) + 1;
+  float u[N];
+  if (p == Precision::Half) {
+    auto* q = reinterpret_cast<const std::int16_t*>(payload);
+    for (int i = 0; i < N; ++i) {
+      if (i == k) continue;
+      u[i] = dequantize_fixed(*q++, 1.0f);
+    }
+  } else if (p == Precision::Single) {
+    auto* s = reinterpret_cast<const float*>(payload);
+    for (int i = 0; i < N; ++i) {
+      if (i == k) continue;
+      u[i] = *s++;
+    }
+  } else {
+    auto* d = reinterpret_cast<const double*>(payload);
+    for (int i = 0; i < N; ++i) {
+      if (i == k) continue;
+      // The payload holds exactly-widened floats, so this narrowing is
+      // exact.
+      u[i] = static_cast<float>(*d++);
+    }
+  }
+  const float mag = unit_recover(u, N, k);
+  u[k] = unit_meta_negative(meta) ? -mag : mag;
+  for (int i = 0; i < N; ++i) staged[i] = u[i] * norm;
+}
+
+}  // namespace detail
+
+/// Format-dispatching encode: Full defers to the precision codec above;
+/// Unit runs the minimal-parameterization path at the format's precision.
+template <typename GhostT>
+void encode_face(std::span<const GhostT> sites, WireFormat f,
+                 std::vector<unsigned char>& out) {
+  if (f.recon == WireRecon::Full) {
+    encode_face<GhostT>(sites, f.prec, out);
+    return;
+  }
+  using Traits = detail::WireSiteTraits<GhostT>;
+  using Real = typename Traits::real_type;
+  constexpr int n = Traits::kReals;
+  const std::size_t site_bytes = wire_site_bytes<GhostT>(f);
+  out.resize(sites.size() * site_bytes);
+  unsigned char* dst = out.data();
+  for (const GhostT& site : sites) {
+    Real reals[n];
+    std::memcpy(reals, &site, sizeof(GhostT));
+    float staged[n];
+    for (int i = 0; i < n; ++i) {
+      staged[i] = sanitize_half_component(static_cast<float>(reals[i]));
+    }
+    detail::encode_site_unit<n>(staged, f.prec, dst);
+    dst += site_bytes;
+  }
+}
+
+/// Format-dispatching decode (the receive-side scatter).
+template <typename GhostT>
+void decode_face(std::span<const unsigned char> bytes, WireFormat f,
+                 std::span<GhostT> sites) {
+  if (f.recon == WireRecon::Full) {
+    decode_face<GhostT>(bytes, f.prec, sites);
+    return;
+  }
+  using Traits = detail::WireSiteTraits<GhostT>;
+  using Real = typename Traits::real_type;
+  constexpr int n = Traits::kReals;
+  const std::size_t site_bytes = wire_site_bytes<GhostT>(f);
+  assert(bytes.size() == sites.size() * site_bytes);
+  const unsigned char* src = bytes.data();
+  for (GhostT& site : sites) {
+    float staged[n];
+    detail::decode_site_unit<n>(src, f.prec, staged);
+    Real reals[n];
+    for (int i = 0; i < n; ++i) reals[i] = static_cast<Real>(staged[i]);
+    std::memcpy(&site, reals, sizeof(GhostT));
+    src += site_bytes;
+  }
+}
+
+/// Format-dispatching seq-transport round trip.  A no-op only at
+/// (Full, native): the unit form is lossy at every precision (fp32
+/// staging + the norm split), so it always travels the codec.
+template <typename GhostT>
+void wire_roundtrip_face(std::span<GhostT> sites, WireFormat f,
+                         std::vector<unsigned char>& scratch) {
+  if (f.recon == WireRecon::Full) {
+    wire_roundtrip_face<GhostT>(sites, f.prec, scratch);
+    return;
+  }
+  encode_face<GhostT>(sites, f, scratch);
+  decode_face<GhostT>(scratch, f, sites);
+}
+
 /// The parsed LQCD_GHOST_PREC setting.
 struct GhostPrecSetting {
   std::optional<Precision> forced;  ///< set for double/float/half
@@ -208,6 +413,106 @@ Precision default_wire_precision() {
   const GhostPrecSetting& s = ghost_prec_setting();
   if (s.forced.has_value()) return clamp_wire_precision<GhostT>(*s.forced);
   return NativePrecision<Real>::value;
+}
+
+/// The parsed LQCD_GHOST_RECON setting.  Grammar:
+///  * unset / `full` / `none` — full-component spinor wire, raw gauge
+///    ghost links (seed behaviour);
+///  * `min` / `unit` / `12`   — unit-form spinor faces + 12-real gauge
+///    ghost faces;
+///  * `8`                     — unit-form spinor faces + 8-real gauge
+///    ghost faces;
+///  * `tune`                  — the spinor recon axis joins the joint
+///    (recon x precision) policy sweep (dirac/recon_policy.h); gauge
+///    ghosts take recon-12 (they move once per solve, and 12 strictly
+///    shrinks the face while staying exact for unitary links).
+struct GhostReconSetting {
+  std::optional<WireRecon> forced;          ///< spinor axis, set unless tune
+  Reconstruct gauge = Reconstruct::None;    ///< gauge-link ghost scheme
+  bool tune = false;                        ///< set for "tune"
+};
+
+/// Process-wide setting, parsed from LQCD_GHOST_RECON on first use.
+const GhostReconSetting& ghost_recon_setting();
+
+/// Re-reads LQCD_GHOST_RECON (test hook).
+void init_ghost_recon_from_env();
+
+/// The full wire format an exchange of GhostT uses when the caller does
+/// not pass one: env-forced axes (clamped), native/full otherwise.  The
+/// `tune` modes resolve per operator (select_ghost_wire in
+/// dirac/recon_policy.h), so a bare exchange under tune stays lossless.
+template <typename GhostT>
+WireFormat default_wire_format() {
+  WireFormat f(default_wire_precision<GhostT>());
+  const GhostReconSetting& r = ghost_recon_setting();
+  if (r.forced.has_value()) f.recon = *r.forced;
+  return f;
+}
+
+/// Exact wire bytes of one gauge-link ghost site at scheme \p r: the
+/// packed real count of linalg/reconstruct.h at the field's own scalar
+/// width (link ghosts keep the storage precision on the wire — they move
+/// once per solve, so the recon axis, not the precision axis, is where
+/// the savings are).
+template <typename Real>
+constexpr std::size_t gauge_wire_site_bytes(Reconstruct r) {
+  return static_cast<std::size_t>(reals_per_link(r)) * sizeof(Real);
+}
+
+/// Encodes a dense buffer of gauge links to its wire image.  None is a
+/// straight memcpy; 12/8 pack each link via compress12/compress8.  The
+/// buffer must hold real links only (no parity holes): decompress8 of a
+/// zero block is not zero, so the codec is applied to dense face buffers
+/// the gauge exchange packs explicitly.
+template <typename Real>
+void encode_gauge_face(std::span<const Matrix3<Real>> links, Reconstruct r,
+                       std::vector<unsigned char>& out) {
+  const std::size_t site_bytes = gauge_wire_site_bytes<Real>(r);
+  out.resize(links.size() * site_bytes);
+  if (r == Reconstruct::None) {
+    std::memcpy(out.data(), links.data(), links.size() * sizeof(Matrix3<Real>));
+    return;
+  }
+  unsigned char* dst = out.data();
+  for (const Matrix3<Real>& link : links) {
+    if (r == Reconstruct::Twelve) {
+      const Packed12<Real> p = compress12(link);
+      std::memcpy(dst, p.data(), site_bytes);
+    } else {
+      const Packed8<Real> p = compress8(link);
+      std::memcpy(dst, p.data(), site_bytes);
+    }
+    dst += site_bytes;
+  }
+}
+
+/// Decodes a gauge wire image back into full link matrices: recon-12
+/// rebuilds row 2 as (r0 x r1)^*, exact (bitwise) for exactly-unitary
+/// links; recon-8 re-derives rows 1-2 from the orthonormal-frame
+/// parameters (exact up to rounding).
+template <typename Real>
+void decode_gauge_face(std::span<const unsigned char> bytes, Reconstruct r,
+                       std::span<Matrix3<Real>> links) {
+  const std::size_t site_bytes = gauge_wire_site_bytes<Real>(r);
+  assert(bytes.size() == links.size() * site_bytes);
+  if (r == Reconstruct::None) {
+    std::memcpy(links.data(), bytes.data(), bytes.size());
+    return;
+  }
+  const unsigned char* src = bytes.data();
+  for (Matrix3<Real>& link : links) {
+    if (r == Reconstruct::Twelve) {
+      Packed12<Real> p;
+      std::memcpy(p.data(), src, site_bytes);
+      link = decompress12(p);
+    } else {
+      Packed8<Real> p;
+      std::memcpy(p.data(), src, site_bytes);
+      link = decompress8(p);
+    }
+    src += site_bytes;
+  }
 }
 
 }  // namespace lqcd

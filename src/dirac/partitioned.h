@@ -114,9 +114,11 @@ template <typename Real>
 class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
  public:
   /// \param recon gauge storage format for the *local* link body; ghost
-  /// links always travel and store as full matrices (they are a face's worth
-  /// of data, already transferred once per solve).  LQCD_RECON forces or
-  /// tunes the format across all ranks (policy key `wilson_part_recon`).
+  /// links *store* as full matrices but may *travel* 12/8-real compressed
+  /// (LQCD_GHOST_RECON, comm/wire.h gauge codec) — they are a face's worth
+  /// of data, transferred once per solve, reconstructed into the halo on
+  /// arrival.  LQCD_RECON forces or tunes the local format across all
+  /// ranks (policy key `wilson_part_recon`).
   PartitionedWilsonClover(const Partitioning& part, const GaugeField<Real>& u,
                           const CloverField<Real>* a, double mass,
                           bool comms = true,
@@ -163,30 +165,34 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     ensure_compressed(recon_);
     if (recon_ != Reconstruct::Twelve) u12_.clear();
     if (recon_ != Reconstruct::Eight) u8_.clear();
-    // Spinor-ghost wire precision (comm/wire.h): forced/clamped by
-    // LQCD_GHOST_PREC, swept as a policy tunable under `tune` (timing a
-    // full exchanging apply per candidate), native otherwise.  Operators
-    // with comms off never exchange, so the policy is moot there.
+    // Spinor-ghost wire format (comm/wire.h): each axis forced/clamped by
+    // its env (LQCD_GHOST_PREC, LQCD_GHOST_RECON), the (recon, precision)
+    // pairs swept jointly as one policy tunable under `tune` (timing a
+    // full exchanging apply per candidate), full/native otherwise.
+    // Operators with comms off never exchange, so the policy is moot
+    // there.
     if (comms_) {
-      ghost_prec_ = select_ghost_precision(
+      ghost_wire_ = select_ghost_wire(
           "wilson_part", detail::dslash_aux<Real>(std::nullopt, false),
           part.local().volume(), NativePrecision<Real>::value,
-          [&](Precision p) {
+          [&](WireFormat f) {
             if (!tin) {
               tin = std::make_unique<WilsonField<Real>>(part.global());
               tout = std::make_unique<WilsonField<Real>>(part.global());
             }
-            const Precision keep = ghost_prec_;
-            ghost_prec_ = p;
+            const WireFormat keep = ghost_wire_;
+            ghost_wire_ = f;
             run(*tout, *tin, std::nullopt, /*hop_only=*/false);
-            ghost_prec_ = keep;
+            ghost_wire_ = keep;
           });
     }
   }
 
   Reconstruct recon() const { return recon_; }
   /// Resolved spinor-ghost wire precision (native unless LQCD_GHOST_PREC).
-  Precision ghost_precision() const { return ghost_prec_; }
+  Precision ghost_precision() const { return ghost_wire_.prec; }
+  /// Resolved spinor-ghost wire format (full/native unless forced/tuned).
+  WireFormat ghost_wire() const { return ghost_wire_; }
 
   void apply(WilsonField<Real>& out, const WilsonField<Real>& in) const override {
     this->count_application();
@@ -217,7 +223,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
         exchange_ghosts<WilsonProjectPacker<Real>>(part_, nt_, in_local_,
                                                    spinor_ghosts_,
                                                    &traffic_.spinor, source,
-                                                   ghost_prec_);
+                                                   ghost_wire_);
       }
       for (int r = 0; r < part_.num_ranks(); ++r) {
         interior_kernel(r, target, hop_only);
@@ -247,7 +253,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
     std::vector<detail::OverlapSample> samples(static_cast<std::size_t>(nr));
     if (comms_) {
       AsyncGhostExchange<WilsonProjectPacker<Real>, WilsonSpinor<Real>> ex(
-          part_, nt_, in_local_, spinor_ghosts_, source, ghost_prec_);
+          part_, nt_, in_local_, spinor_ghosts_, source, ghost_wire_);
       run_ranks(nr, [&](int r) {
         auto& sample = samples[static_cast<std::size_t>(r)];
         Stopwatch sw;
@@ -475,7 +481,7 @@ class PartitionedWilsonClover : public LinearOperator<WilsonField<Real>> {
   double mass_;
   bool comms_;
   Reconstruct recon_ = Reconstruct::None;
-  Precision ghost_prec_ = NativePrecision<Real>::value;
+  WireFormat ghost_wire_{NativePrecision<Real>::value};
   std::int64_t interior_links_ = 0;
   std::vector<GaugeField<Real>> u_local_;
   std::vector<CompressedGaugeField<Real>> u12_;
@@ -505,27 +511,31 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
     lng_ghosts_.assign(static_cast<std::size_t>(part.num_ranks()),
                        GhostZones<Matrix3<Real>>(nt_));
     // Fat links reach one hop, long links three: exchange only the layers
-    // the stencil can touch.
+    // the stencil can touch.  Recon wire is pinned to None: fat/long
+    // links are smeared *sums* of products, not SU(3) elements, so the
+    // 12/8 unitarity-based schemes would reconstruct the wrong matrix.
     exchange_gauge_ghosts(part_, nt_, fat_local_, fat_ghosts_, &traffic_.gauge,
-                          /*depth=*/1);
+                          /*depth=*/1, Reconstruct::None);
     exchange_gauge_ghosts(part_, nt_, lng_local_, lng_ghosts_, &traffic_.gauge,
-                          /*depth=*/3);
+                          /*depth=*/3, Reconstruct::None);
     in_local_.assign(static_cast<std::size_t>(part.num_ranks()),
                      StaggeredField<Real>(part.local()));
     out_local_.assign(static_cast<std::size_t>(part.num_ranks()),
                       StaggeredField<Real>(part.local()));
     spinor_ghosts_.assign(static_cast<std::size_t>(part.num_ranks()),
                           GhostZones<ColorVector<Real>>(nt_));
-    // Env-forced wire precision applies here too; the tuned policy axis
-    // lives on the Wilson hop only (the staggered ghost is already 4x
-    // smaller per site), so `tune` leaves staggered ghosts lossless.
+    // Env-forced wire axes apply here too; the tuned policy sweep lives
+    // on the Wilson hop only (the staggered ghost is already 4x smaller
+    // per site), so `tune` leaves staggered spinor ghosts lossless.
     if (comms_) {
-      ghost_prec_ = default_wire_precision<ColorVector<Real>>();
+      ghost_wire_ = default_wire_format<ColorVector<Real>>();
     }
   }
 
   /// Resolved spinor-ghost wire precision (native unless LQCD_GHOST_PREC).
-  Precision ghost_precision() const { return ghost_prec_; }
+  Precision ghost_precision() const { return ghost_wire_.prec; }
+  /// Resolved spinor-ghost wire format (full/native unless forced).
+  WireFormat ghost_wire() const { return ghost_wire_; }
 
   void apply(StaggeredField<Real>& out,
              const StaggeredField<Real>& in) const override {
@@ -539,7 +549,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
         ScopedSpan span("dslash.exchange");
         exchange_ghosts<IdentityPacker<ColorVector<Real>>>(
             part_, nt_, in_local_, spinor_ghosts_, &traffic_.spinor,
-            std::nullopt, ghost_prec_);
+            std::nullopt, ghost_wire_);
       }
       for (int r = 0; r < part_.num_ranks(); ++r) interior_kernel(r);
       if (comms_) {
@@ -567,7 +577,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
     std::vector<detail::OverlapSample> samples(static_cast<std::size_t>(nr));
     if (comms_) {
       AsyncGhostExchange<IdentityPacker<ColorVector<Real>>, ColorVector<Real>>
-          ex(part_, nt_, in_local_, spinor_ghosts_, std::nullopt, ghost_prec_);
+          ex(part_, nt_, in_local_, spinor_ghosts_, std::nullopt, ghost_wire_);
       run_ranks(nr, [&](int r) {
         auto& sample = samples[static_cast<std::size_t>(r)];
         Stopwatch sw;
@@ -699,7 +709,7 @@ class PartitionedStaggered : public LinearOperator<StaggeredField<Real>> {
   NeighborTable nt_;
   double mass_;
   bool comms_;
-  Precision ghost_prec_ = NativePrecision<Real>::value;
+  WireFormat ghost_wire_{NativePrecision<Real>::value};
   std::vector<GaugeField<Real>> fat_local_;
   std::vector<GaugeField<Real>> lng_local_;
   std::vector<GhostZones<Matrix3<Real>>> fat_ghosts_;

@@ -89,35 +89,66 @@ Reconstruct select_reconstruct(const std::string& kernel, std::string aux,
   return chosen;
 }
 
-/// Resolves the ghost wire precision (comm/wire.h) for kernel \p kernel,
-/// mirroring select_reconstruct:
-///  * LQCD_GHOST_PREC forced — that precision, clamped to \p native;
-///  * LQCD_GHOST_PREC=tune   — sweep the precisions no wider than
-///    \p native as a policy tunable (key `<kernel>_ghost_prec`, param
-///    `ghost=<prec>`) and return the tunecache winner.  Like recon-8,
-///    a truncated wire changes the numbers, hence the policy opt-in;
-///  * otherwise               — \p native (lossless seed behaviour).
-/// \p run_with is invoked as run_with(Precision) and must execute one
+/// Resolves the joint ghost wire format — (reconstruction x precision),
+/// comm/wire_format.h — for kernel \p kernel, mirroring
+/// select_reconstruct.  Each axis is forced, tuned, or defaulted
+/// independently (LQCD_GHOST_PREC / LQCD_GHOST_RECON):
+///  * forced axes contribute exactly their (precision-clamped) value;
+///  * a tuned axis contributes its full candidate range: precisions no
+///    wider than \p native (widest first), recons {Full, Unit};
+///  * an unset axis contributes its lossless default (native / Full).
+/// When either axis has more than one candidate the *pairs* are swept as
+/// one policy tunable (key `<kernel>_ghost_wire`, param
+/// `wire=<recon>,<prec>`, candidate 0 = the default pair) and the
+/// tunecache winner is returned — the joint sweep exists because the
+/// best precision can differ between recons (the unit form's fixed meta
+/// overhead amortizes differently at each scalar width).  Like recon-8,
+/// a compressed wire changes the numbers, hence the policy opt-in.
+/// \p run_with is invoked as run_with(WireFormat) and must execute one
 /// representative exchanging application against scratch state.
+///
+/// (This subsumes PR 9's select_ghost_precision; its `*_ghost_prec`
+/// cache rows are invalidated wholesale by the wire-codec token the
+/// tunecache header now carries — see tune/tune_cache.cpp.)
 template <typename RunFn>
-Precision select_ghost_precision(const std::string& kernel, std::string aux,
-                                 std::int64_t volume, Precision native,
-                                 RunFn&& run_with) {
-  const GhostPrecSetting& s = ghost_prec_setting();
-  if (s.forced.has_value()) {
-    return static_cast<int>(*s.forced) < static_cast<int>(native)
-               ? native
-               : *s.forced;
+WireFormat select_ghost_wire(const std::string& kernel, std::string aux,
+                             std::int64_t volume, Precision native,
+                             RunFn&& run_with) {
+  const GhostPrecSetting& ps = ghost_prec_setting();
+  const GhostReconSetting& rs = ghost_recon_setting();
+  std::vector<Precision> precs;
+  if (ps.forced.has_value()) {
+    precs.push_back(static_cast<int>(*ps.forced) < static_cast<int>(native)
+                        ? native
+                        : *ps.forced);
+  } else if (ps.tune) {
+    for (Precision p :
+         {Precision::Double, Precision::Single, Precision::Half}) {
+      if (static_cast<int>(p) >= static_cast<int>(native)) precs.push_back(p);
+    }
+  } else {
+    precs.push_back(native);
   }
-  if (!s.tune) return native;
-  Precision chosen = native;
+  std::vector<WireRecon> recons;
+  if (rs.forced.has_value()) {
+    recons.push_back(*rs.forced);
+  } else if (rs.tune) {
+    recons = {WireRecon::Full, WireRecon::Unit};
+  } else {
+    recons.push_back(WireRecon::Full);
+  }
+  if (precs.size() == 1 && recons.size() == 1) {
+    return WireFormat(precs[0], recons[0]);
+  }
+  WireFormat chosen(precs[0], recons[0]);
   std::vector<CallbackTunable::Candidate> cands;
-  for (Precision p : {Precision::Double, Precision::Single, Precision::Half}) {
-    if (static_cast<int>(p) < static_cast<int>(native)) continue;
-    cands.push_back({std::string("ghost=") + to_string(p),
-                     [&chosen, p] { chosen = p; }});
+  for (WireRecon r : recons) {
+    for (Precision p : precs) {
+      const WireFormat f(p, r);
+      cands.push_back({"wire=" + to_string(f), [&chosen, f] { chosen = f; }});
+    }
   }
-  CallbackTunable t(kernel + "_ghost_prec", std::move(aux), volume,
+  CallbackTunable t(kernel + "_ghost_wire", std::move(aux), volume,
                     TuneClass::policy, std::move(cands),
                     [&] { run_with(chosen); });
   TuneOptions opts;

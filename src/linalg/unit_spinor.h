@@ -1,0 +1,103 @@
+#pragma once
+/// \file unit_spinor.h
+/// \brief Minimal ("unit-form") parameterization of a spinor wire site.
+///
+/// A packed ghost site of n reals carries one redundant magnitude degree
+/// of freedom once a per-site norm travels alongside it: the direction
+/// u = x / |x| is a unit vector, so any one component's magnitude is
+/// implied by the other n-1 (|u_k| = sqrt(1 - sum_{i!=k} u_i^2)).  The
+/// codec drops the *largest-magnitude* component — |u_k| >= 1/sqrt(n), so
+/// the square root is evaluated far from its singular slope and the
+/// recovery is well-conditioned — and stores its index and sign in one
+/// meta byte.  This is the spinor-side analogue of the SU(3) 12/8-real
+/// link reconstruction (linalg/reconstruct.h) and is QUDA's reason a
+/// compressed halo can beat the already spin-projected wire.
+///
+/// Determinism contract (mirrors linalg/half.h): every function here is a
+/// pure elementwise function of its (pre-sanitized) float inputs with a
+/// fixed accumulation order, so both exchange transports produce
+/// identical wire bytes and identical decodes.  Accumulations run in
+/// double so the norm neither overflows nor loses the low components'
+/// contributions; results are rounded to float once, at the end.
+///
+/// The unit form is *not* idempotent (decode re-scales by a float norm,
+/// so a second encode sees slightly different components).  Chaos-repair
+/// safety does not need it to be: retransmissions resend the retained
+/// encoded message, and the seq transport round-trips through the same
+/// pure codec, so repaired and fault-free exchanges stay bitwise equal.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lqcd {
+
+/// Meta byte: dropped-component index in bits 0-3, its sign in bit 4.
+inline constexpr std::uint8_t kUnitMetaSignBit = 0x10;
+
+inline constexpr std::uint8_t unit_meta(int index, bool negative) {
+  return static_cast<std::uint8_t>((index & 0x0f) |
+                                   (negative ? kUnitMetaSignBit : 0));
+}
+
+inline constexpr int unit_meta_index(std::uint8_t meta) { return meta & 0x0f; }
+
+inline constexpr bool unit_meta_negative(std::uint8_t meta) {
+  return (meta & kUnitMetaSignBit) != 0;
+}
+
+/// Normalizes x (already sanitized: finite, denormal-free) into the unit
+/// direction u.  Returns the float norm, 0 for an all-zero site (u is
+/// zeroed; the wire site then decodes to exact zeros).  The double
+/// accumulator cannot overflow for float inputs; a norm that still
+/// exceeds the float range (components near FLT_MAX) is clamped to
+/// FLT_MAX so the wire never carries an Inf.
+inline float unit_normalize(const float* x, float* u, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  const double norm_d = std::sqrt(sum);
+  if (norm_d == 0.0) {
+    for (int i = 0; i < n; ++i) u[i] = 0.0f;
+    return 0.0f;
+  }
+  const double clamped = std::min(
+      norm_d, static_cast<double>(std::numeric_limits<float>::max()));
+  for (int i = 0; i < n; ++i) {
+    u[i] = static_cast<float>(static_cast<double>(x[i]) / clamped);
+  }
+  return static_cast<float>(clamped);
+}
+
+/// Index of the largest-magnitude component (first on ties — a fixed rule
+/// so encode is deterministic).
+inline int unit_argmax(const float* u, int n) {
+  int k = 0;
+  float best = std::fabs(u[0]);
+  for (int i = 1; i < n; ++i) {
+    const float a = std::fabs(u[i]);
+    if (a > best) {
+      best = a;
+      k = i;
+    }
+  }
+  return k;
+}
+
+/// Magnitude of the dropped component implied by unitarity:
+/// sqrt(max(0, 1 - sum_{i!=k} u_i^2)).  Called on the *decoded* (wire
+/// precision) components, so sender and receiver agree bitwise; the clamp
+/// absorbs rounding that pushes the residual negative.
+inline float unit_recover(const float* u, int n, int k) {
+  double rest = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (i == k) continue;
+    rest += static_cast<double>(u[i]) * static_cast<double>(u[i]);
+  }
+  const double mag2 = 1.0 - rest;
+  return static_cast<float>(std::sqrt(mag2 > 0.0 ? mag2 : 0.0));
+}
+
+}  // namespace lqcd

@@ -20,11 +20,12 @@ struct DslashModelConfig {
   StencilKind kind = StencilKind::Wilson;
   Precision precision = Precision::Single;
   Reconstruct recon = Reconstruct::Twelve;
-  /// When set, ghost faces travel at this wire precision (the
-  /// LQCD_GHOST_PREC policy of comm/wire.h) and message bytes are priced
-  /// by the compressed formulas; unset keeps the legacy fp32-staged wire
-  /// the historical figures assume.
-  std::optional<Precision> ghost_wire;
+  /// When set, ghost faces travel at this wire format (the LQCD_GHOST_PREC
+  /// x LQCD_GHOST_RECON policy of comm/wire.h; a bare Precision converts
+  /// to its full-recon format) and message bytes are priced by the
+  /// compressed formulas; unset keeps the legacy fp32-staged wire the
+  /// historical figures assume.
+  std::optional<WireFormat> ghost_wire;
   ClusterSpec cluster;
 };
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "comm/wire_format.h"
 #include "fields/precision.h"
 #include "lattice/partition.h"
 #include "linalg/reconstruct.h"
@@ -114,9 +115,28 @@ inline double compressed_ghost_bytes_per_face_site(StencilKind k,
   return reals * bytes_per_real(wire);
 }
 
+/// Wire bytes per boundary site at a full (recon x precision) WireFormat
+/// (comm/wire_format.h).  Full recon defers to the precision formula
+/// above; the unit form charges, per packed site, a 4-byte norm + 1 meta
+/// byte + one scalar per remaining direction component (int16 at half —
+/// the unit scale needs no second norm — raw reals otherwise): 27 bytes
+/// for a Wilson half-spinor face site vs 96 double (28.1%), under the
+/// 28-byte full-recon half envelope.
+inline double compressed_ghost_bytes_per_face_site(StencilKind k,
+                                                   WireFormat wire) {
+  if (wire.recon == WireRecon::Full) {
+    return compressed_ghost_bytes_per_face_site(k, wire.prec);
+  }
+  const double reals = ghost_reals_per_face_site(k);
+  const double packed = ghost_packed_sites_per_face_site(k);
+  const double scalar =
+      wire.prec == Precision::Half ? 2.0 : bytes_per_real(wire.prec);
+  return packed * (4.0 + 1.0 + (reals / packed - 1.0) * scalar);
+}
+
 /// face_message_bytes under the compressed-wire policy.
 inline double compressed_face_message_bytes(const Partitioning& part,
-                                            StencilKind k, Precision wire,
+                                            StencilKind k, WireFormat wire,
                                             int mu) {
   if (!part.partitioned(mu)) return 0.0;
   const double face_sites =
@@ -126,7 +146,7 @@ inline double compressed_face_message_bytes(const Partitioning& part,
 
 /// total_face_bytes under the compressed-wire policy.
 inline double compressed_total_face_bytes(const Partitioning& part,
-                                          StencilKind k, Precision wire) {
+                                          StencilKind k, WireFormat wire) {
   double total = 0;
   for (int mu = 0; mu < kNDim; ++mu) {
     total += 2.0 * compressed_face_message_bytes(part, k, wire, mu);

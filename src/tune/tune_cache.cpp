@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "comm/wire_format.h"
 #include "linalg/simd.h"
 #include "util/log.h"
 
@@ -84,9 +85,9 @@ bool TuneCache::load(const std::string& path) {
   std::string header;
   if (!std::getline(in, header)) return false;
   std::istringstream hs(header);
-  std::string magic, lanes;
+  std::string magic, lanes, wire;
   int version = -1;
-  hs >> magic >> version >> lanes;
+  hs >> magic >> version >> lanes >> wire;
   if (magic != "lqcd-tunecache" || version != kVersion) {
     log_warn("tunecache '" + path + "' has unrecognized header ('" + header +
              "'); ignoring it and re-tuning");
@@ -97,6 +98,16 @@ bool TuneCache::load(const std::string& path) {
              "configuration '" + (lanes.empty() ? "<none>" : lanes) +
              "' (this build: '" + lane_config_token() +
              "'); ignoring it and re-tuning");
+    return false;
+  }
+  // Ghost-wire codec token: `*_ghost_wire` winners (and PR 9's
+  // `*_ghost_prec` rows, whose files carry no token at all) were timed
+  // against a specific wire byte layout; a layout change — or a pre-recon
+  // cache — invalidates the file wholesale.
+  if (wire != ghost_wire_codec_token()) {
+    log_warn("tunecache '" + path + "' was written against ghost-wire codec '" +
+             (wire.empty() ? "<none>" : wire) + "' (this build: '" +
+             ghost_wire_codec_token() + "'); ignoring it and re-tuning");
     return false;
   }
   std::unique_lock<std::mutex> lock(m_);
@@ -136,7 +147,8 @@ bool TuneCache::save(const std::string& path) const {
   }
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  out << "lqcd-tunecache " << kVersion << ' ' << lane_config_token() << "\n";
+  out << "lqcd-tunecache " << kVersion << ' ' << lane_config_token() << ' '
+      << ghost_wire_codec_token() << "\n";
   out << "# kernel\taux\tvolume\tworkers\tparam\tbest_us\tdefault_us\n";
   for (const auto& [key, res] : snapshot) {
     out << sanitize(key.kernel) << '\t' << sanitize(key.aux) << '\t'

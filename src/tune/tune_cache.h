@@ -52,9 +52,10 @@ class TuneCache {
   /// Loads entries from \p path (TSV).  Returns false (leaving the cache
   /// empty) on a missing file, malformed header, version mismatch, or a
   /// header whose lane-configuration token (`lanes=fNdM`, from the
-  /// build-time LQCD_SIMD_BYTES) differs from this build's — tuned
-  /// parameters do not migrate between builds with different SoA lane
-  /// widths.
+  /// build-time LQCD_SIMD_BYTES) or ghost-wire codec token (`wire=uN`,
+  /// comm/wire_format.h) differs from this build's — tuned parameters do
+  /// not migrate between builds with different SoA lane widths or wire
+  /// byte layouts.
   bool load(const std::string& path);
 
   /// Writes all entries to \p path.  Returns false on I/O failure.

@@ -28,7 +28,9 @@
 #include "gauge/configure.h"
 #include "gauge/staggered_links.h"
 #include "linalg/half.h"
+#include "linalg/reconstruct.h"
 #include "obs/metrics.h"
+#include "tune/tune_cache.h"
 
 namespace lqcd {
 namespace {
@@ -67,6 +69,35 @@ class ScopedGhostPrec {
       unsetenv("LQCD_GHOST_PREC");
     }
     init_ghost_prec_from_env();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string saved_;
+};
+
+/// Forces LQCD_GHOST_RECON for the scope (re-reading the policy), mirroring
+/// ScopedGhostPrec.
+class ScopedGhostRecon {
+ public:
+  explicit ScopedGhostRecon(const char* value) {
+    const char* prev = std::getenv("LQCD_GHOST_RECON");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) saved_ = prev;
+    if (value != nullptr) {
+      setenv("LQCD_GHOST_RECON", value, 1);
+    } else {
+      unsetenv("LQCD_GHOST_RECON");
+    }
+    init_ghost_recon_from_env();
+  }
+  ~ScopedGhostRecon() {
+    if (had_prev_) {
+      setenv("LQCD_GHOST_RECON", saved_.c_str(), 1);
+    } else {
+      unsetenv("LQCD_GHOST_RECON");
+    }
+    init_ghost_recon_from_env();
   }
 
  private:
@@ -143,6 +174,88 @@ TEST(WireCodec, EnvPolicyContract) {
   {
     ScopedGhostPrec env(nullptr);
     EXPECT_EQ(default_wire_precision<HalfSpinor<double>>(), Precision::Double);
+  }
+}
+
+TEST(WireCodec, UnitSiteBytesMatchEnvelopeFormat) {
+  using WS = HalfSpinor<double>;
+  using CV = ColorVector<double>;
+  // Unit form: float norm + meta byte + (n-1) direction scalars.
+  EXPECT_EQ(wire_site_bytes<WS>(WireFormat(Precision::Double, WireRecon::Unit)),
+            93u);
+  EXPECT_EQ(wire_site_bytes<WS>(WireFormat(Precision::Single, WireRecon::Unit)),
+            49u);
+  EXPECT_EQ(wire_site_bytes<WS>(WireFormat(Precision::Half, WireRecon::Unit)),
+            27u);
+  EXPECT_EQ(wire_site_bytes<CV>(WireFormat(Precision::Double, WireRecon::Unit)),
+            45u);
+  EXPECT_EQ(wire_site_bytes<CV>(WireFormat(Precision::Single, WireRecon::Unit)),
+            25u);
+  EXPECT_EQ(wire_site_bytes<CV>(WireFormat(Precision::Half, WireRecon::Unit)),
+            15u);
+  // Full recon defers to the precision envelope (and a bare Precision
+  // converts to its full-recon format, preserving the PR 9 call sites).
+  EXPECT_EQ(wire_site_bytes<WS>(WireFormat(Precision::Half)), 28u);
+  EXPECT_EQ(wire_site_bytes<WS>(WireFormat(Precision::Double)), 96u);
+}
+
+TEST(WireCodec, UnitHalfBeatsTheFullHalfCompressionBaseline) {
+  // The tentpole acceptance bound: the (unit, half) Wilson face site must
+  // land measurably under PR 9's 28/96 = 29.2%-of-double envelope.
+  const double unit_half = static_cast<double>(wire_site_bytes<
+      HalfSpinor<double>>(WireFormat(Precision::Half, WireRecon::Unit)));
+  const double full_half = static_cast<double>(
+      wire_site_bytes<HalfSpinor<double>>(Precision::Half));
+  const double full_double = static_cast<double>(
+      wire_site_bytes<HalfSpinor<double>>(Precision::Double));
+  EXPECT_LT(unit_half, full_half);
+  EXPECT_LT(unit_half / full_double, 0.292);
+}
+
+TEST(WireCodec, ReconEnvPolicyContract) {
+  {
+    ScopedGhostRecon env("min");
+    ASSERT_TRUE(ghost_recon_setting().forced.has_value());
+    EXPECT_EQ(*ghost_recon_setting().forced, WireRecon::Unit);
+    EXPECT_EQ(ghost_recon_setting().gauge, Reconstruct::Twelve);
+    EXPECT_FALSE(ghost_recon_setting().tune);
+    EXPECT_EQ(default_wire_format<HalfSpinor<double>>().recon, WireRecon::Unit);
+  }
+  {
+    ScopedGhostRecon env("12");  // alias of min/unit
+    EXPECT_EQ(*ghost_recon_setting().forced, WireRecon::Unit);
+    EXPECT_EQ(ghost_recon_setting().gauge, Reconstruct::Twelve);
+  }
+  {
+    ScopedGhostRecon env("8");
+    EXPECT_EQ(*ghost_recon_setting().forced, WireRecon::Unit);
+    EXPECT_EQ(ghost_recon_setting().gauge, Reconstruct::Eight);
+  }
+  {
+    ScopedGhostRecon env("tune");
+    EXPECT_FALSE(ghost_recon_setting().forced.has_value());
+    EXPECT_TRUE(ghost_recon_setting().tune);
+    // Gauge ghosts move once per solve; tune pins them to the exact-for-
+    // unitary recon-12 rather than sweeping.
+    EXPECT_EQ(ghost_recon_setting().gauge, Reconstruct::Twelve);
+    // The bare default stays full: tune resolves per operator.
+    EXPECT_EQ(default_wire_format<HalfSpinor<double>>().recon, WireRecon::Full);
+  }
+  {
+    ScopedGhostRecon env("full");
+    EXPECT_EQ(ghost_recon_setting().gauge, Reconstruct::None);
+    EXPECT_EQ(default_wire_format<HalfSpinor<double>>().recon, WireRecon::Full);
+  }
+  {
+    ScopedGhostRecon env("bogus");  // warns once, defaults hold
+    EXPECT_FALSE(ghost_recon_setting().forced.has_value());
+    EXPECT_FALSE(ghost_recon_setting().tune);
+    EXPECT_EQ(ghost_recon_setting().gauge, Reconstruct::None);
+  }
+  {
+    ScopedGhostRecon env(nullptr);
+    EXPECT_FALSE(ghost_recon_setting().forced.has_value());
+    EXPECT_EQ(default_wire_format<HalfSpinor<double>>().recon, WireRecon::Full);
   }
 }
 
@@ -269,6 +382,57 @@ TEST(WireCodec, HalfRoundTripDeterministicAndBounded) {
   EXPECT_EQ(wire_c, wire_d);
 }
 
+TEST(WireCodec, UnitRoundTripDeterministicBoundedAndZeroExact) {
+  std::vector<HalfSpinor<double>> ref = fuzz_faces(17, 64);
+
+  for (Precision p :
+       {Precision::Double, Precision::Single, Precision::Half}) {
+    const WireFormat f(p, WireRecon::Unit);
+    std::vector<HalfSpinor<double>> faces = ref;
+
+    std::vector<unsigned char> wire_a, wire_b;
+    encode_face<HalfSpinor<double>>(
+        std::span<const HalfSpinor<double>>(faces), f, wire_a);
+    encode_face<HalfSpinor<double>>(
+        std::span<const HalfSpinor<double>>(faces), f, wire_b);
+    ASSERT_EQ(wire_a.size(),
+              faces.size() * wire_site_bytes<HalfSpinor<double>>(f));
+    // Same input -> same bytes (the chaos-repair contract): the unit
+    // encode is a pure per-site function, norms and argmax included.
+    EXPECT_EQ(wire_a, wire_b);
+
+    decode_face<HalfSpinor<double>>(std::span<const unsigned char>(wire_a), f,
+                                    std::span<HalfSpinor<double>>(faces));
+    for (std::size_t i = 0; i < faces.size(); ++i) {
+      // Unit-form error scales with the site's L2 norm: direction
+      // components carry the wire-precision quantization, and the dropped
+      // (largest, so well-conditioned) component adds the unitarity-
+      // recovery accumulation.  fp32 staging bounds even the double wire.
+      double l2 = 0.0;
+      for (int sp = 0; sp < 2; ++sp) {
+        for (int c = 0; c < 3; ++c) {
+          l2 += std::norm(ref[i].h[sp].c[c]);
+        }
+      }
+      const double norm = std::sqrt(l2);
+      const double rel = p == Precision::Half ? 2e-3 : 1e-5;
+      const double bound = rel * (norm == 0.0 ? 1.0 : norm);
+      for (int sp = 0; sp < 2; ++sp) {
+        for (int c = 0; c < 3; ++c) {
+          EXPECT_LE(std::abs(faces[i].h[sp].c[c] - ref[i].h[sp].c[c]), bound)
+              << to_string(f) << " site " << i;
+        }
+      }
+      // Zero sites (parity holes) decode to exact zeros: norm 0 on the
+      // wire short-circuits the decode.
+      if (i % 7 == 3) {
+        EXPECT_EQ(std::memcmp(&faces[i], &ref[i], sizeof(faces[i])), 0)
+            << to_string(f);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Property fuzz: the full exchange round trip across wire precision x
 // action x parity restriction, in both rank modes.
@@ -290,6 +454,9 @@ TEST_P(GhostWireExchangeTest, WilsonFacesSeqThreadsBitwiseAndLossless) {
   std::vector<WilsonField<double>> locals;
   map.scatter(global, locals);
 
+  // This suite pins the *precision* axis: run at full recon regardless of
+  // any ambient LQCD_GHOST_RECON (the unit-recon axis has its own suite).
+  ScopedGhostRecon recon_env(nullptr);
   auto run = [&](RankMode m) {
     ScopedRankMode scoped(m);
     std::vector<GhostZones<HalfSpinor<double>>> ghosts(
@@ -430,6 +597,183 @@ INSTANTIATE_TEST_SUITE_P(
                       ExchangeCase{"half", Parity::Odd}));
 
 // ---------------------------------------------------------------------------
+// Unit-recon exchange: the reconstruction axis preserves the transport
+// determinism contract — seq == threads == rerun, bitwise, at every wire
+// precision and parity restriction.
+// ---------------------------------------------------------------------------
+
+class GhostWireUnitExchangeTest : public ::testing::TestWithParam<ExchangeCase> {
+};
+
+TEST_P(GhostWireUnitExchangeTest, UnitFacesSeqThreadsBitwise) {
+  const ExchangeCase c = GetParam();
+  Partitioning part(LatticeGeometry({4, 4, 4, 8}), {1, 1, 2, 2});
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  const WilsonField<double> global = gaussian_wilson_source(part.global(), 77);
+  std::vector<WilsonField<double>> locals;
+  map.scatter(global, locals);
+
+  ScopedGhostPrec prec(c.prec);
+  ScopedGhostRecon recon("min");
+  ASSERT_EQ(default_wire_format<HalfSpinor<double>>().recon, WireRecon::Unit);
+  auto run = [&](RankMode m) {
+    ScopedRankMode scoped(m);
+    std::vector<GhostZones<HalfSpinor<double>>> ghosts(
+        static_cast<std::size_t>(part.num_ranks()),
+        GhostZones<HalfSpinor<double>>(nt));
+    exchange_ghosts<WilsonProjectPacker<double>>(part, nt, locals, ghosts,
+                                                 nullptr, c.parity);
+    return ghosts;
+  };
+  const auto seq = run(RankMode::Seq);
+  const auto thr = run(RankMode::Threads);
+  const auto seq_again = run(RankMode::Seq);
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!part.partitioned(mu)) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        const auto a = seq[static_cast<std::size_t>(r)].zone(mu, dir);
+        const auto b = thr[static_cast<std::size_t>(r)].zone(mu, dir);
+        const auto a2 = seq_again[static_cast<std::size_t>(r)].zone(mu, dir);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0)
+            << "unit," << c.prec << " rank " << r << " mu " << mu << " dir "
+            << dir;
+        EXPECT_EQ(std::memcmp(a.data(), a2.data(), a.size_bytes()), 0)
+            << "unit," << c.prec << " rank " << r << " mu " << mu << " dir "
+            << dir;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionsAndParities, GhostWireUnitExchangeTest,
+    ::testing::Values(ExchangeCase{"double", std::nullopt},
+                      ExchangeCase{"double", Parity::Even},
+                      ExchangeCase{"float", std::nullopt},
+                      ExchangeCase{"half", std::nullopt},
+                      ExchangeCase{"half", Parity::Odd}));
+
+// ---------------------------------------------------------------------------
+// Gauge-link ghost codec: 12/8-real compressed gauge faces.
+// ---------------------------------------------------------------------------
+
+TEST(GaugeWireCodec, SiteBytesMatchPackedRealCounts) {
+  EXPECT_EQ(gauge_wire_site_bytes<double>(Reconstruct::None), 144u);
+  EXPECT_EQ(gauge_wire_site_bytes<double>(Reconstruct::Twelve), 96u);
+  EXPECT_EQ(gauge_wire_site_bytes<double>(Reconstruct::Eight), 64u);
+  EXPECT_EQ(gauge_wire_site_bytes<float>(Reconstruct::Twelve), 48u);
+}
+
+/// Replaces every link of \p u by its recon-12 codec image, making the
+/// field *exactly* row-2-reconstructible (hot links are unitary only up to
+/// heatbath rounding).
+void codec_unitarize(GaugeField<double>& u) {
+  for (int mu = 0; mu < kNDim; ++mu) {
+    for (std::int64_t s = 0; s < u.geometry().volume(); ++s) {
+      u.link(mu, s) = decompress12(compress12(u.link(mu, s)));
+    }
+  }
+}
+
+TEST(GaugeWireCodec, Recon12BitwiseForCodecUnitarizedLinks) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  GaugeField<double> u = hot_gauge(g, 95);
+  codec_unitarize(u);
+  std::vector<Matrix3<double>> links;
+  for (std::int64_t s = 0; s < g.volume(); ++s) links.push_back(u.link(0, s));
+
+  std::vector<unsigned char> wire;
+  encode_gauge_face<double>(std::span<const Matrix3<double>>(links),
+                            Reconstruct::Twelve, wire);
+  ASSERT_EQ(wire.size(), links.size() * 96u);
+  std::vector<Matrix3<double>> decoded(links.size());
+  decode_gauge_face<double>(std::span<const unsigned char>(wire),
+                            Reconstruct::Twelve,
+                            std::span<Matrix3<double>>(decoded));
+  EXPECT_EQ(std::memcmp(decoded.data(), links.data(),
+                        links.size() * sizeof(Matrix3<double>)),
+            0);
+
+  // Recon-8 re-derives rows 1-2 from the orthonormal frame: exact only up
+  // to rounding, so bound it instead.
+  encode_gauge_face<double>(std::span<const Matrix3<double>>(links),
+                            Reconstruct::Eight, wire);
+  ASSERT_EQ(wire.size(), links.size() * 64u);
+  decode_gauge_face<double>(std::span<const unsigned char>(wire),
+                            Reconstruct::Eight,
+                            std::span<Matrix3<double>>(decoded));
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_LE(std::abs(decoded[i](r, c) - links[i](r, c)), 1e-10)
+            << "link " << i;
+      }
+    }
+  }
+}
+
+TEST(GaugeWireCodec, GhostExchangeRecon12MatchesUncompressedBitwise) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  GaugeField<double> u = hot_gauge(g, 96);
+  codec_unitarize(u);
+  Partitioning part(g, {1, 1, 2, 2});
+  NeighborTable nt(part.local(), part.partitioned_dims(), 1);
+  DomainMap map(part);
+  std::vector<GaugeField<double>> locals;
+  map.scatter_gauge(u, locals);
+
+  auto run = [&](std::optional<Reconstruct> wire, ExchangeCounters* counters) {
+    std::vector<GhostZones<Matrix3<double>>> ghosts(
+        static_cast<std::size_t>(part.num_ranks()),
+        GhostZones<Matrix3<double>>(nt));
+    exchange_gauge_ghosts(part, nt, locals, ghosts, counters, -1, wire);
+    return ghosts;
+  };
+
+  ExchangeCounters raw_c, r12_c, r8_c;
+  const auto raw = run(Reconstruct::None, &raw_c);
+  const auto r12 = run(Reconstruct::Twelve, &r12_c);
+  const auto r8 = run(Reconstruct::Eight, &r8_c);
+
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (!part.partitioned(mu)) continue;
+      const auto a = raw[static_cast<std::size_t>(r)].zone(mu, 1);
+      const auto b = r12[static_cast<std::size_t>(r)].zone(mu, 1);
+      const auto c8 = r8[static_cast<std::size_t>(r)].zone(mu, 1);
+      // Recon-12 halos are bitwise the uncompressed halos: row 2 of a
+      // codec-unitarized link reconstructs exactly.
+      EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0)
+          << "rank " << r << " mu " << mu;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        for (int row = 0; row < 3; ++row) {
+          for (int col = 0; col < 3; ++col) {
+            EXPECT_LE(std::abs(c8[i](row, col) - a[i](row, col)), 1e-10);
+          }
+        }
+      }
+    }
+  }
+
+  // Byte metering prices the compressed wire, not the stored halo.
+  for (int mu = 0; mu < kNDim; ++mu) {
+    std::uint64_t fv = 0;
+    if (part.partitioned(mu)) {
+      fv = static_cast<std::uint64_t>(part.local().volume() /
+                                      part.local().dim(mu));
+    }
+    const std::uint64_t n = static_cast<std::uint64_t>(part.num_ranks()) * fv;
+    const auto m = static_cast<std::size_t>(mu);
+    EXPECT_EQ(raw_c.bytes_by_dim[m], n * 144u) << "mu " << mu;
+    EXPECT_EQ(r12_c.bytes_by_dim[m], n * 96u) << "mu " << mu;
+    EXPECT_EQ(r8_c.bytes_by_dim[m], n * 64u) << "mu " << mu;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Operator level: the wire policy composes with every gauge reconstruction
 // format, stays bitwise deterministic across rank modes, and is lossless
 // (exact single-domain agreement) above half.
@@ -455,6 +799,7 @@ TEST_P(GhostWireOperatorTest, PartitionedWilsonAcrossReconFormats) {
   ref_op.apply(ref, in);
 
   ScopedGhostPrec env(c.prec);
+  ScopedGhostRecon recon_env(nullptr);  // precision axis only, full recon
   PartitionedWilsonClover<double> op(part, u, nullptr, mass, /*comms=*/true,
                                      c.recon);
 
@@ -527,6 +872,7 @@ TEST(GhostWireBytes, MeteredBytesMatchWireFormulaPerFace) {
   const AsqtadLinks links = build_asqtad_links(su);
   const StaggeredField<double> sin_ = gaussian_staggered_source(sg, 83);
 
+  ScopedGhostRecon recon_env(nullptr);  // full-recon formulas under test
   struct Expect {
     const char* prec;
     Precision wire;
@@ -593,6 +939,7 @@ TEST(GhostWireBytes, HalfSpinorFacesWithinThirtyPercentOfDouble) {
   WilsonField<double> out(g);
 
   std::uint64_t bytes_double = 0, bytes_half = 0;
+  ScopedGhostRecon recon_env(nullptr);  // the full-recon envelope's bound
   {
     ScopedGhostPrec env("double");
     PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
@@ -649,6 +996,216 @@ TEST(GhostWireChaos, RepairedBitFlipTransparentUnderHalfWire) {
                         expect.sites().size_bytes()),
             0);
   EXPECT_GE(metric_counter("comm.retries").value(), retries_before + 1);
+}
+
+TEST(GhostWireChaos, RepairedBitFlipTransparentUnderUnitHalfWire) {
+  // Same contract at the fully compressed (unit, half) wire: the unit
+  // encode is a pure per-site function, so the repaired retry re-sends
+  // the identical payload and the run is bitwise the fault-free run.
+  ScopedRankMode mode(RankMode::Threads);
+  ScopedGhostPrec prec("half");
+  ScopedGhostRecon recon("min");
+  const LatticeGeometry g({4, 4, 4, 8});
+  GaugeField<double> u = hot_gauge(g, 97);
+  codec_unitarize(u);  // gauge ghosts travel recon-12 under min
+  Partitioning part(g, {1, 1, 1, 2});
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  ASSERT_EQ(op.ghost_wire(),
+            WireFormat(Precision::Half, WireRecon::Unit));
+  const WilsonField<double> in = gaussian_wilson_source(g, 98);
+
+  clear_fault_plan();
+  WilsonField<double> expect(g);
+  op.apply(expect, in);
+
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.once[static_cast<int>(FaultKind::BitFlip)] = 2;
+  spec.recv_timeout = microseconds(50000);
+  spec.max_retries = 4;
+  spec.backoff = microseconds(100);
+  set_fault_plan(spec);
+  const std::uint64_t retries_before = metric_counter("comm.retries").value();
+
+  WilsonField<double> got(g);
+  op.apply(got, in);
+  clear_fault_plan();
+
+  EXPECT_EQ(std::memcmp(expect.sites().data(), got.sites().data(),
+                        expect.sites().size_bytes()),
+            0);
+  EXPECT_GE(metric_counter("comm.retries").value(), retries_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Operator level at the unit recon: determinism across rank modes and
+// accuracy against the single-domain reference, per wire precision.
+// ---------------------------------------------------------------------------
+
+class GhostWireUnitOperatorTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(GhostWireUnitOperatorTest, PartitionedWilsonUnderUnitRecon) {
+  const char* prec = GetParam();
+  const LatticeGeometry g({4, 4, 4, 8});
+  GaugeField<double> u = hot_gauge(g, 101);
+  codec_unitarize(u);  // keeps the recon-12 gauge halos bitwise
+  const double mass = -0.1;
+  Partitioning part(g, {1, 1, 2, 2});
+  const WilsonField<double> in = gaussian_wilson_source(g, 102);
+
+  WilsonField<double> ref(g);
+  WilsonCloverOperator<double> ref_op(u, nullptr, mass);
+  ref_op.apply(ref, in);
+
+  ScopedGhostPrec penv(prec);
+  ScopedGhostRecon renv("min");
+  PartitionedWilsonClover<double> op(part, u, nullptr, mass);
+  EXPECT_EQ(op.ghost_wire().recon, WireRecon::Unit);
+
+  WilsonField<double> seq_out(g), thr_out(g), seq_rerun(g);
+  {
+    ScopedRankMode scoped(RankMode::Seq);
+    op.apply(seq_out, in);
+    op.apply(seq_rerun, in);
+  }
+  {
+    ScopedRankMode scoped(RankMode::Threads);
+    op.apply(thr_out, in);
+  }
+  EXPECT_EQ(std::memcmp(seq_out.sites().data(), thr_out.sites().data(),
+                        seq_out.sites().size_bytes()),
+            0)
+      << "seq != threads at unit," << prec;
+  EXPECT_EQ(std::memcmp(seq_out.sites().data(), seq_rerun.sites().data(),
+                        seq_out.sites().size_bytes()),
+            0)
+      << "rerun differs at unit," << prec;
+
+  WilsonField<double> diff = seq_out;
+  axpy(-1.0, ref, diff);
+  const double rel = std::sqrt(norm2(diff) / norm2(ref));
+  EXPECT_GT(norm2(diff), 0.0);  // the unit form is lossy at every precision
+  if (std::string(prec) == "half") {
+    // Face terms carry the int16 unit-direction quantization plus the
+    // unitarity-recovery accumulation on the dropped component.
+    EXPECT_LT(rel, 1e-3);
+  } else {
+    // double/float unit wires stage through fp32 (SC'11 transfer path):
+    // the face error is the fp32 cast, far under the half step.
+    EXPECT_LT(rel, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, GhostWireUnitOperatorTest,
+                         ::testing::Values("double", "float", "half"));
+
+// ---------------------------------------------------------------------------
+// Byte metering at the unit formats, and the joint-tune cache round trip.
+// ---------------------------------------------------------------------------
+
+TEST(GhostWireBytes, MeteredBytesMatchUnitFormulaPerFace) {
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 103);
+  Partitioning part(g, {1, 1, 2, 2});
+  const WilsonField<double> in = gaussian_wilson_source(g, 104);
+
+  const LatticeGeometry sg({4, 4, 8, 8});
+  const GaugeField<double> su = hot_gauge(sg, 105);
+  Partitioning spart(sg, {1, 1, 2, 2});
+  const AsqtadLinks links = build_asqtad_links(su);
+  const StaggeredField<double> sin_ = gaussian_staggered_source(sg, 106);
+
+  ScopedGhostRecon renv("min");
+  struct Expect {
+    const char* prec;
+    Precision wire;
+  };
+  for (const Expect e : {Expect{"double", Precision::Double},
+                         Expect{"float", Precision::Single},
+                         Expect{"half", Precision::Half}}) {
+    ScopedGhostPrec penv(e.prec);
+    const WireFormat fmt(e.wire, WireRecon::Unit);
+
+    PartitionedWilsonClover<double> wop(part, u, nullptr, -0.1);
+    ASSERT_EQ(wop.ghost_wire(), fmt);
+    WilsonField<double> wout(g);
+    wop.apply(wout, in);
+    const std::uint64_t wsite = wire_site_bytes<HalfSpinor<double>>(fmt);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      std::uint64_t expect = 0;
+      if (part.partitioned(mu)) {
+        const std::uint64_t fv = static_cast<std::uint64_t>(
+            part.local().volume() / part.local().dim(mu));
+        expect = static_cast<std::uint64_t>(part.num_ranks()) * 2u * fv * wsite;
+      }
+      EXPECT_EQ(wop.traffic().spinor.bytes_by_dim[static_cast<std::size_t>(mu)],
+                expect)
+          << "unit," << e.prec << " wilson mu=" << mu;
+    }
+
+    PartitionedStaggered<double> sop(spart, links.fat, links.lng, 0.05);
+    ASSERT_EQ(sop.ghost_wire(), fmt);
+    StaggeredField<double> sout(sg);
+    sop.apply(sout, sin_);
+    const std::uint64_t ssite = wire_site_bytes<ColorVector<double>>(fmt);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      std::uint64_t expect = 0;
+      if (spart.partitioned(mu)) {
+        const std::uint64_t fv = static_cast<std::uint64_t>(
+            spart.local().volume() / spart.local().dim(mu));
+        expect = static_cast<std::uint64_t>(spart.num_ranks()) * 2u * 3u * fv *
+                 ssite;
+      }
+      EXPECT_EQ(sop.traffic().spinor.bytes_by_dim[static_cast<std::size_t>(mu)],
+                expect)
+          << "unit," << e.prec << " staggered mu=" << mu;
+    }
+  }
+}
+
+TEST(GhostWireTune, JointWinnerPersistsAcrossCacheSaveLoad) {
+  // LQCD_GHOST_PREC=tune x LQCD_GHOST_RECON=tune sweeps the joint
+  // (recon, precision) pairs as one policy tunable and records the winner
+  // under `wilson_part_ghost_wire`; the row must survive a tunecache
+  // save/load round trip and answer the second construction from cache.
+  set_tuning_enabled(true);
+  ScopedGhostPrec penv("tune");
+  ScopedGhostRecon renv("tune");
+  const LatticeGeometry g({4, 4, 4, 8});
+  const GaugeField<double> u = hot_gauge(g, 107);
+  Partitioning part(g, {1, 1, 2, 2});
+
+  PartitionedWilsonClover<double> op(part, u, nullptr, -0.1);
+  const WireFormat winner = op.ghost_wire();
+
+  TuneKey key;
+  bool found = false;
+  for (const auto& [k, v] : global_tune_cache().entries()) {
+    if (k.kernel == "wilson_part_ghost_wire") {
+      key = k;
+      found = true;
+      EXPECT_EQ(v.param, "wire=" + to_string(winner));
+    }
+  }
+  ASSERT_TRUE(found) << "no wilson_part_ghost_wire row was recorded";
+
+  const std::string path = ::testing::TempDir() + "ghost_wire_tune.tsv";
+  ASSERT_TRUE(global_tune_cache().save(path));
+  TuneCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  const auto hit = loaded.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->param, "wire=" + to_string(winner));
+
+  // A second operator under the same env resolves from the cache (no
+  // re-tune) to the same joint format.
+  const TuneCacheStats before = global_tune_cache().stats();
+  PartitionedWilsonClover<double> op2(part, u, nullptr, -0.1);
+  EXPECT_EQ(op2.ghost_wire(), winner);
+  const TuneCacheStats after = global_tune_cache().stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "comm/counters.h"
+#include "comm/wire_format.h"
 #include "fields/blas.h"
 #include "linalg/simd.h"
 #include "tune/schwarz_policy.h"
@@ -123,6 +124,49 @@ TEST_F(TuneTest, SavedHeaderCarriesThisBuildsLaneConfig) {
   TuneCache loaded;
   EXPECT_TRUE(loaded.load(path));
   EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST_F(TuneTest, GhostWireCodecMismatchInvalidatesWholeFile) {
+  // The header also carries the ghost-wire codec token (wire=uN,
+  // comm/wire_format.h).  A cache written before the reconstruction axis
+  // existed (no token), or against a different wire byte layout, holds
+  // `*_ghost_prec` / `*_ghost_wire` policy rows whose meaning changed —
+  // it must be discarded wholesale.
+  const std::string lanes = "lanes=f" + std::to_string(kSoaLanes<float>) +
+                            "d" + std::to_string(kSoaLanes<double>);
+  for (const char* stale_wire : {"wire=u0", ""}) {
+    const std::string path = temp_path("stale_wire.tsv");
+    {
+      std::ofstream out(path);
+      out << "lqcd-tunecache " << TuneCache::kVersion << ' ' << lanes;
+      if (*stale_wire != '\0') out << ' ' << stale_wire;
+      out << "\n";
+      out << "wilson_part_ghost_prec\tf64\t1024\t4\tghost_prec=half\t12.5\t"
+             "40.0\n";
+    }
+    TuneCache cache;
+    EXPECT_FALSE(cache.load(path)) << "wire token '" << stale_wire << "'";
+    EXPECT_EQ(cache.size(), 0u);
+  }
+}
+
+TEST_F(TuneTest, SavedHeaderCarriesGhostWireCodecToken) {
+  TuneCache cache;
+  cache.store(key_of("wilson_part_ghost_wire", "f64", 512, 1),
+              {"wire=unit,half", 1.0, 2.0});
+  const std::string path = temp_path("wire_header.tsv");
+  ASSERT_TRUE(cache.save(path));
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find(ghost_wire_codec_token()), std::string::npos)
+      << header;
+  TuneCache loaded;
+  EXPECT_TRUE(loaded.load(path));
+  const auto hit =
+      loaded.lookup(key_of("wilson_part_ghost_wire", "f64", 512, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->param, "wire=unit,half");
 }
 
 TEST_F(TuneTest, MalformedHeaderIsRejected) {

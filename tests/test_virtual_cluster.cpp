@@ -385,10 +385,11 @@ TEST_P(ClusterExchangeTest, SendRecvBytesMatchAnalyticFaceFormula) {
 
   const ExchangeCounters sent = ex.total_sent();
   // Byte accounting is in wire units: each packed face site costs
-  // wire_site_bytes at the active LQCD_GHOST_PREC policy (== the raw
-  // sizeof at the default, uncompressed, native precision).
+  // wire_site_bytes at the active LQCD_GHOST_PREC x LQCD_GHOST_RECON
+  // policy (== the raw sizeof at the default, uncompressed, native
+  // precision and full recon).
   const std::uint64_t site_bytes = wire_site_bytes<HalfSpinor<double>>(
-      default_wire_precision<HalfSpinor<double>>());
+      default_wire_format<HalfSpinor<double>>());
   std::uint64_t expect_total = 0;
   for (int mu = 0; mu < kNDim; ++mu) {
     std::uint64_t expect = 0;
